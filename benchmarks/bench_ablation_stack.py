@@ -1,0 +1,34 @@
+"""Extension: cumulative ablation of the three main design choices.
+
+Not a figure from the paper, but the design choices DESIGN.md calls out --
+sparsity elimination, the inter-engine pipeline and memory-access
+coordination -- are ablated here cumulatively (starting from a design with
+all three disabled) so their stacked contribution is visible in one table.
+Expected shape: each added optimisation keeps or improves execution time and
+never increases DRAM traffic; the fully optimised design is the best.
+"""
+
+from repro.analysis import print_table, stacked_optimization_ablation
+
+DATASETS = ("CR", "CS", "PB")
+
+
+def test_stacked_optimization_ablation(benchmark):
+    def run():
+        rows = []
+        for dataset in DATASETS:
+            rows.extend(stacked_optimization_ablation(dataset=dataset, model_name="GCN"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(rows, title="Extension: cumulative optimisation ablation (GCN)",
+                columns=["dataset", "step", "time_pct_of_baseline",
+                         "dram_pct_of_baseline", "energy_pct_of_baseline",
+                         "speedup_vs_baseline"])
+    for dataset in DATASETS:
+        series = [r for r in rows if r["dataset"] == dataset]
+        speedups = [r["speedup_vs_baseline"] for r in series]
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] > 1.5
+        dram = [r["dram_pct_of_baseline"] for r in series]
+        assert all(b <= a + 1e-9 for a, b in zip(dram, dram[1:]))

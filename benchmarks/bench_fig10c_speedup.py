@@ -1,0 +1,52 @@
+"""Fig. 10(c) -- HyGCN speedup over the optimised PyG-CPU and naive PyG-GPU.
+
+Expected shape: HyGCN is orders of magnitude (tens to hundreds of times in
+this scaled reproduction; the paper reports 1509x on average at full dataset
+scale) faster than PyG-CPU on every configuration, and several times faster
+than PyG-GPU on most configurations.  The GIN model shows the largest gains
+because it aggregates at the full input feature length, which the
+general-purpose platforms handle worst; DiffPool shows the smallest because
+its extra dense matrix multiplications already suit CPU/GPU.  GCN and GIN on
+full-scale Reddit are out-of-memory on the GPU.
+"""
+
+from repro.analysis import PlatformComparison, geometric_mean, print_table
+
+
+def test_fig10c_speedup_over_cpu_and_gpu(benchmark, comparison_grid, platform_comparison):
+    benchmark.pedantic(lambda: platform_comparison.compare("GCN", "IB"),
+                       rounds=1, iterations=1)
+    rows = [
+        {
+            "model": r.model_name,
+            "dataset": r.dataset_name,
+            "speedup_vs_pyg_cpu": round(r.speedup_vs_cpu, 1),
+            "speedup_vs_pyg_gpu": None if r.speedup_vs_gpu is None
+            else round(r.speedup_vs_gpu, 2),
+            "gpu_speedup_vs_cpu": None if r.gpu_speedup_vs_cpu is None
+            else round(r.gpu_speedup_vs_cpu, 1),
+        }
+        for r in comparison_grid
+    ]
+    print_table(rows, title="Fig. 10c: HyGCN speedup over PyG-CPU (optimised) and PyG-GPU")
+    summary = PlatformComparison.summarize(comparison_grid)
+    print(f"\ngeomean speedup vs PyG-CPU: {summary['geomean_speedup_vs_cpu']:.0f}x "
+          f"(paper: 1509x average at full dataset scale)")
+    print(f"geomean speedup vs PyG-GPU: {summary['geomean_speedup_vs_gpu']:.1f}x "
+          f"(paper: 6.5x average)")
+
+    # HyGCN always beats the CPU, by a large factor.
+    assert all(r.speedup_vs_cpu > 10 for r in comparison_grid)
+    assert summary["geomean_speedup_vs_cpu"] > 50
+    # HyGCN beats the GPU on the clear majority of configurations.
+    gpu_speedups = [r.speedup_vs_gpu for r in comparison_grid if r.speedup_vs_gpu]
+    assert sum(1 for s in gpu_speedups if s > 1) >= 0.7 * len(gpu_speedups)
+    assert summary["geomean_speedup_vs_gpu"] > 2
+    # GIN gains more than GCN on the same dataset (it aggregates at full length).
+    per = {(r.model_name, r.dataset_name): r.speedup_vs_cpu for r in comparison_grid}
+    assert per[("GIN", "CR")] > per[("GCN", "CR")]
+    assert per[("GIN", "CS")] > per[("GCN", "CS")]
+    # The GPU runs out of memory for the unsampled models on full-scale Reddit.
+    ooms = {(r.model_name, r.dataset_name) for r in comparison_grid if r.gpu.out_of_memory}
+    assert ("GCN", "RD") in ooms and ("GIN", "RD") in ooms
+    assert ("GSC", "RD") not in ooms

@@ -1,0 +1,37 @@
+"""Fig. 11 -- HyGCN energy consumption normalised to PyG-CPU and PyG-GPU.
+
+Expected shape: HyGCN consumes a small fraction of one percent of the CPU's
+energy (the paper reports 0.04% on average, i.e. a 2500x reduction) and a few
+percent of the GPU's energy (the paper reports 10%, a 10x reduction).
+"""
+
+from repro.analysis import PlatformComparison, print_table
+
+
+def test_fig11_normalized_energy(benchmark, comparison_grid, platform_comparison):
+    benchmark.pedantic(lambda: platform_comparison.compare("GCN", "IB"),
+                       rounds=1, iterations=1)
+    rows = [
+        {
+            "model": r.model_name,
+            "dataset": r.dataset_name,
+            "energy_vs_cpu_pct": round(100.0 * r.energy_vs_cpu, 4),
+            "energy_vs_gpu_pct": None if r.energy_vs_gpu is None
+            else round(100.0 * r.energy_vs_gpu, 2),
+        }
+        for r in comparison_grid
+    ]
+    print_table(rows, title="Fig. 11: HyGCN energy normalised to the baselines (%)")
+    summary = PlatformComparison.summarize(comparison_grid)
+    print(f"\ngeomean energy reduction vs PyG-CPU: "
+          f"{summary['geomean_energy_reduction_vs_cpu']:.0f}x (paper: 2500x)")
+    print(f"geomean energy reduction vs PyG-GPU: "
+          f"{summary['geomean_energy_reduction_vs_gpu']:.0f}x (paper: 10x)")
+
+    # well under 1% of the CPU energy everywhere
+    assert all(r.energy_vs_cpu < 0.01 for r in comparison_grid)
+    # a small fraction of the GPU energy wherever the GPU can run at all
+    gpu_ratios = [r.energy_vs_gpu for r in comparison_grid if r.energy_vs_gpu]
+    assert all(ratio < 0.25 for ratio in gpu_ratios)
+    assert summary["geomean_energy_reduction_vs_cpu"] > 500
+    assert summary["geomean_energy_reduction_vs_gpu"] > 5

@@ -1,0 +1,43 @@
+"""Fig. 12 -- Energy breakdown of HyGCN across its architectural components.
+
+Expected shape: the Combination Engine (dominated by the systolic-array MACs)
+consumes the largest share of on-chip energy for most configurations, while
+the Aggregation Engine's share grows on the high-degree datasets (COLLAB,
+Reddit) whose edge processing dominates.
+"""
+
+from repro.analysis import print_table
+
+
+def test_fig12_hygcn_energy_breakdown(benchmark, comparison_grid, platform_comparison):
+    benchmark.pedantic(lambda: platform_comparison.compare("GCN", "IB"),
+                       rounds=1, iterations=1)
+    rows = []
+    for r in comparison_grid:
+        shares = r.energy_breakdown()
+        rows.append({
+            "model": r.model_name,
+            "dataset": r.dataset_name,
+            "aggregation_engine_pct": round(100.0 * shares["aggregation_engine"], 1),
+            "combination_engine_pct": round(100.0 * shares["combination_engine"], 1),
+            "coordinator_pct": round(100.0 * shares["coordinator"], 1),
+            "dram_pct": round(100.0 * shares["dram"], 1),
+            "static_pct": round(100.0 * shares["static"], 1),
+        })
+    print_table(rows, title="Fig. 12: HyGCN energy breakdown (% of total, incl. DRAM)")
+
+    for row in rows:
+        total = (row["aggregation_engine_pct"] + row["combination_engine_pct"]
+                 + row["coordinator_pct"] + row["dram_pct"] + row["static_pct"])
+        assert abs(total - 100.0) < 1.0
+    by_key = {(r["model"], r["dataset"]): r for r in rows}
+    # the engines' on-chip split: combination dominates aggregation for the
+    # long-feature citation graphs...
+    assert by_key[("GCN", "CR")]["combination_engine_pct"] > \
+        by_key[("GCN", "CR")]["aggregation_engine_pct"]
+    # ...while the high-degree COLLAB/Reddit graphs push energy toward the
+    # Aggregation Engine relative to those citation graphs.
+    assert by_key[("GCN", "CL")]["aggregation_engine_pct"] > \
+        by_key[("GCN", "CR")]["aggregation_engine_pct"]
+    assert by_key[("GIN", "RD")]["aggregation_engine_pct"] > \
+        by_key[("GIN", "CS")]["aggregation_engine_pct"]

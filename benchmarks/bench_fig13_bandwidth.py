@@ -1,0 +1,41 @@
+"""Fig. 13 -- DRAM bandwidth utilisation of PyG-CPU, PyG-GPU and HyGCN.
+
+Expected shape: PyG-CPU exploits only a few percent of its DDR4 bandwidth,
+PyG-GPU sits in between, and HyGCN sustains a much higher fraction of its HBM
+bandwidth (the paper reports 16x better utilisation than CPU and 1.5x better
+than GPU on average); HyGCN's utilisation dips on COLLAB-like datasets where
+denser connections raise on-chip reuse.
+"""
+
+from repro.analysis import geometric_mean, print_table
+
+
+def test_fig13_bandwidth_utilization(benchmark, comparison_grid, platform_comparison):
+    benchmark.pedantic(lambda: platform_comparison.compare("GCN", "IB"),
+                       rounds=1, iterations=1)
+    rows = []
+    for r in comparison_grid:
+        utils = r.bandwidth_utilizations()
+        rows.append({
+            "model": r.model_name,
+            "dataset": r.dataset_name,
+            "pyg_cpu_pct": round(100.0 * utils["PyG-CPU"], 1),
+            "pyg_gpu_pct": None if utils["PyG-GPU"] is None
+            else round(100.0 * utils["PyG-GPU"], 1),
+            "hygcn_pct": round(100.0 * utils["HyGCN"], 1),
+        })
+    print_table(rows, title="Fig. 13: DRAM bandwidth utilisation (%)")
+
+    cpu_utils = [r["pyg_cpu_pct"] for r in rows]
+    hygcn_utils = [r["hygcn_pct"] for r in rows]
+    improvements = [h / c for h, c in zip(hygcn_utils, cpu_utils) if c > 0]
+    print(f"\ngeomean HyGCN / PyG-CPU utilisation ratio: "
+          f"{geometric_mean(improvements):.1f}x (paper: 16x)")
+
+    # CPU utilisation is single digit everywhere.
+    assert all(u < 10 for u in cpu_utils)
+    # HyGCN exceeds the CPU's utilisation on every configuration.
+    assert all(h > c for h, c in zip(hygcn_utils, cpu_utils))
+    # HyGCN also beats the GPU on the majority of runnable configurations.
+    pairs = [(r["hygcn_pct"], r["pyg_gpu_pct"]) for r in rows if r["pyg_gpu_pct"]]
+    assert sum(1 for h, g in pairs if h > g) >= 0.6 * len(pairs)

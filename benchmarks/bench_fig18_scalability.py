@@ -1,0 +1,73 @@
+"""Fig. 18 -- Scalability exploration (GraphSage model).
+
+Three sweeps:
+
+* (a)-(c) sampling factor: sampling more aggressively increases sparsity, so
+  the sparsity eliminator removes more row loads and DRAM access / execution
+  time drop (most visibly on Pubmed, the largest of the three datasets).
+* (d)-(f) Aggregation Buffer capacity: a larger buffer means wider intervals,
+  fewer passes over the source features and therefore less DRAM traffic and
+  time, but larger windows leave more residual sparsity.
+* (g) systolic module granularity: with the total array count fixed, fewer /
+  taller modules force larger vertex groups to be assembled before combining
+  (higher vertex latency) but reuse the streamed weights across more vertices
+  (lower Combination Engine energy).
+"""
+
+from repro.analysis import (
+    aggregation_buffer_sweep,
+    print_table,
+    sampling_factor_sweep,
+    systolic_module_sweep,
+)
+
+DATASETS = ("CR", "CS", "PB")
+
+
+def test_fig18abc_sampling_factor(benchmark):
+    rows = benchmark.pedantic(
+        lambda: sampling_factor_sweep(datasets=DATASETS, factors=(1, 2, 4, 8, 16)),
+        rounds=1, iterations=1,
+    )
+    print_table(rows, title="Fig. 18a-c: sampling-factor sweep (GSC)")
+    for dataset in DATASETS:
+        series = [r for r in rows if r["dataset"] == dataset]
+        first, last = series[0], series[-1]
+        assert first["sampling_factor"] == 1
+        # more sampling -> no more DRAM traffic or time than the unsampled run
+        assert last["dram_access_pct"] <= first["dram_access_pct"] + 1e-6
+        assert last["execution_time_pct"] <= first["execution_time_pct"] + 1e-6
+        # more sampling -> at least as much eliminated sparsity
+        assert last["sparsity_reduction_pct"] >= first["sparsity_reduction_pct"] - 1e-6
+
+
+def test_fig18def_aggregation_buffer_capacity(benchmark):
+    rows = benchmark.pedantic(
+        lambda: aggregation_buffer_sweep(datasets=DATASETS,
+                                         capacities_mb=(2, 4, 8, 16, 32)),
+        rounds=1, iterations=1,
+    )
+    print_table(rows, title="Fig. 18d-f: Aggregation Buffer capacity sweep (GSC)")
+    for dataset in DATASETS:
+        series = [r for r in rows if r["dataset"] == dataset]
+        smallest, largest = series[0], series[-1]
+        # a larger buffer never increases execution time or DRAM traffic
+        assert largest["execution_time_pct"] <= smallest["execution_time_pct"] + 1e-6
+        assert largest["dram_access_pct"] <= smallest["dram_access_pct"] + 1e-6
+        # but the wider windows cannot eliminate more sparsity than narrow ones
+        assert largest["sparsity_reduction_pct"] <= smallest["sparsity_reduction_pct"] + 1e-6
+
+
+def test_fig18g_systolic_module_granularity(benchmark):
+    rows = benchmark.pedantic(
+        lambda: systolic_module_sweep(datasets=DATASETS,
+                                      module_counts=(32, 16, 8, 4, 2, 1)),
+        rounds=1, iterations=1,
+    )
+    print_table(rows, title="Fig. 18g: systolic module granularity sweep (GSC)")
+    for dataset in DATASETS:
+        series = [r for r in rows if r["dataset"] == dataset]
+        finest, coarsest = series[0], series[-1]
+        # coarser modules: vertex latency up, combination energy down
+        assert coarsest["vertex_latency_pct"] >= finest["vertex_latency_pct"]
+        assert coarsest["combination_energy_pct"] <= finest["combination_energy_pct"]

@@ -1,0 +1,34 @@
+"""Table 2 & Table 3 -- Quantitative CPU characterisation of the two phases.
+
+Regenerates the per-Op DRAM intensity, per-Op DRAM energy and L2/L3 MPKI of
+the Aggregation and Combination phases (GCN on COLLAB), plus the qualitative
+execution-pattern summary derived from them.  Expected shape: aggregation
+needs orders of magnitude more DRAM traffic per operation and misses in the
+caches far more often; combination is compute-bound with a large
+synchronisation overhead.
+"""
+
+from repro.analysis import print_table
+from repro.baselines import characterize_phases, execution_pattern_table
+
+
+def test_table2_and_table3_characterization(benchmark):
+    chars = benchmark.pedantic(
+        lambda: characterize_phases(dataset="CL", model_name="GCN",
+                                    max_trace_vertices=160),
+        rounds=1, iterations=1,
+    )
+    rows = [chars["aggregation"].as_row(), chars["combination"].as_row()]
+    print_table(rows, title="Table 2: quantitative characterisation on CPU (GCN on COLLAB)")
+    print_table(execution_pattern_table(chars),
+                title="Table 3: execution patterns derived from Table 2")
+
+    agg, comb = chars["aggregation"], chars["combination"]
+    # Aggregation is memory-dominated: far more DRAM bytes and energy per op.
+    assert agg.dram_bytes_per_op > 20 * comb.dram_bytes_per_op
+    assert agg.dram_energy_per_op_nj > 20 * comb.dram_energy_per_op_nj
+    # Cache behaviour: aggregation misses much more often.
+    assert agg.l2_mpki > comb.l2_mpki
+    assert agg.l3_mpki > comb.l3_mpki
+    # Combination pays the measured ~36% synchronisation overhead.
+    assert comb.sync_time_fraction and 0.2 <= comb.sync_time_fraction <= 0.5

@@ -1,0 +1,54 @@
+"""Table 6 -- System configurations of the three compared platforms."""
+
+from repro.analysis import print_table
+from repro.baselines import CPUConfig, GPUConfig
+from repro.core import HyGCNConfig
+
+
+def test_table6_system_configurations(benchmark):
+    def build():
+        return CPUConfig(), GPUConfig(), HyGCNConfig()
+
+    cpu, gpu, hygcn = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = [
+        {
+            "platform": "PyG-CPU",
+            "compute": f"{cpu.clock_ghz} GHz @ {cpu.num_cores} cores",
+            "on_chip_memory": f"{cpu.llc_bytes >> 20} MB LLC",
+            "off_chip_memory": f"{cpu.peak_bandwidth_gbps} GB/s DDR4",
+        },
+        {
+            "platform": "PyG-GPU",
+            "compute": f"{gpu.clock_ghz} GHz @ {gpu.num_cores} cores",
+            "on_chip_memory": "34 MB (regs + L1 + L2)",
+            "off_chip_memory": f"{gpu.peak_bandwidth_gbps} GB/s HBM2",
+        },
+        {
+            "platform": "HyGCN",
+            "compute": (f"{hygcn.clock_ghz} GHz @ {hygcn.num_simd_cores} SIMD{hygcn.simd_width} cores"
+                        f" + {hygcn.num_systolic_modules} systolic modules"
+                        f" ({hygcn.systolic_rows}x{hygcn.systolic_cols} each)"),
+            "on_chip_memory": (f"{hygcn.input_buffer_bytes >> 10} KB input, "
+                               f"{hygcn.edge_buffer_bytes >> 20} MB edge, "
+                               f"{hygcn.weight_buffer_bytes >> 20} MB weight, "
+                               f"{hygcn.output_buffer_bytes >> 20} MB output, "
+                               f"{hygcn.aggregation_buffer_bytes >> 20} MB aggregation"),
+            "off_chip_memory": f"{hygcn.hbm.peak_bandwidth_gbps} GB/s HBM 1.0",
+        },
+    ]
+    print_table(rows, title="Table 6: system configurations")
+
+    # HyGCN's Table 6 values
+    assert hygcn.num_simd_cores == 32 and hygcn.simd_width == 16
+    assert hygcn.num_systolic_modules == 8
+    assert hygcn.systolic_rows * hygcn.systolic_cols == 512
+    assert hygcn.aggregation_buffer_bytes == 16 << 20
+    assert hygcn.hbm.peak_bandwidth_gbps == 256
+    # the baselines' published machine parameters
+    assert cpu.num_cores == 24 and cpu.peak_bandwidth_gbps == 136.5
+    assert gpu.num_cores == 5120 and gpu.peak_bandwidth_gbps == 900
+    # HyGCN's total on-chip storage is far smaller than either baseline's
+    hygcn_on_chip = (hygcn.input_buffer_bytes + hygcn.edge_buffer_bytes
+                     + hygcn.weight_buffer_bytes + hygcn.output_buffer_bytes
+                     + hygcn.aggregation_buffer_bytes)
+    assert hygcn_on_chip < cpu.llc_bytes

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+The overall-results figures (Fig. 10c, 11, 12, 13, 14) all consume the same
+model x dataset comparison grid, so it is computed once per session and shared
+across the benchmark files.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import PlatformComparison
+
+#: The evaluation grid of the paper: DiffPool is only evaluated on the two
+#: multi-graph datasets (IB, CL); the other models run on all six datasets.
+GRID = {
+    "GCN": ("IB", "CR", "CS", "CL", "PB", "RD"),
+    "GSC": ("IB", "CR", "CS", "CL", "PB", "RD"),
+    "GIN": ("IB", "CR", "CS", "CL", "PB", "RD"),
+    "DFP": ("IB", "CL"),
+}
+
+
+@pytest.fixture(scope="session")
+def platform_comparison():
+    """A single comparison harness reused by every overall-results benchmark."""
+    return PlatformComparison()
+
+
+@pytest.fixture(scope="session")
+def comparison_grid(platform_comparison):
+    """All (model, dataset) comparison results of the paper's evaluation grid."""
+    results = []
+    for model_name, datasets in GRID.items():
+        for dataset in datasets:
+            results.append(platform_comparison.compare(model_name, dataset))
+    return results

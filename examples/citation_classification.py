@@ -1,0 +1,82 @@
+"""Scenario: node classification on citation networks, end to end.
+
+Citation networks (Cora, Citeseer, Pubmed) are the canonical GCN node
+classification benchmarks: very long bag-of-words feature vectors, sparse
+community-structured connectivity.  This example runs the full evaluation
+path the paper uses for them:
+
+1. characterise the workload on the CPU baseline (why it needs acceleration),
+2. run the paper's GCN and GINConv models functionally and produce class
+   predictions from the output embeddings,
+3. simulate all four Table 5 models on HyGCN and compare the per-layer
+   behaviour -- showing how the aggregate-first GIN stresses the Aggregation
+   Engine while combine-first GCN stresses the Combination Engine.
+
+Run it with ``python examples/citation_classification.py``.
+"""
+
+import numpy as np
+
+from repro.analysis import print_table
+from repro.baselines import PyGCPUModel, characterize_phases
+from repro.core import HyGCNSimulator
+from repro.graphs import load_dataset
+from repro.models import MODEL_NAMES, build_model, softmax
+
+
+def predict_classes(embeddings: np.ndarray, num_classes: int = 7, seed: int = 0) -> np.ndarray:
+    """A linear read-out head turning embeddings into class predictions."""
+    rng = np.random.default_rng(seed)
+    head = rng.standard_normal((embeddings.shape[1], num_classes)) * 0.1
+    return softmax(embeddings @ head, axis=1).argmax(axis=1)
+
+
+def main() -> None:
+    graph = load_dataset("CS", seed=0)     # Citeseer stand-in
+    print(f"dataset: {graph.name} -- {graph.num_vertices} papers, "
+          f"{graph.num_edges} citations, {graph.feature_length}-word vocabulary")
+
+    # 1. Why accelerate?  The CPU-side characterisation of the two phases.
+    chars = characterize_phases(graph=graph, model_name="GCN", max_trace_vertices=128)
+    print_table([chars["aggregation"].as_row(), chars["combination"].as_row()],
+                title="CPU characterisation of the two phases (Citeseer, GCN)")
+    cpu_report = PyGCPUModel().run(build_model("GCN", input_length=graph.feature_length),
+                                   graph, dataset_name="CS")
+    print(f"PyG-CPU estimate: {cpu_report.total_time_s * 1e3:.1f} ms "
+          f"({100 * cpu_report.aggregation_fraction:.0f}% aggregation)")
+
+    # 2. Functional inference and class predictions.
+    gcn = build_model("GCN", input_length=graph.feature_length)
+    embeddings = gcn.forward(graph)
+    predictions = predict_classes(embeddings)
+    unique, counts = np.unique(predictions, return_counts=True)
+    print(f"\npredicted class histogram: "
+          f"{dict(zip(unique.tolist(), counts.tolist()))}")
+
+    # 3. All four Table 5 models on the accelerator.
+    simulator = HyGCNSimulator()
+    rows = []
+    for name in MODEL_NAMES:
+        model = build_model(name, input_length=graph.feature_length)
+        report = simulator.run_model(model, graph, dataset_name="CS")
+        rows.append({
+            "model": name,
+            "layers": len(report.layers),
+            "time_us": report.execution_time_s * 1e6,
+            "aggregation_cycles": report.aggregation_cycles,
+            "combination_cycles": report.combination_cycles,
+            "dram_mb": report.total_dram_bytes / (1 << 20),
+            "energy_mj": report.total_energy_j * 1e3,
+            "speedup_vs_cpu": PyGCPUModel().run(model, graph).total_time_s
+            / report.execution_time_s,
+        })
+    print_table(rows, title="All Table 5 models on HyGCN (Citeseer stand-in)")
+
+    print("\nTake-away: on long-feature citation graphs the Combination Engine "
+          "dominates GCN/GraphSage cycles, while GIN's aggregate-first order "
+          "shifts work (and DRAM traffic) to the Aggregation Engine -- the "
+          "hybrid architecture keeps both cases on chip.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Scenario: design-space exploration of the accelerator configuration.
+
+An architect adopting HyGCN for a different deployment point (edge vs.
+datacentre) needs to re-balance the design: how many SIMD cores, how many
+systolic modules, how much Aggregation Buffer?  This example uses the
+:mod:`repro.analysis.dse` API to sweep those structural parameters with the
+simulator and the area/power model together, and prints the Pareto-optimal
+design points for a representative workload mix.
+
+Run it with ``python examples/design_space_exploration.py``.
+"""
+
+from repro.analysis import WorkloadMix, explore, pareto_front, print_table
+from repro.core import HyGCNConfig
+
+#: a small representative workload mix: one citation graph, one dense
+#: multi-graph dataset, two models
+MIX = WorkloadMix(name="paper-mix", entries=(("GCN", "CR"), ("GIN", "CL")))
+
+#: candidate design points: (simd cores, systolic modules, aggregation buffer MB)
+DESIGN_POINTS = (
+    (8, 2, 4),      # edge-class
+    (16, 4, 8),     # mid-range
+    (32, 8, 16),    # the paper's configuration (Table 6)
+    (64, 16, 32),   # scaled-up datacentre part
+)
+
+
+def candidate_configs():
+    """Build the HyGCNConfig for every candidate design point."""
+    return [
+        HyGCNConfig(
+            num_simd_cores=simd,
+            num_systolic_modules=modules,
+            aggregation_buffer_bytes=buffer_mb << 20,
+        )
+        for simd, modules, buffer_mb in DESIGN_POINTS
+    ]
+
+
+def main() -> None:
+    points = explore(candidate_configs(), MIX)
+    print_table([p.as_row() for p in points],
+                title="Design-space exploration over the workload mix "
+                      "(GCN on Cora + GIN on COLLAB stand-ins)")
+
+    front = pareto_front(points)
+    print_table([p.as_row() for p in front],
+                title="Pareto-optimal design points (time vs. power vs. area)")
+
+    best_perf = min(points, key=lambda p: p.time_ms)
+    best_eff = max(points, key=lambda p: p.perf_per_watt)
+    print(f"\nfastest design point: {best_perf.config.num_simd_cores} SIMD cores / "
+          f"{best_perf.config.num_systolic_modules} modules / "
+          f"{best_perf.config.aggregation_buffer_bytes >> 20} MB "
+          f"({best_perf.time_ms:.2f} ms, {best_perf.power_w:.1f} W)")
+    print(f"most efficient design point: {best_eff.config.num_simd_cores} SIMD cores / "
+          f"{best_eff.config.num_systolic_modules} modules / "
+          f"{best_eff.config.aggregation_buffer_bytes >> 20} MB "
+          f"({best_eff.perf_per_watt:.4f} 1/(ms*W))")
+    print("\nTake-away: the paper's 32-core / 8-module / 16 MB configuration sits "
+          "near the knee of the curve -- scaling further up buys little "
+          "performance for this workload mix while area and power keep growing.")
+
+
+if __name__ == "__main__":
+    main()

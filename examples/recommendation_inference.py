@@ -1,0 +1,76 @@
+"""Scenario: GraphSage inference for a recommendation service.
+
+The paper motivates GCN accelerators with data-centre workloads such as
+recommendation (Pinterest/Alibaba-style).  Those graphs are large, heavily
+skewed (a few hub items connect to very many users) and served under a
+latency budget, which is exactly the regime where neighbour sampling and the
+latency-aware inter-engine pipeline matter.
+
+This example builds a synthetic user-item interaction graph, runs GraphSage
+with the paper's 25-neighbour sampling, and explores how the sampling factor
+and the pipeline mode trade throughput, per-vertex latency and energy --
+the knobs a deployment would actually tune.
+
+Run it with ``python examples/recommendation_inference.py``.
+"""
+
+from repro.analysis import print_table
+from repro.core import HyGCNConfig, HyGCNSimulator, PipelineMode
+from repro.graphs import power_law_graph
+from repro.models import build_graphsage
+
+
+def build_interaction_graph(num_entities: int = 4096, interactions: int = 65536,
+                            embedding_length: int = 256, seed: int = 7):
+    """A skewed user-item interaction graph with learned input embeddings."""
+    return power_law_graph(
+        num_entities, interactions, feature_length=embedding_length,
+        skew=1.4, seed=seed, name="recsys-interactions",
+    )
+
+
+def main() -> None:
+    graph = build_interaction_graph()
+    print(f"interaction graph: {graph.num_vertices} entities, "
+          f"{graph.num_edges} interactions, max degree {graph.degrees().max()}")
+
+    # --- sampling-factor exploration (throughput / accuracy trade-off) -------
+    rows = []
+    for factor in (1, 2, 4, 8):
+        model = build_graphsage(graph.feature_length, hidden_sizes=(128,),
+                                sample_neighbors=25, sampling_factor=factor)
+        report = HyGCNSimulator().run_model(model, graph, dataset_name="recsys")
+        rows.append({
+            "sampling_factor": factor,
+            "time_us": report.execution_time_s * 1e6,
+            "dram_mb": report.total_dram_bytes / (1 << 20),
+            "energy_mj": report.total_energy_j * 1e3,
+            "sparsity_reduction_pct": 100 * report.avg_sparsity_reduction,
+        })
+    print_table(rows, title="Sampling factor vs. cost (GraphSage, 25-neighbour cap)")
+
+    # --- pipeline mode exploration (latency vs. energy) -----------------------
+    model = build_graphsage(graph.feature_length, hidden_sizes=(128,),
+                            sample_neighbors=25)
+    rows = []
+    for mode in (PipelineMode.LATENCY, PipelineMode.ENERGY, PipelineMode.NONE):
+        config = HyGCNConfig(pipeline_mode=mode)
+        report = HyGCNSimulator(config).run_model(model, graph, dataset_name="recsys")
+        rows.append({
+            "pipeline_mode": mode,
+            "time_us": report.execution_time_s * 1e6,
+            "avg_vertex_latency_cycles": report.avg_vertex_latency_cycles,
+            "combination_energy_uj": report.energy.combination_engine_pj * 1e-6,
+            "total_energy_mj": report.total_energy_j * 1e3,
+        })
+    print_table(rows, title="Pipeline mode: latency-aware vs energy-aware vs none")
+
+    print("\nTake-away: aggressive sampling shrinks DRAM traffic roughly in "
+          "proportion to the removed edges, and the latency-aware pipeline "
+          "should be selected when per-request latency matters while the "
+          "energy-aware pipeline saves Combination Engine energy for batch "
+          "(throughput-oriented) serving.")
+
+
+if __name__ == "__main__":
+    main()

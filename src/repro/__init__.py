@@ -1,0 +1,31 @@
+"""HyGCN reproduction: a hybrid-architecture GCN accelerator in Python.
+
+The package is organised as:
+
+* :mod:`repro.graphs` -- graph data structures, synthetic Table 4 datasets,
+  interval-shard partitioning and neighbour sampling;
+* :mod:`repro.models` -- the GCN / GraphSage / GINConv / DiffPool workloads;
+* :mod:`repro.hw` -- generic hardware substrate (buffers, HBM, energy, area);
+* :mod:`repro.core` -- the HyGCN accelerator simulator itself;
+* :mod:`repro.baselines` -- PyG-CPU / PyG-GPU analytical models and the CPU
+  characterisation harness;
+* :mod:`repro.analysis` -- comparison tables and parameter sweeps used by the
+  benchmark harness.
+"""
+
+from .core import HyGCNConfig, HyGCNSimulator, PipelineMode, SimulationReport
+from .graphs import Graph, load_dataset
+from .models import build_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HyGCNConfig",
+    "HyGCNSimulator",
+    "PipelineMode",
+    "SimulationReport",
+    "Graph",
+    "load_dataset",
+    "build_model",
+    "__version__",
+]

@@ -1,0 +1,148 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows without writing a script:
+
+* ``simulate`` -- run one model on one dataset on the HyGCN simulator and
+  print the report (optionally comparing against the CPU/GPU baselines);
+* ``sweep``    -- run one of the named ablation/scalability sweeps;
+* ``info``     -- print the dataset registry (Table 4), the model zoo
+  (Table 5) and the default accelerator configuration (Table 6/7 view).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis import (
+    memory_coordination_sweep,
+    pipeline_mode_sweep,
+    print_table,
+    sampling_factor_sweep,
+    sparsity_elimination_sweep,
+    stacked_optimization_ablation,
+    systolic_module_sweep,
+    aggregation_buffer_sweep,
+)
+from .baselines import PyGCPUModel, PyGGPUModel
+from .core import HyGCNConfig, HyGCNSimulator, PipelineMode
+from .graphs import DATASETS, dataset_table, load_dataset
+from .hw import AreaPowerModel
+from .models import MODEL_NAMES, build_model, model_table
+
+_SWEEPS = {
+    "sparsity": sparsity_elimination_sweep,
+    "pipeline": pipeline_mode_sweep,
+    "memory": memory_coordination_sweep,
+    "sampling": sampling_factor_sweep,
+    "buffer": aggregation_buffer_sweep,
+    "systolic": systolic_module_sweep,
+    "ablation": None,  # handled separately (per-dataset signature differs)
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HyGCN reproduction: simulate GCN workloads on the hybrid accelerator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run one model on one dataset")
+    simulate.add_argument("--model", choices=MODEL_NAMES, default="GCN")
+    simulate.add_argument("--dataset", choices=sorted(DATASETS), default="CR")
+    simulate.add_argument("--pipeline", choices=PipelineMode.ALL,
+                          default=PipelineMode.LATENCY)
+    simulate.add_argument("--no-sparsity", action="store_true",
+                          help="disable window sliding/shrinking")
+    simulate.add_argument("--no-coordination", action="store_true",
+                          help="disable memory access coordination")
+    simulate.add_argument("--compare", action="store_true",
+                          help="also run the PyG-CPU / PyG-GPU baseline models")
+    simulate.add_argument("--seed", type=int, default=0)
+
+    sweep = sub.add_parser("sweep", help="run an ablation / scalability sweep")
+    sweep.add_argument("name", choices=sorted(_SWEEPS))
+    sweep.add_argument("--datasets", nargs="+", default=["CR", "CS", "PB"],
+                       choices=sorted(DATASETS))
+
+    sub.add_parser("info", help="print datasets, models and the default configuration")
+    return parser
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset, seed=args.seed)
+    model = build_model(args.model, input_length=graph.feature_length)
+    config = HyGCNConfig(
+        pipeline_mode=args.pipeline,
+        enable_sparsity_elimination=not args.no_sparsity,
+        enable_memory_coordination=not args.no_coordination,
+    )
+    report = HyGCNSimulator(config).run_model(model, graph, dataset_name=args.dataset)
+    print_table([report.summary()], title=f"HyGCN: {args.model} on {args.dataset}")
+    print_table(
+        [{"layer": layer.name, "cycles": layer.total_cycles,
+          "aggregation_cycles": layer.aggregation_cycles,
+          "combination_cycles": layer.combination_cycles,
+          "dram_mb": round(layer.dram_bytes / (1 << 20), 2),
+          "sparsity_reduction_pct": round(100 * layer.sparsity_reduction, 1)}
+         for layer in report.layers],
+        title="per-layer breakdown",
+    )
+    if args.compare:
+        cpu = PyGCPUModel().run(model, graph, dataset_name=args.dataset)
+        gpu = PyGGPUModel().run(model, graph, dataset_name=args.dataset,
+                                full_scale_spec=DATASETS[args.dataset])
+        rows = [cpu.summary(), gpu.summary(),
+                {"platform": "HyGCN", "model": args.model, "dataset": args.dataset,
+                 "time_s": report.execution_time_s, "energy_j": report.total_energy_j,
+                 "dram_mb": report.total_dram_bytes / (1 << 20),
+                 "bandwidth_utilization": report.bandwidth_utilization}]
+        print_table(rows, title="platform comparison",
+                    columns=["platform", "time_s", "energy_j", "dram_mb",
+                             "bandwidth_utilization"])
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    if args.name == "ablation":
+        rows: List[dict] = []
+        for dataset in args.datasets:
+            rows.extend(stacked_optimization_ablation(dataset=dataset))
+        print_table(rows, title="cumulative optimisation ablation")
+        return 0
+    sweep_fn = _SWEEPS[args.name]
+    rows = sweep_fn(datasets=tuple(args.datasets))
+    print_table(rows, title=f"{args.name} sweep")
+    return 0
+
+
+def _run_info() -> int:
+    print_table(dataset_table(), title="Table 4: datasets")
+    print_table(model_table(), title="Table 5: models")
+    config = HyGCNConfig()
+    print_table([{
+        "simd_cores": config.num_simd_cores,
+        "simd_width": config.simd_width,
+        "systolic_modules": config.num_systolic_modules,
+        "module_shape": f"{config.systolic_rows}x{config.systolic_cols}",
+        "aggregation_buffer_mb": config.aggregation_buffer_bytes >> 20,
+        "hbm_bandwidth_gbps": config.hbm.peak_bandwidth_gbps,
+    }], title="Table 6: default HyGCN configuration")
+    print_table(AreaPowerModel().breakdown_table(), title="Table 7: area/power breakdown")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _run_simulate(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
+    return _run_info()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Comparison tables, ablation sweeps and report formatting."""
+
+from .ablation import ABLATION_STEPS, stacked_optimization_ablation
+from .comparison import ComparisonResult, PlatformComparison, geometric_mean
+from .dse import (
+    DesignPoint,
+    WorkloadMix,
+    evaluate_design_point,
+    explore,
+    pareto_front,
+)
+from .report import format_table, print_table
+from .sweeps import (
+    aggregation_buffer_sweep,
+    memory_coordination_sweep,
+    pipeline_mode_sweep,
+    sampling_factor_sweep,
+    sparsity_elimination_sweep,
+    systolic_module_sweep,
+)
+
+__all__ = [
+    "ABLATION_STEPS",
+    "stacked_optimization_ablation",
+    "DesignPoint",
+    "WorkloadMix",
+    "evaluate_design_point",
+    "explore",
+    "pareto_front",
+    "ComparisonResult",
+    "PlatformComparison",
+    "geometric_mean",
+    "format_table",
+    "print_table",
+    "aggregation_buffer_sweep",
+    "memory_coordination_sweep",
+    "pipeline_mode_sweep",
+    "sampling_factor_sweep",
+    "sparsity_elimination_sweep",
+    "systolic_module_sweep",
+]

@@ -1,0 +1,73 @@
+"""Stacked-optimisation ablation.
+
+DESIGN.md calls out three design choices beyond the raw engines: the
+data-aware sparsity elimination, the inter-engine pipeline and the
+priority-based memory-access coordination.  The paper ablates each in
+isolation (Figs. 15-17); this module additionally stacks them, starting from
+a baseline with every optimisation disabled and enabling one feature at a
+time, so the *cumulative* contribution of each choice is visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import HyGCNConfig, PipelineMode
+from ..core.simulator import HyGCNSimulator
+from ..graphs.datasets import load_dataset
+from ..models.model_zoo import build_model
+
+__all__ = ["ABLATION_STEPS", "stacked_optimization_ablation"]
+
+#: The cumulative steps, in the order the paper introduces the techniques.
+ABLATION_STEPS = (
+    "baseline",
+    "+sparsity elimination",
+    "+inter-engine pipeline",
+    "+memory coordination",
+)
+
+
+def _config_for_step(step_index: int, base: HyGCNConfig) -> HyGCNConfig:
+    """Configuration with the first ``step_index`` optimisations enabled."""
+    return base.with_overrides(
+        enable_sparsity_elimination=step_index >= 1,
+        pipeline_mode=PipelineMode.LATENCY if step_index >= 2 else PipelineMode.NONE,
+        enable_memory_coordination=step_index >= 3,
+    )
+
+
+def stacked_optimization_ablation(
+    dataset: str = "CR",
+    model_name: str = "GCN",
+    config: Optional[HyGCNConfig] = None,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Run the cumulative ablation and return one row per step.
+
+    Each row reports execution time, DRAM traffic and energy normalised to the
+    all-optimisations-off baseline, so the incremental benefit of each design
+    choice reads directly off the table.
+    """
+    base = config or HyGCNConfig()
+    graph = load_dataset(dataset, seed=seed)
+    model = build_model(model_name, input_length=graph.feature_length)
+    rows: List[Dict[str, float]] = []
+    baseline = None
+    for index, step in enumerate(ABLATION_STEPS):
+        cfg = _config_for_step(index, base)
+        report = HyGCNSimulator(cfg).run_model(model, graph, dataset)
+        if baseline is None:
+            baseline = report
+        rows.append({
+            "step": step,
+            "dataset": dataset,
+            "cycles": report.total_cycles,
+            "time_pct_of_baseline": 100.0 * report.total_cycles / baseline.total_cycles,
+            "dram_pct_of_baseline": 100.0 * report.total_dram_bytes
+            / max(1, baseline.total_dram_bytes),
+            "energy_pct_of_baseline": 100.0 * report.total_energy_j
+            / max(1e-12, baseline.total_energy_j),
+            "speedup_vs_baseline": baseline.total_cycles / max(1, report.total_cycles),
+        })
+    return rows

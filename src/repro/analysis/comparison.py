@@ -1,0 +1,175 @@
+"""Cross-platform comparison harness.
+
+Runs the same (model, dataset) pair on PyG-CPU, PyG-GPU and HyGCN and derives
+the comparison metrics the paper's overall-results figures report: speedup
+(Fig. 10c), normalised energy (Fig. 11), HyGCN's energy breakdown (Fig. 12),
+DRAM bandwidth utilisation (Fig. 13) and normalised DRAM access (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..baselines.base import BaselineReport
+from ..baselines.cpu import CPUConfig, PyGCPUModel
+from ..baselines.gpu import GPUConfig, PyGGPUModel
+from ..core.config import HyGCNConfig
+from ..core.simulator import HyGCNSimulator
+from ..core.stats import SimulationReport
+from ..graphs.datasets import DATASETS, load_dataset
+from ..models.model_zoo import build_model
+
+__all__ = ["ComparisonResult", "PlatformComparison", "geometric_mean"]
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (0 if the sequence is empty)."""
+    filtered = [v for v in values if v > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for v in filtered:
+        product *= v
+    return product ** (1.0 / len(filtered))
+
+
+@dataclass
+class ComparisonResult:
+    """All three platforms' results for one (model, dataset) pair."""
+
+    model_name: str
+    dataset_name: str
+    cpu: BaselineReport
+    cpu_optimized: BaselineReport
+    gpu: BaselineReport
+    hygcn: SimulationReport
+
+    # ------------------------------------------------------------------ #
+    @property
+    def speedup_vs_cpu(self) -> float:
+        """HyGCN speedup over the (algorithm-optimised) PyG-CPU baseline."""
+        return self.hygcn.speedup_over(self.cpu_optimized.total_time_s)
+
+    @property
+    def speedup_vs_gpu(self) -> Optional[float]:
+        if self.gpu.out_of_memory:
+            return None
+        return self.hygcn.speedup_over(self.gpu.total_time_s)
+
+    @property
+    def gpu_speedup_vs_cpu(self) -> Optional[float]:
+        if self.gpu.out_of_memory:
+            return None
+        return self.cpu_optimized.total_time_s / self.gpu.total_time_s
+
+    @property
+    def energy_vs_cpu(self) -> float:
+        """HyGCN energy normalised to PyG-CPU (the Fig. 11 metric)."""
+        return self.hygcn.energy_ratio_to(self.cpu_optimized.energy_j)
+
+    @property
+    def energy_vs_gpu(self) -> Optional[float]:
+        if self.gpu.out_of_memory:
+            return None
+        return self.hygcn.energy_ratio_to(self.gpu.energy_j)
+
+    @property
+    def dram_vs_cpu(self) -> float:
+        """HyGCN DRAM traffic normalised to PyG-CPU (the Fig. 14 metric)."""
+        if self.cpu_optimized.dram_bytes == 0:
+            return float("inf")
+        return self.hygcn.total_dram_bytes / self.cpu_optimized.dram_bytes
+
+    @property
+    def dram_vs_gpu(self) -> Optional[float]:
+        if self.gpu.out_of_memory or self.gpu.dram_bytes == 0:
+            return None
+        return self.hygcn.total_dram_bytes / self.gpu.dram_bytes
+
+    def bandwidth_utilizations(self) -> Dict[str, float]:
+        """Per-platform DRAM bandwidth utilisation (the Fig. 13 metric)."""
+        return {
+            "PyG-CPU": self.cpu_optimized.bandwidth_utilization,
+            "PyG-GPU": None if self.gpu.out_of_memory else self.gpu.bandwidth_utilization,
+            "HyGCN": self.hygcn.bandwidth_utilization,
+        }
+
+    def energy_breakdown(self) -> Dict[str, float]:
+        """HyGCN energy share per engine (the Fig. 12 metric)."""
+        return self.hygcn.energy.engine_shares()
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "model": self.model_name,
+            "dataset": self.dataset_name,
+            "speedup_vs_cpu": round(self.speedup_vs_cpu, 1),
+            "speedup_vs_gpu": None if self.speedup_vs_gpu is None
+            else round(self.speedup_vs_gpu, 2),
+            "energy_vs_cpu_pct": round(100.0 * self.energy_vs_cpu, 4),
+            "energy_vs_gpu_pct": None if self.energy_vs_gpu is None
+            else round(100.0 * self.energy_vs_gpu, 2),
+            "dram_vs_cpu_pct": round(100.0 * self.dram_vs_cpu, 1),
+            "dram_vs_gpu_pct": None if self.dram_vs_gpu is None
+            else round(100.0 * self.dram_vs_gpu, 1),
+            "gpu_oom": self.gpu.out_of_memory,
+        }
+
+
+class PlatformComparison:
+    """Runs model x dataset grids across the three platforms."""
+
+    def __init__(
+        self,
+        hygcn_config: Optional[HyGCNConfig] = None,
+        cpu_config: Optional[CPUConfig] = None,
+        gpu_config: Optional[GPUConfig] = None,
+        seed: int = 0,
+    ):
+        self.simulator = HyGCNSimulator(hygcn_config)
+        self.cpu = PyGCPUModel(cpu_config)
+        self.cpu_optimized = PyGCPUModel(cpu_config, algorithm_optimized=True)
+        self.gpu = PyGGPUModel(gpu_config)
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    def compare(self, model_name: str, dataset: str) -> ComparisonResult:
+        """Run one (model, dataset) pair on all platforms."""
+        graph = load_dataset(dataset, seed=self.seed)
+        spec = DATASETS.get(dataset)
+        model = build_model(model_name, input_length=graph.feature_length)
+        return ComparisonResult(
+            model_name=model_name,
+            dataset_name=dataset,
+            cpu=self.cpu.run(model, graph, dataset_name=dataset),
+            cpu_optimized=self.cpu_optimized.run(model, graph, dataset_name=dataset),
+            gpu=self.gpu.run(model, graph, dataset_name=dataset, full_scale_spec=spec),
+            hygcn=self.simulator.run_model(model, graph, dataset_name=dataset),
+        )
+
+    def compare_grid(
+        self,
+        model_names: Sequence[str],
+        dataset_names: Sequence[str],
+    ) -> List[ComparisonResult]:
+        """Run a full model x dataset grid (the paper's evaluation grid)."""
+        results = []
+        for model_name in model_names:
+            for dataset in dataset_names:
+                results.append(self.compare(model_name, dataset))
+        return results
+
+    @staticmethod
+    def summarize(results: Sequence[ComparisonResult]) -> Dict[str, float]:
+        """Headline averages analogous to the abstract's numbers."""
+        cpu_speedups = [r.speedup_vs_cpu for r in results]
+        gpu_speedups = [r.speedup_vs_gpu for r in results if r.speedup_vs_gpu]
+        cpu_energy = [1.0 / r.energy_vs_cpu for r in results if r.energy_vs_cpu > 0]
+        gpu_energy = [1.0 / r.energy_vs_gpu for r in results if r.energy_vs_gpu]
+        return {
+            "geomean_speedup_vs_cpu": geometric_mean(cpu_speedups),
+            "geomean_speedup_vs_gpu": geometric_mean(gpu_speedups),
+            "geomean_energy_reduction_vs_cpu": geometric_mean(cpu_energy),
+            "geomean_energy_reduction_vs_gpu": geometric_mean(gpu_energy),
+            "num_gpu_oom": sum(1 for r in results if r.gpu.out_of_memory),
+        }

@@ -1,0 +1,145 @@
+"""Design-space exploration utilities.
+
+The paper fixes one design point (Table 6) and explores a few axes in
+Section 5.4.  Adopters typically need the reverse workflow: given a workload
+mix and a silicon budget, find the accelerator configuration that balances
+performance against power and area.  This module provides that workflow as a
+library API (the ``examples/design_space_exploration.py`` script is a thin
+wrapper around it):
+
+* :class:`DesignPoint` -- one structural configuration plus its derived cost,
+* :func:`evaluate_design_point` -- simulate a workload mix and attach the
+  area/power estimate,
+* :func:`explore` -- sweep a list of candidate configurations,
+* :func:`pareto_front` -- filter the sweep down to the non-dominated points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import HyGCNConfig
+from ..core.simulator import HyGCNSimulator
+from ..graphs.datasets import load_dataset
+from ..graphs.graph import Graph
+from ..hw.area import AreaPowerConfig, AreaPowerModel
+from ..models.model_zoo import build_model
+
+__all__ = ["WorkloadMix", "DesignPoint", "evaluate_design_point", "explore", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A named list of (model, dataset) pairs used to score design points."""
+
+    name: str = "default"
+    entries: Tuple[Tuple[str, str], ...] = (("GCN", "CR"), ("GIN", "CL"))
+    seed: int = 0
+
+    def graphs(self) -> List[Tuple[str, Graph]]:
+        """Materialise the datasets of the mix (cached by ``load_dataset``)."""
+        return [(model, load_dataset(dataset, seed=self.seed))
+                for model, dataset in self.entries]
+
+
+@dataclass
+class DesignPoint:
+    """One accelerator configuration and its measured cost on a workload mix."""
+
+    config: HyGCNConfig
+    total_cycles: int = 0
+    total_energy_j: float = 0.0
+    power_w: float = 0.0
+    area_mm2: float = 0.0
+    per_workload_cycles: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def time_ms(self) -> float:
+        return self.total_cycles / (self.config.clock_ghz * 1e6)
+
+    @property
+    def perf_per_watt(self) -> float:
+        """1 / (ms * W): larger is better."""
+        denominator = self.time_ms * self.power_w
+        return 1.0 / denominator if denominator else 0.0
+
+    @property
+    def perf_per_mm2(self) -> float:
+        """1 / (ms * mm^2): larger is better."""
+        denominator = self.time_ms * self.area_mm2
+        return 1.0 / denominator if denominator else 0.0
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance on (time, power, area): no worse on all, better on one."""
+        no_worse = (self.time_ms <= other.time_ms
+                    and self.power_w <= other.power_w
+                    and self.area_mm2 <= other.area_mm2)
+        strictly_better = (self.time_ms < other.time_ms
+                           or self.power_w < other.power_w
+                           or self.area_mm2 < other.area_mm2)
+        return no_worse and strictly_better
+
+    def as_row(self) -> Dict[str, object]:
+        cfg = self.config
+        return {
+            "simd_cores": cfg.num_simd_cores,
+            "systolic_modules": cfg.num_systolic_modules,
+            "agg_buffer_mb": cfg.aggregation_buffer_bytes >> 20,
+            "time_ms": round(self.time_ms, 3),
+            "energy_mj": round(self.total_energy_j * 1e3, 3),
+            "power_w": round(self.power_w, 2),
+            "area_mm2": round(self.area_mm2, 2),
+            "perf_per_watt": round(self.perf_per_watt, 4),
+            "perf_per_mm2": round(self.perf_per_mm2, 4),
+        }
+
+
+def _area_power_config(config: HyGCNConfig) -> AreaPowerConfig:
+    """Project the simulator configuration onto the area/power model's knobs."""
+    return AreaPowerConfig(
+        num_simd_cores=config.num_simd_cores,
+        simd_width=config.simd_width,
+        num_systolic_modules=config.num_systolic_modules,
+        systolic_rows=config.systolic_rows,
+        systolic_cols=config.systolic_cols,
+        input_buffer_bytes=config.input_buffer_bytes,
+        edge_buffer_bytes=config.edge_buffer_bytes,
+        weight_buffer_bytes=config.weight_buffer_bytes,
+        output_buffer_bytes=config.output_buffer_bytes,
+        aggregation_buffer_bytes=config.aggregation_buffer_bytes,
+    )
+
+
+def evaluate_design_point(config: HyGCNConfig,
+                          mix: Optional[WorkloadMix] = None) -> DesignPoint:
+    """Simulate the workload mix on ``config`` and attach the silicon cost."""
+    mix = mix or WorkloadMix()
+    simulator = HyGCNSimulator(config)
+    point = DesignPoint(config=config)
+    for model_name, graph in mix.graphs():
+        model = build_model(model_name, input_length=graph.feature_length)
+        report = simulator.run_model(model, graph, dataset_name=graph.name)
+        point.total_cycles += report.total_cycles
+        point.total_energy_j += report.total_energy_j
+        point.per_workload_cycles[f"{model_name}/{graph.name}"] = report.total_cycles
+    cost = AreaPowerModel(_area_power_config(config))
+    point.power_w = cost.total_power_w()
+    point.area_mm2 = cost.total_area_mm2()
+    return point
+
+
+def explore(configs: Sequence[HyGCNConfig],
+            mix: Optional[WorkloadMix] = None) -> List[DesignPoint]:
+    """Evaluate every candidate configuration on the same workload mix."""
+    mix = mix or WorkloadMix()
+    return [evaluate_design_point(config, mix) for config in configs]
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Return the non-dominated subset of ``points`` (time, power, area)."""
+    front = []
+    for candidate in points:
+        if not any(other.dominates(candidate) for other in points if other is not candidate):
+            front.append(candidate)
+    return front

@@ -1,0 +1,51 @@
+"""Plain-text table formatting for the benchmark harness.
+
+The paper reports its results as figures and tables; the benchmark harness in
+``benchmarks/`` prints the same rows/series as ASCII tables using the helpers
+here, so a run of ``pytest benchmarks/ --benchmark-only -s`` regenerates every
+table and figure of the evaluation in textual form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "print_table"]
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "OoM"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 0.01 or abs(value) >= 1e6):
+            return f"{value:.3e}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = None,
+                 columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of row dictionaries as an aligned ASCII table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_format_value(row.get(col)) for col in columns] for row in rows]
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(width) for col, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = None,
+                columns: Optional[Sequence[str]] = None) -> None:
+    """Print :func:`format_table` output (used by the benchmark harness)."""
+    print()
+    print(format_table(rows, title=title, columns=columns))

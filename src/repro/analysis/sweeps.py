@@ -1,0 +1,223 @@
+"""Ablation and scalability sweeps (Sections 5.3 and 5.4).
+
+Each function regenerates one of the optimisation-analysis or scalability
+experiments: sparsity elimination (Fig. 15), the inter-engine pipeline
+(Fig. 16), memory-access coordination (Fig. 17), and the three Fig. 18 sweeps
+(sampling factor, Aggregation Buffer capacity, systolic module granularity).
+Results are returned as lists of plain dictionaries so the benchmark harness
+can print them as tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.config import HyGCNConfig, PipelineMode
+from ..core.simulator import HyGCNSimulator
+from ..graphs.datasets import load_dataset
+from ..graphs.graph import Graph
+from ..models.model_zoo import build_model
+
+__all__ = [
+    "sparsity_elimination_sweep",
+    "pipeline_mode_sweep",
+    "memory_coordination_sweep",
+    "sampling_factor_sweep",
+    "aggregation_buffer_sweep",
+    "systolic_module_sweep",
+]
+
+MIB = 1024 * 1024
+
+
+def _graph_for(dataset: str, seed: int) -> Graph:
+    return load_dataset(dataset, seed=seed)
+
+
+def sparsity_elimination_sweep(
+    datasets: Sequence[str] = ("CR", "CS", "PB"),
+    model_name: str = "GCN",
+    config: Optional[HyGCNConfig] = None,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Fig. 15: HyGCN with vs. without window sliding/shrinking."""
+    base = config or HyGCNConfig()
+    rows = []
+    for dataset in datasets:
+        graph = _graph_for(dataset, seed)
+        model = build_model(model_name, input_length=graph.feature_length)
+        with_opt = HyGCNSimulator(base.with_overrides(enable_sparsity_elimination=True)) \
+            .run_model(model, graph, dataset)
+        without = HyGCNSimulator(base.with_overrides(enable_sparsity_elimination=False)) \
+            .run_model(model, graph, dataset)
+        rows.append({
+            "dataset": dataset,
+            "speedup": without.execution_time_s / with_opt.execution_time_s,
+            "execution_time_pct": 100.0 * with_opt.execution_time_s / without.execution_time_s,
+            "dram_access_pct": 100.0 * with_opt.total_dram_bytes / without.total_dram_bytes,
+            "sparsity_reduction_pct": 100.0 * with_opt.avg_sparsity_reduction,
+        })
+    return rows
+
+
+def pipeline_mode_sweep(
+    datasets: Sequence[str] = ("CR", "CS", "PB"),
+    model_name: str = "GCN",
+    config: Optional[HyGCNConfig] = None,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Fig. 16: no-pipeline vs. pipeline, and latency- vs. energy-aware modes."""
+    base = config or HyGCNConfig()
+    rows = []
+    for dataset in datasets:
+        graph = _graph_for(dataset, seed)
+        model = build_model(model_name, input_length=graph.feature_length)
+        no_pipe = HyGCNSimulator(base.with_overrides(pipeline_mode=PipelineMode.NONE)) \
+            .run_model(model, graph, dataset)
+        latency = HyGCNSimulator(base.with_overrides(pipeline_mode=PipelineMode.LATENCY)) \
+            .run_model(model, graph, dataset)
+        energy = HyGCNSimulator(base.with_overrides(pipeline_mode=PipelineMode.ENERGY)) \
+            .run_model(model, graph, dataset)
+        rows.append({
+            "dataset": dataset,
+            "execution_time_pct_vs_no_pipeline":
+                100.0 * latency.execution_time_s / no_pipe.execution_time_s,
+            "dram_access_pct_vs_no_pipeline":
+                100.0 * latency.total_dram_bytes / no_pipe.total_dram_bytes,
+            "lpipe_vertex_latency_pct_vs_epipe":
+                100.0 * latency.avg_vertex_latency_cycles
+                / max(1e-9, energy.avg_vertex_latency_cycles),
+            "epipe_combination_energy_pct_vs_lpipe":
+                100.0 * energy.energy.combination_engine_pj
+                / max(1e-9, latency.energy.combination_engine_pj),
+        })
+    return rows
+
+
+def memory_coordination_sweep(
+    datasets: Sequence[str] = ("CR", "CS", "PB"),
+    model_name: str = "GCN",
+    config: Optional[HyGCNConfig] = None,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Fig. 17: off-chip access coordination on vs. off."""
+    base = config or HyGCNConfig()
+    rows = []
+    for dataset in datasets:
+        graph = _graph_for(dataset, seed)
+        model = build_model(model_name, input_length=graph.feature_length)
+        coordinated = HyGCNSimulator(base.with_overrides(enable_memory_coordination=True)) \
+            .run_model(model, graph, dataset)
+        uncoordinated = HyGCNSimulator(base.with_overrides(enable_memory_coordination=False)) \
+            .run_model(model, graph, dataset)
+        rows.append({
+            "dataset": dataset,
+            "execution_time_pct_with_coordination":
+                100.0 * coordinated.execution_time_s / uncoordinated.execution_time_s,
+            "time_saving_pct":
+                100.0 * (1.0 - coordinated.execution_time_s / uncoordinated.execution_time_s),
+            "bandwidth_utilization_improvement":
+                coordinated.bandwidth_utilization
+                / max(1e-9, uncoordinated.bandwidth_utilization),
+        })
+    return rows
+
+
+def sampling_factor_sweep(
+    datasets: Sequence[str] = ("CR", "CS", "PB"),
+    factors: Sequence[int] = (1, 2, 4, 8, 16),
+    config: Optional[HyGCNConfig] = None,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Fig. 18a-c: GraphSage sampling factor vs. time / DRAM / sparsity reduction."""
+    base = config or HyGCNConfig()
+    rows = []
+    for dataset in datasets:
+        graph = _graph_for(dataset, seed)
+        baseline = None
+        for factor in factors:
+            model = build_model("GSC", input_length=graph.feature_length,
+                                sampling_factor=factor)
+            report = HyGCNSimulator(base).run_model(model, graph, dataset)
+            if baseline is None:
+                baseline = report
+            rows.append({
+                "dataset": dataset,
+                "sampling_factor": factor,
+                "execution_time_pct": 100.0 * report.execution_time_s
+                / baseline.execution_time_s,
+                "dram_access_pct": 100.0 * report.total_dram_bytes
+                / max(1, baseline.total_dram_bytes),
+                "sparsity_reduction_pct": 100.0 * report.avg_sparsity_reduction,
+            })
+    return rows
+
+
+def aggregation_buffer_sweep(
+    datasets: Sequence[str] = ("CR", "CS", "PB"),
+    capacities_mb: Sequence[int] = (2, 4, 8, 16, 32),
+    model_name: str = "GSC",
+    config: Optional[HyGCNConfig] = None,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Fig. 18d-f: Aggregation Buffer capacity vs. time / DRAM / sparsity reduction."""
+    base = config or HyGCNConfig()
+    rows = []
+    for dataset in datasets:
+        graph = _graph_for(dataset, seed)
+        model = build_model(model_name, input_length=graph.feature_length)
+        baseline = None
+        for capacity in capacities_mb:
+            cfg = base.with_overrides(aggregation_buffer_bytes=capacity * MIB)
+            report = HyGCNSimulator(cfg).run_model(model, graph, dataset)
+            if baseline is None:
+                baseline = report
+            rows.append({
+                "dataset": dataset,
+                "capacity_mb": capacity,
+                "execution_time_pct": 100.0 * report.execution_time_s
+                / baseline.execution_time_s,
+                "dram_access_pct": 100.0 * report.total_dram_bytes
+                / max(1, baseline.total_dram_bytes),
+                "sparsity_reduction_pct": 100.0 * report.avg_sparsity_reduction,
+            })
+    return rows
+
+
+def systolic_module_sweep(
+    datasets: Sequence[str] = ("CR", "CS", "PB"),
+    module_counts: Sequence[int] = (32, 16, 8, 4, 2, 1),
+    model_name: str = "GSC",
+    config: Optional[HyGCNConfig] = None,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Fig. 18g: module granularity (fixed total arrays) vs. vertex latency / energy.
+
+    Following the paper, a basic module is 1x128 systolic arrays and the total
+    array count is fixed at 32: fewer modules means each module is taller and
+    a larger vertex group must be assembled before combining.
+    """
+    base = config or HyGCNConfig()
+    total_rows = 32
+    rows = []
+    for dataset in datasets:
+        graph = _graph_for(dataset, seed)
+        model = build_model(model_name, input_length=graph.feature_length)
+        baseline = None
+        for modules in module_counts:
+            cfg = base.with_overrides(
+                num_systolic_modules=modules,
+                systolic_rows=total_rows // modules,
+            )
+            report = HyGCNSimulator(cfg).run_model(model, graph, dataset)
+            if baseline is None:
+                baseline = report
+            rows.append({
+                "dataset": dataset,
+                "num_modules": modules,
+                "vertex_latency_pct": 100.0 * report.avg_vertex_latency_cycles
+                / max(1e-9, baseline.avg_vertex_latency_cycles),
+                "combination_energy_pct": 100.0 * report.energy.combination_engine_pj
+                / max(1e-9, baseline.energy.combination_engine_pj),
+            })
+    return rows

@@ -1,0 +1,37 @@
+"""General-purpose-processor baselines and the CPU characterisation harness."""
+
+from .base import BaselineReport
+from .cache import (
+    CacheConfig,
+    CacheHierarchy,
+    CacheLevel,
+    CacheStats,
+    aggregation_trace,
+    combination_trace,
+)
+from .cpu import CPUConfig, PyGCPUModel
+from .gpu import GPUConfig, PyGGPUModel
+from .characterization import (
+    PhaseCharacterization,
+    characterize_phases,
+    execution_pattern_table,
+    execution_time_breakdown,
+)
+
+__all__ = [
+    "BaselineReport",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheLevel",
+    "CacheStats",
+    "aggregation_trace",
+    "combination_trace",
+    "CPUConfig",
+    "PyGCPUModel",
+    "GPUConfig",
+    "PyGGPUModel",
+    "PhaseCharacterization",
+    "characterize_phases",
+    "execution_pattern_table",
+    "execution_time_breakdown",
+]

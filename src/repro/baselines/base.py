@@ -1,0 +1,74 @@
+"""Shared result container for the general-purpose-processor baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["BaselineReport"]
+
+
+@dataclass
+class BaselineReport:
+    """Execution estimate of one model on one dataset for a baseline platform.
+
+    The per-phase split (``aggregation_time_s`` / ``combination_time_s``) is
+    what Fig. 2 plots; the totals feed the speedup (Fig. 10), energy (Fig. 11),
+    bandwidth-utilisation (Fig. 13) and DRAM-access (Fig. 14) comparisons.
+    """
+
+    platform: str
+    model_name: str
+    dataset_name: str
+    aggregation_time_s: float = 0.0
+    combination_time_s: float = 0.0
+    other_time_s: float = 0.0
+    aggregation_dram_bytes: int = 0
+    combination_dram_bytes: int = 0
+    energy_j: float = 0.0
+    peak_bandwidth_gbps: float = 0.0
+    out_of_memory: bool = False
+    notes: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_time_s(self) -> float:
+        return self.aggregation_time_s + self.combination_time_s + self.other_time_s
+
+    @property
+    def dram_bytes(self) -> int:
+        return self.aggregation_dram_bytes + self.combination_dram_bytes
+
+    @property
+    def aggregation_fraction(self) -> float:
+        """Fraction of execution time spent in the Aggregation phase (Fig. 2)."""
+        total = self.total_time_s
+        return self.aggregation_time_s / total if total else 0.0
+
+    @property
+    def combination_fraction(self) -> float:
+        total = self.total_time_s
+        return self.combination_time_s / total if total else 0.0
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Achieved fraction of peak DRAM bandwidth over the whole execution."""
+        if self.total_time_s == 0 or self.peak_bandwidth_gbps == 0:
+            return 0.0
+        achieved = self.dram_bytes / self.total_time_s / 1e9
+        return min(1.0, achieved / self.peak_bandwidth_gbps)
+
+    def summary(self) -> Dict[str, float]:
+        """Compact dictionary for the benchmark tables."""
+        return {
+            "platform": self.platform,
+            "model": self.model_name,
+            "dataset": self.dataset_name,
+            "time_s": self.total_time_s,
+            "aggregation_pct": 100.0 * self.aggregation_fraction,
+            "combination_pct": 100.0 * self.combination_fraction,
+            "energy_j": self.energy_j,
+            "dram_mb": self.dram_bytes / (1 << 20),
+            "bandwidth_utilization": self.bandwidth_utilization,
+            "out_of_memory": self.out_of_memory,
+        }

@@ -1,0 +1,163 @@
+"""Analytical model of PyTorch Geometric on an NVIDIA V100 GPU.
+
+Table 6: 1.25 GHz x 5120 CUDA cores, ~900 GB/s HBM2, 34 MB of on-chip storage
+(register file + L1 + L2).  The model mirrors the CPU one with GPU-appropriate
+constants:
+
+* **Aggregation** (pytorch_scatter): massively parallel but still irregular --
+  the gathers achieve only a fraction of the HBM2 bandwidth and pay atomic /
+  segment-reduction overhead.
+* **Combination** (cuBLAS): high-efficiency GEMM, plus per-layer kernel launch
+  and inter-phase data movement / synchronisation overheads.
+* **Out of memory**: PyG materialises edge-wise feature tensors during
+  scatter-based aggregation; when ``num_edges x feature_length x 4 B`` exceeds
+  device memory the run aborts -- exactly the OoM entries of Fig. 10/11/13/14
+  (GCN and GIN on full-scale Reddit).
+* The Fig. 10b experiment (interval-shard optimisation ported to the GPU) is
+  modelled as a *slowdown*: each shard launches kernels over too few vertices
+  to fill the machine, so occupancy and launch overheads dominate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..graphs.datasets import DatasetSpec
+from ..graphs.graph import Graph
+from ..models.base import GCNModel
+from ..models.diffpool import DiffPoolModel
+from ..models.model_zoo import workloads_for
+from .base import BaselineReport
+
+__all__ = ["GPUConfig", "PyGGPUModel"]
+
+AnyModel = Union[GCNModel, DiffPoolModel]
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """NVIDIA V100 (Table 6)."""
+
+    name: str = "PyG-GPU"
+    num_cores: int = 5120
+    clock_ghz: float = 1.25
+    device_memory_bytes: int = 16 * 1024 ** 3
+    peak_bandwidth_gbps: float = 900.0
+    peak_fp32_tflops: float = 14.0
+    #: sustained fraction of peak FLOPs for PyG's skinny per-layer GEMMs
+    gemm_efficiency: float = 0.15
+    #: effective fraction of HBM2 bandwidth achieved by scatter/gather kernels
+    gather_bandwidth_fraction: float = 0.12
+    #: per-kernel launch latency (seconds)
+    kernel_launch_s: float = 20e-6
+    #: fixed per-layer host/device synchronisation and data-copy overhead
+    layer_overhead_s: float = 100e-6
+    #: extra read traffic factor for edge-wise materialisation in scatter
+    scatter_traffic_factor: float = 2.0
+    #: occupancy penalty when the shard-wise algorithm optimisation is applied
+    shard_occupancy_penalty: float = 2.5
+    active_power_w: float = 300.0
+    dram_energy_pj_per_byte: float = 7.0 * 8  # HBM2, ~7 pJ/bit
+
+    @property
+    def sustained_gemm_flops(self) -> float:
+        return self.peak_fp32_tflops * 1e12 * self.gemm_efficiency
+
+
+class PyGGPUModel:
+    """Estimates PyG execution time, energy and DRAM traffic on the V100."""
+
+    def __init__(self, config: Optional[GPUConfig] = None, algorithm_optimized: bool = False):
+        self.config = config or GPUConfig()
+        self.algorithm_optimized = algorithm_optimized
+
+    # ------------------------------------------------------------------ #
+    def scatter_footprint_bytes(self, num_edges: int, feature_length: int) -> int:
+        """Edge-wise intermediate tensor PyG materialises during aggregation."""
+        return num_edges * feature_length * 4
+
+    def would_oom(self, num_edges: int, feature_length: int) -> bool:
+        """Whether scatter aggregation exceeds device memory."""
+        return self.scatter_footprint_bytes(num_edges, feature_length) \
+            > self.config.device_memory_bytes
+
+    # ------------------------------------------------------------------ #
+    def _aggregation(self, graph: Graph, feature_length: int, agg_ops: int):
+        cfg = self.config
+        bytes_per_row = feature_length * 4
+        gathered = max(agg_ops * 4, graph.num_vertices * bytes_per_row)
+        traffic = int(gathered * cfg.scatter_traffic_factor)
+        bandwidth_time = traffic / (cfg.peak_bandwidth_gbps * 1e9
+                                    * cfg.gather_bandwidth_fraction)
+        time = bandwidth_time + cfg.kernel_launch_s
+        if self.algorithm_optimized:
+            # shard-by-shard execution starves the GPU: occupancy drops and a
+            # kernel launch is paid per shard.
+            num_shards = max(1, (graph.num_vertices * bytes_per_row) // (2 << 20))
+            time = time * cfg.shard_occupancy_penalty + num_shards * cfg.kernel_launch_s
+        return time, traffic
+
+    def _combination(self, num_vertices: int, macs: int, mlp_bytes: int):
+        cfg = self.config
+        flop_time = 2.0 * macs / cfg.sustained_gemm_flops
+        traffic = num_vertices * 4 * 2 + mlp_bytes
+        bandwidth_time = traffic / (cfg.peak_bandwidth_gbps * 1e9 * 0.7)
+        time = max(flop_time, bandwidth_time) + cfg.layer_overhead_s
+        return time, traffic
+
+    # ------------------------------------------------------------------ #
+    def run(self, model: AnyModel, graph: Graph,
+            dataset_name: Optional[str] = None,
+            full_scale_spec: Optional[DatasetSpec] = None) -> BaselineReport:
+        """Estimate one full-model inference on ``graph``.
+
+        ``full_scale_spec`` (when the graph is a scaled-down synthetic stand-in)
+        lets the out-of-memory check use the published full-scale edge count,
+        reproducing the OoM entries of the paper's figures.
+        """
+        cfg = self.config
+        report = BaselineReport(
+            platform=cfg.name + ("-OP" if self.algorithm_optimized else ""),
+            model_name=getattr(model, "name", model.__class__.__name__),
+            dataset_name=dataset_name or graph.name,
+            peak_bandwidth_gbps=cfg.peak_bandwidth_gbps,
+        )
+        workloads = workloads_for(model, graph)
+        # Out-of-memory check against the full-scale dataset when provided.
+        for workload in workloads:
+            feature_length = workload.aggregation_feature_length
+            sampling = workload.aggregation.sampling
+            if full_scale_spec is not None:
+                edges = full_scale_spec.num_edges
+                if sampling is not None and sampling.enabled and sampling.max_neighbors:
+                    edges = min(edges, full_scale_spec.num_vertices * sampling.max_neighbors)
+            else:
+                edges = workload.graph.num_edges
+            if self.would_oom(edges, feature_length):
+                report.out_of_memory = True
+                report.notes["oom_footprint_gb"] = \
+                    self.scatter_footprint_bytes(edges, feature_length) / (1 << 30)
+                return report
+
+        for workload in workloads:
+            agg_len = workload.aggregation_feature_length
+            agg_time, agg_traffic = self._aggregation(
+                workload.graph, agg_len, workload.aggregation_ops())
+            mlp = workload.combination.mlp
+            comb_time, comb_traffic = self._combination(
+                graph.num_vertices, workload.combination_macs(),
+                mlp.parameter_bytes() + graph.num_vertices * (mlp.input_size + mlp.output_size) * 4)
+            report.aggregation_time_s += agg_time
+            report.combination_time_s += comb_time
+            report.aggregation_dram_bytes += agg_traffic
+            report.combination_dram_bytes += comb_traffic
+        if isinstance(model, DiffPoolModel):
+            extra_macs = sum(m.macs for m in model.extra_matmuls(graph))
+            extra_bytes = graph.num_vertices * graph.num_vertices * 4
+            time, traffic = self._combination(graph.num_vertices, extra_macs, extra_bytes)
+            report.combination_time_s += time
+            report.combination_dram_bytes += traffic
+        report.energy_j = cfg.active_power_w * report.total_time_s \
+            + report.dram_bytes * cfg.dram_energy_pj_per_byte * 1e-12
+        return report

@@ -1,0 +1,207 @@
+"""Aggregation Engine model (Section 4.3).
+
+The engine processes one destination-vertex interval at a time.  For each
+interval it:
+
+1. samples the incoming edges (the Sampler),
+2. determines which source-feature rows must be loaded -- every row-block of
+   the static partition without optimisation, or only the effectual windows
+   produced by the Sparsity Eliminator (window sliding + shrinking),
+3. streams edges through the SIMD cores in vertex-disperse mode: the
+   element-wise reductions of all vertices are spread over all
+   ``num_simd_cores x simd_width`` lanes so no lane idles,
+4. accumulates partial results in the Aggregation Buffer.
+
+The output is a list of :class:`IntervalAggregation` transactions carrying the
+compute-cycle cost, the DRAM requests and the buffer traffic of each interval;
+the Coordinator composes them with the Combination Engine's transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.partition import IntervalShardPartition, partition_graph
+from ..graphs.sampling import NeighborSampler
+from ..hw.buffer import DoubleBuffer
+from ..hw.dram import MemoryRequest
+from ..models.layers import LayerWorkload
+from .config import HyGCNConfig
+from .sparsity import SparsityEliminator, SparsityReport
+
+__all__ = ["IntervalAggregation", "AggregationEngine"]
+
+
+@dataclass
+class IntervalAggregation:
+    """The Aggregation Engine's work for one destination interval."""
+
+    interval_index: int
+    num_vertices: int
+    num_edges: int
+    loaded_rows: int
+    baseline_rows: int
+    compute_cycles: int
+    simd_ops: int
+    input_feature_bytes: int
+    edge_bytes: int
+    aggregation_buffer_bytes: int
+    dram_requests: List[MemoryRequest] = field(default_factory=list)
+    sparsity: Optional[SparsityReport] = None
+
+    @property
+    def dram_bytes(self) -> int:
+        return sum(r.num_bytes for r in self.dram_requests)
+
+
+class AggregationEngine:
+    """Transaction-level model of the Aggregation Engine."""
+
+    def __init__(self, config: HyGCNConfig):
+        self.config = config
+        self.edge_buffer = DoubleBuffer("edge_buffer", config.edge_buffer_bytes)
+        self.input_buffer = DoubleBuffer("input_buffer", config.input_buffer_bytes)
+
+    # ------------------------------------------------------------------ #
+    def prepare_graph(self, workload: LayerWorkload) -> Graph:
+        """Apply the Sampler: materialise the sampled edge structure."""
+        sampling = workload.aggregation.sampling
+        if sampling is not None and sampling.enabled:
+            return NeighborSampler(sampling).sample_graph(workload.graph)
+        return workload.graph
+
+    def partition(self, graph: Graph, feature_length: int) -> IntervalShardPartition:
+        """Interval-shard partition sized by the on-chip buffer capacities."""
+        interval_size = min(self.config.interval_size(feature_length), graph.num_vertices)
+        shard_height = min(self.config.shard_height(feature_length), graph.num_vertices)
+        return partition_graph(graph, interval_size, shard_height)
+
+    # ------------------------------------------------------------------ #
+    def process_layer(
+        self,
+        workload: LayerWorkload,
+        graph: Optional[Graph] = None,
+        partition: Optional[IntervalShardPartition] = None,
+        feature_length: Optional[int] = None,
+    ) -> List[IntervalAggregation]:
+        """Produce one :class:`IntervalAggregation` per destination interval.
+
+        HyGCN follows the edge-centric programming model (Algorithm 1):
+        aggregation runs before combination and therefore operates at the
+        layer's *input* feature length, regardless of the algebraic reordering
+        PyG applies on CPU/GPU.  ``feature_length`` can override this for
+        what-if studies.
+        """
+        cfg = self.config
+        feature_length = feature_length or workload.in_feature_length
+        graph = graph if graph is not None else self.prepare_graph(workload)
+        partition = partition if partition is not None else self.partition(graph, feature_length)
+        bytes_per_feature_row = feature_length * cfg.bytes_per_value
+        bytes_per_edge = 2 * cfg.bytes_per_value
+        eliminator = SparsityEliminator(partition.shard_height)
+        tasks: List[IntervalAggregation] = []
+
+        for interval in partition.intervals:
+            edges = self._interval_edges(graph, interval.start, interval.stop)
+            num_edges = int(edges.shape[0])
+            baseline_rows = graph.num_vertices
+            if cfg.enable_sparsity_elimination:
+                report = eliminator.eliminate(edges[:, 0] if num_edges else [],
+                                              graph.num_vertices,
+                                              baseline_rows=baseline_rows)
+                loaded_rows = report.loaded_rows
+            else:
+                report = None
+                loaded_rows = baseline_rows if num_edges else 0
+
+            # --- compute: vertex-disperse mode keeps every SIMD lane busy ---
+            simd_ops = (num_edges + interval.size) * feature_length
+            compute_cycles = int(np.ceil(simd_ops / cfg.total_simd_lanes)) if simd_ops else 0
+
+            # --- DRAM traffic -------------------------------------------------
+            input_bytes = loaded_rows * bytes_per_feature_row
+            edge_bytes = num_edges * bytes_per_edge
+            requests = self._build_requests(report, loaded_rows, bytes_per_feature_row,
+                                            edge_bytes)
+
+            # --- on-chip buffer traffic --------------------------------------
+            # the double buffer holds one interval's edges at a time
+            self.edge_buffer.allocate("current_interval", min(
+                edge_bytes, self.edge_buffer.working_capacity))
+            self.edge_buffer.write(edge_bytes)
+            self.edge_buffer.read(edge_bytes)
+            self.input_buffer.write(input_bytes)
+            # each edge reads its source feature vector from the Input Buffer
+            self.input_buffer.read(num_edges * bytes_per_feature_row)
+            # partial results are read-modified-written per edge, and the final
+            # aggregated interval is written once for the Combination Engine
+            agg_buffer_bytes = (2 * num_edges + interval.size) * bytes_per_feature_row
+
+            tasks.append(IntervalAggregation(
+                interval_index=interval.index,
+                num_vertices=interval.size,
+                num_edges=num_edges,
+                loaded_rows=loaded_rows,
+                baseline_rows=baseline_rows,
+                compute_cycles=compute_cycles,
+                simd_ops=simd_ops,
+                input_feature_bytes=input_bytes,
+                edge_bytes=edge_bytes,
+                aggregation_buffer_bytes=agg_buffer_bytes,
+                dram_requests=requests,
+                sparsity=report,
+            ))
+        return tasks
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _interval_edges(graph: Graph, start: int, stop: int) -> np.ndarray:
+        """All (src, dst) edges whose destination lies in ``[start, stop)``."""
+        csc = graph.csc
+        lo, hi = csc.indptr[start], csc.indptr[stop]
+        srcs = csc.indices[lo:hi]
+        if srcs.size == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        lengths = np.diff(csc.indptr[start:stop + 1])
+        dsts = np.repeat(np.arange(start, stop), lengths)
+        return np.stack([srcs, dsts], axis=1)
+
+    def _build_requests(
+        self,
+        report: Optional[SparsityReport],
+        loaded_rows: int,
+        bytes_per_feature_row: int,
+        edge_bytes: int,
+    ) -> List[MemoryRequest]:
+        """DRAM requests for one interval: the edge list plus feature windows."""
+        granularity = self.config.hbm.row_buffer_bytes
+        requests: List[MemoryRequest] = []
+        # Edge array: streamed sequentially from the CSC structure.
+        requests.extend(_chunk_requests("edges", 0, edge_bytes, granularity))
+        # Input features: one contiguous run per effectual window (or one big
+        # run covering all rows when sparsity elimination is off).
+        if report is not None:
+            for window in report.windows:
+                start = window.start * bytes_per_feature_row
+                size = window.num_rows * bytes_per_feature_row
+                requests.extend(_chunk_requests("input_features", start, size, granularity))
+        elif loaded_rows:
+            requests.extend(_chunk_requests(
+                "input_features", 0, loaded_rows * bytes_per_feature_row, granularity))
+        return requests
+
+
+def _chunk_requests(stream: str, base_address: int, total_bytes: int,
+                    granularity: int) -> List[MemoryRequest]:
+    """Split a contiguous transfer into row-buffer-sized DRAM requests."""
+    requests = []
+    offset = 0
+    while offset < total_bytes:
+        chunk = min(granularity, total_bytes - offset)
+        requests.append(MemoryRequest(stream, base_address + offset, chunk))
+        offset += chunk
+    return requests

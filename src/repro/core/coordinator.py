@@ -1,0 +1,156 @@
+"""Coordinator: inter-engine pipeline and the ping-pong Aggregation Buffer.
+
+Section 4.5.1.  The Coordinator owns the Aggregation Buffer that decouples the
+two engines and composes their per-interval transactions according to the
+selected pipeline mode:
+
+* ``none``      -- phase-by-phase execution: every interval's aggregated
+  features spill to DRAM and are read back for combination, and the two
+  engines never overlap (the N-PP baseline of Fig. 16a/b);
+* ``latency``   -- the ping-pong buffer lets interval ``i+1`` aggregate while
+  interval ``i`` combines; the systolic modules work independently so small
+  vertex groups are combined as soon as they are ready;
+* ``energy``    -- same overlap, but the systolic modules cooperate on large
+  assembled groups to maximise weight reuse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..hw.buffer import PingPongBuffer
+from ..models.layers import LayerWorkload
+from .aggregation_engine import IntervalAggregation
+from .combination_engine import IntervalCombination
+from .config import HyGCNConfig, PipelineMode
+from .systolic import SystolicArrayModel
+
+__all__ = ["IntervalTiming", "LayerTiming", "Coordinator"]
+
+
+@dataclass
+class IntervalTiming:
+    """Engine-ready times of one interval after DRAM attribution."""
+
+    interval_index: int
+    aggregation_cycles: int
+    combination_cycles: int
+
+
+@dataclass
+class LayerTiming:
+    """Composed timing of one layer under a pipeline mode."""
+
+    total_cycles: int
+    aggregation_cycles: int
+    combination_cycles: int
+    avg_vertex_latency_cycles: float
+    pipeline_mode: str
+
+
+class Coordinator:
+    """Composes engine transactions into end-to-end layer timing."""
+
+    def __init__(self, config: HyGCNConfig):
+        self.config = config
+        self.aggregation_buffer = PingPongBuffer(
+            "aggregation_buffer", config.aggregation_buffer_bytes)
+        self.systolic = SystolicArrayModel(
+            num_modules=config.num_systolic_modules,
+            rows=config.systolic_rows,
+            cols=config.systolic_cols,
+            bytes_per_value=config.bytes_per_value,
+        )
+
+    # ------------------------------------------------------------------ #
+    def record_buffer_traffic(
+        self,
+        workload: LayerWorkload,
+        aggregation_tasks: Sequence[IntervalAggregation],
+    ) -> None:
+        """Account the Aggregation (ping-pong) Buffer traffic of one layer."""
+        bytes_per_value = self.config.bytes_per_value
+        mlp_in = workload.combination.mlp.input_size
+        for task in aggregation_tasks:
+            # partial-result read-modify-write during aggregation
+            self.aggregation_buffer.write(task.aggregation_buffer_bytes // 2)
+            self.aggregation_buffer.read(task.aggregation_buffer_bytes // 2)
+            # the Combination Engine drains the finished chunk
+            self.aggregation_buffer.read(task.num_vertices * mlp_in * bytes_per_value)
+            # one ping-pong chunk holds the active interval's aggregated features
+            self.aggregation_buffer.allocate(
+                "active_chunk",
+                min(task.num_vertices * mlp_in * bytes_per_value,
+                    self.aggregation_buffer.chunk_capacity))
+            self.aggregation_buffer.swap()
+
+    # ------------------------------------------------------------------ #
+    def compose(
+        self,
+        workload: LayerWorkload,
+        timings: Sequence[IntervalTiming],
+        pipeline_mode: str = None,
+    ) -> LayerTiming:
+        """Compose per-interval engine times into the layer's execution time."""
+        mode = pipeline_mode or self.config.pipeline_mode
+        if mode not in PipelineMode.ALL:
+            raise ValueError(f"unknown pipeline mode {mode!r}")
+        agg = [t.aggregation_cycles for t in timings]
+        comb = [t.combination_cycles for t in timings]
+        total_agg, total_comb = sum(agg), sum(comb)
+        if not timings:
+            return LayerTiming(0, 0, 0, 0.0, mode)
+
+        if mode == PipelineMode.NONE:
+            total = total_agg + total_comb
+        else:
+            # Two-stage pipeline over intervals: while interval i combines,
+            # interval i+1 aggregates out of the other ping-pong chunk.
+            total = agg[0]
+            for i in range(1, len(timings)):
+                total += max(agg[i], comb[i - 1])
+            total += comb[-1]
+
+        vertex_latency = self._vertex_latency(workload, timings, mode)
+        return LayerTiming(
+            total_cycles=int(total),
+            aggregation_cycles=int(total_agg),
+            combination_cycles=int(total_comb),
+            avg_vertex_latency_cycles=vertex_latency,
+            pipeline_mode=mode,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _vertex_latency(
+        self,
+        workload: LayerWorkload,
+        timings: Sequence[IntervalTiming],
+        mode: str,
+    ) -> float:
+        """Average per-vertex latency: group assembly wait + group combination.
+
+        A vertex's new feature is ready once (a) its own aggregation and that
+        of the other vertices in its combination group have finished and (b)
+        the group has moved through the systolic array.  The latency-aware
+        pipeline uses small groups (one module), the energy-aware pipeline
+        waits for the large cooperative group; without a pipeline the vertex
+        additionally waits for its whole interval to spill to and return from
+        DRAM, which we approximate with the interval's full aggregation time.
+        """
+        total_vertices = workload.graph.num_vertices or 1
+        total_agg = sum(t.aggregation_cycles for t in timings)
+        agg_per_vertex = total_agg / total_vertices
+        cooperative = mode == PipelineMode.ENERGY
+        group = self.systolic.group_size(cooperative)
+        mlp = workload.combination.mlp
+        group_cycles = 0
+        for w in mlp.weights:
+            cost = self.systolic.group_cost(min(group, total_vertices),
+                                            w.shape[0], w.shape[1], cooperative)
+            group_cycles += cost.cycles
+        assembly_wait = min(group, total_vertices) * agg_per_vertex
+        if mode == PipelineMode.NONE:
+            avg_interval_vertices = total_vertices / max(1, len(timings))
+            assembly_wait = avg_interval_vertices * agg_per_vertex
+        return float(assembly_wait + group_cycles)

@@ -1,0 +1,108 @@
+"""Edge- and MVM-centric programming model (Section 4.1, Algorithm 1).
+
+The programming model is the software-visible abstraction of HyGCN: the
+Aggregation phase is expressed as gather-based, edge-centric traversal of each
+vertex's (sampled) incoming edges, and the Combination phase as a matrix-vector
+multiply against the shared MLP weights.  :class:`EdgeMVMProgram` executes a
+layer exactly in this form and simultaneously records the execution trace
+(edges processed, MVMs issued, per-vertex edge counts) that the hardware
+simulator consumes, so the functional result and the performance model are
+derived from one description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.sampling import NeighborSampler
+from ..models.layers import LayerWorkload
+
+__all__ = ["ExecutionTrace", "EdgeMVMProgram"]
+
+
+@dataclass
+class ExecutionTrace:
+    """What one layer execution did, at edge/MVM granularity."""
+
+    edges_processed: int = 0
+    vertices_processed: int = 0
+    mvms_executed: int = 0
+    edges_per_vertex: Dict[int, int] = field(default_factory=dict)
+    aggregation_elements: int = 0     # scalar reduction operations
+    combination_macs: int = 0
+
+    @property
+    def max_vertex_edges(self) -> int:
+        return max(self.edges_per_vertex.values()) if self.edges_per_vertex else 0
+
+    @property
+    def avg_vertex_edges(self) -> float:
+        if not self.edges_per_vertex:
+            return 0.0
+        return self.edges_processed / len(self.edges_per_vertex)
+
+
+class EdgeMVMProgram:
+    """Executes one :class:`LayerWorkload` under the edge-/MVM-centric model."""
+
+    def __init__(self, workload: LayerWorkload):
+        self.workload = workload
+        sampling = workload.aggregation.sampling
+        self._sampler = NeighborSampler(sampling) if sampling and sampling.enabled else None
+
+    # ------------------------------------------------------------------ #
+    def sampled_neighbors(self, vertex: int) -> np.ndarray:
+        """The (sampled) incoming edge sources of ``vertex`` -- Algorithm 1 line 5."""
+        neighbors = self.workload.graph.in_neighbors(vertex)
+        if self._sampler is not None:
+            neighbors = self._sampler.sample_neighbors(neighbors)
+        return neighbors
+
+    def run(self, features: Optional[np.ndarray] = None) -> np.ndarray:
+        """Execute the layer functionally; equivalent to ``GCNLayer.forward``."""
+        graph = self.workload.graph
+        h = graph.features if features is None else np.asarray(features, dtype=np.float64)
+        if self.workload.aggregate_first:
+            aggregated = self.workload.aggregation.forward(graph, h)
+            return self.workload.combination.forward(aggregated)
+        transformed = self.workload.combination.forward(h)
+        return self.workload.aggregation.forward(graph, transformed)
+
+    # ------------------------------------------------------------------ #
+    def trace(self) -> ExecutionTrace:
+        """Collect the edge/MVM execution trace without touching feature data."""
+        graph = self.workload.graph
+        trace = ExecutionTrace()
+        feature_length = self.workload.aggregation_feature_length
+        for vertex in range(graph.num_vertices):
+            edges = len(self.sampled_neighbors(vertex))
+            trace.edges_per_vertex[vertex] = edges
+            trace.edges_processed += edges
+            trace.vertices_processed += 1
+            trace.mvms_executed += 1
+        # Each edge contributes one element-wise reduction per feature element,
+        # plus the self contribution per vertex (gather-based accumulation).
+        trace.aggregation_elements = (trace.edges_processed + trace.vertices_processed) \
+            * feature_length
+        trace.combination_macs = self.workload.combination_macs()
+        return trace
+
+    def edge_parallel_batches(self, batch_size: int) -> List[np.ndarray]:
+        """Split all (dst, src) edge tasks into batches of ``batch_size``.
+
+        This mirrors how the eSched dispatches edge sub-workloads to SIMD
+        cores: the aggregation of a single vertex can be split across batches
+        (edge-level parallelism) and multiple vertices can share one batch.
+        """
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        pairs: List[tuple] = []
+        for vertex in range(self.workload.graph.num_vertices):
+            pairs.extend((vertex, int(src)) for src in self.sampled_neighbors(vertex))
+        edge_array = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        return [edge_array[i:i + batch_size]
+                for i in range(0, len(edge_array), batch_size)] if len(edge_array) else []

@@ -1,0 +1,112 @@
+"""Fixed-point quantisation utilities.
+
+HyGCN computes in 32-bit fixed point, which the paper states "is enough to
+maintain the accuracy of GCN inference" (Section 5.2.1).  The functional
+models in :mod:`repro.models` use float64; this module provides the
+fixed-point datatype and conversion helpers so the claim can be checked
+end-to-end: quantise the inputs and parameters, run the same model, and
+measure how far the embeddings (and the resulting predictions) move.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..models.base import GCNModel
+
+__all__ = ["FixedPointFormat", "quantize", "dequantize", "quantization_error",
+           "quantize_model", "quantize_graph"]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed fixed-point format with ``total_bits`` and ``frac_bits``.
+
+    The default Q16.15-in-32 format mirrors the paper's 32-bit datapath: one
+    sign bit, 16 integer bits and 15 fractional bits.
+    """
+
+    total_bits: int = 32
+    frac_bits: int = 15
+
+    def __post_init__(self) -> None:
+        if self.total_bits <= 1 or not (0 <= self.frac_bits < self.total_bits):
+            raise ValueError("invalid fixed-point format")
+
+    @property
+    def scale(self) -> float:
+        """Value of one least-significant bit."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def max_value(self) -> float:
+        return (2 ** (self.total_bits - 1) - 1) * self.scale
+
+    @property
+    def min_value(self) -> float:
+        return -(2 ** (self.total_bits - 1)) * self.scale
+
+    @property
+    def bytes_per_value(self) -> int:
+        return (self.total_bits + 7) // 8
+
+
+def quantize(values: np.ndarray, fmt: FixedPointFormat = FixedPointFormat()) -> np.ndarray:
+    """Quantise ``values`` to integers in the given fixed-point format."""
+    values = np.asarray(values, dtype=np.float64)
+    scaled = np.round(values / fmt.scale)
+    lo = -(2 ** (fmt.total_bits - 1))
+    hi = 2 ** (fmt.total_bits - 1) - 1
+    return np.clip(scaled, lo, hi).astype(np.int64)
+
+
+def dequantize(codes: np.ndarray, fmt: FixedPointFormat = FixedPointFormat()) -> np.ndarray:
+    """Convert fixed-point integer codes back to floats."""
+    return np.asarray(codes, dtype=np.float64) * fmt.scale
+
+
+def quantization_error(values: np.ndarray,
+                       fmt: FixedPointFormat = FixedPointFormat()) -> float:
+    """Maximum absolute round-trip error of quantising ``values``."""
+    round_trip = dequantize(quantize(values, fmt), fmt)
+    return float(np.max(np.abs(np.asarray(values, dtype=np.float64) - round_trip)))
+
+
+def quantize_graph(graph: Graph, fmt: FixedPointFormat = FixedPointFormat()) -> Graph:
+    """Return a graph whose feature matrix has been round-tripped through ``fmt``."""
+    features = dequantize(quantize(graph.features, fmt), fmt)
+    return graph.with_features(features, name=f"{graph.name}[q{fmt.total_bits}]")
+
+
+def quantize_model(model: GCNModel, fmt: FixedPointFormat = FixedPointFormat()) -> GCNModel:
+    """Round-trip every MLP weight and bias of ``model`` through ``fmt`` in place.
+
+    Returns the same model object for convenience (the functional models keep
+    their parameters as plain numpy arrays, so in-place quantisation is the
+    least surprising behaviour for experiment scripts).
+    """
+    for layer in model.layers:
+        mlp = layer.combination.mlp
+        mlp.weights = [dequantize(quantize(w, fmt), fmt) for w in mlp.weights]
+        mlp.biases = [dequantize(quantize(b, fmt), fmt) for b in mlp.biases]
+    return model
+
+
+def compare_precision(model: GCNModel, graph: Graph,
+                      fmt: FixedPointFormat = FixedPointFormat()) -> Tuple[float, float]:
+    """Run ``model`` in float and fixed point; return (max abs error, rel error).
+
+    The relative error is measured against the float result's dynamic range,
+    which is the metric that determines whether downstream predictions change.
+    """
+    reference = model.forward(graph)
+    quantized_graph = quantize_graph(graph, fmt)
+    quantized_model = quantize_model(model, fmt)
+    result = quantized_model.forward(quantized_graph)
+    abs_error = float(np.max(np.abs(reference - result)))
+    dynamic_range = float(np.max(np.abs(reference))) or 1.0
+    return abs_error, abs_error / dynamic_range

@@ -1,0 +1,116 @@
+"""Multi-granular systolic array model (Section 4.4).
+
+The Combination Engine contains ``num_systolic_modules`` systolic modules of
+``systolic_rows x systolic_cols`` processing elements each.  The modules can be
+used *independently* (each module combines a small group of vertices as soon
+as their aggregated features are ready -- low vertex latency) or
+*cooperatively* (all modules are chained into one large array and a large
+group of vertices is combined together; the weights stream from the Weight
+Buffer once and flow module to module, so Weight Buffer traffic and hence
+energy drop).
+
+Weight streaming is double-buffered inside the PEs, so re-streaming weights
+for a new vertex group costs Weight Buffer *energy* but is hidden behind the
+previous group's computation; cycle cost is therefore throughput-bound
+(``macs / PEs``) plus a one-time pipeline fill per layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+
+__all__ = ["SystolicGroupCost", "SystolicArrayModel"]
+
+
+@dataclass(frozen=True)
+class SystolicGroupCost:
+    """Cost of combining a set of vertices through one MVM layer."""
+
+    group_vertices: int
+    cycles: int
+    macs: int
+    weight_buffer_read_bytes: int
+
+    @property
+    def cycles_per_vertex(self) -> float:
+        return self.cycles / self.group_vertices if self.group_vertices else 0.0
+
+
+class SystolicArrayModel:
+    """Cycle/traffic cost model of the multi-granular systolic array."""
+
+    def __init__(self, num_modules: int, rows: int, cols: int, bytes_per_value: int = 4):
+        if min(num_modules, rows, cols) < 1:
+            raise ValueError("array dimensions must be positive")
+        self.num_modules = num_modules
+        self.rows = rows
+        self.cols = cols
+        self.bytes_per_value = bytes_per_value
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pes_per_module(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def total_pes(self) -> int:
+        return self.num_modules * self.pes_per_module
+
+    def small_group_size(self) -> int:
+        """Vertices one module combines per wave in independent mode (Fig. 7a)."""
+        return self.rows
+
+    def large_group_size(self) -> int:
+        """Vertices assembled before the cooperative (chained) array starts (Fig. 7b)."""
+        return self.rows * self.num_modules
+
+    def group_size(self, cooperative: bool) -> int:
+        """Vertices that must be aggregated before combination can start."""
+        return self.large_group_size() if cooperative else self.small_group_size()
+
+    # ------------------------------------------------------------------ #
+    def _fill_cycles(self, cooperative: bool) -> int:
+        """Pipeline fill latency of the array configuration."""
+        rows = self.rows * self.num_modules if cooperative else self.rows
+        return rows + self.cols
+
+    def weight_tile_bytes(self, in_features: int, out_features: int) -> int:
+        return in_features * out_features * self.bytes_per_value
+
+    def group_cost(self, group_vertices: int, in_features: int, out_features: int,
+                   cooperative: bool) -> SystolicGroupCost:
+        """Cost of combining one vertex group (a wave or a burst)."""
+        if group_vertices <= 0:
+            return SystolicGroupCost(0, 0, 0, 0)
+        macs = group_vertices * in_features * out_features
+        compute_pes = self.total_pes if cooperative else \
+            self.pes_per_module * max(1, min(self.num_modules, ceil(group_vertices / self.rows)))
+        cycles = ceil(macs / compute_pes) + self._fill_cycles(cooperative)
+        # In either mode a group's weights are streamed from the Weight Buffer
+        # once; the modes differ in how many vertices share that stream.
+        weight_reads = self.weight_tile_bytes(in_features, out_features)
+        return SystolicGroupCost(group_vertices, int(cycles), macs, int(weight_reads))
+
+    def layer_cost(self, num_vertices: int, in_features: int, out_features: int,
+                   cooperative: bool) -> SystolicGroupCost:
+        """Cost of combining ``num_vertices`` vertices, grouped by the mode's granularity.
+
+        Cycle cost is throughput-bound with a single pipeline fill (weight
+        re-streaming between groups is hidden by double buffering); Weight
+        Buffer traffic is paid per group, which is where the independent and
+        cooperative modes diverge.
+        """
+        if num_vertices <= 0:
+            return SystolicGroupCost(0, 0, 0, 0)
+        macs = num_vertices * in_features * out_features
+        cycles = ceil(macs / self.total_pes) + self._fill_cycles(cooperative)
+        group = self.group_size(cooperative)
+        num_groups = ceil(num_vertices / group)
+        tile = self.weight_tile_bytes(in_features, out_features)
+        # Each group streams the weights from the Weight Buffer once.  The
+        # cooperative mode's groups are ``num_modules`` times larger, so the
+        # same weights are shared by many more vertices and the buffer traffic
+        # (hence energy) drops accordingly.
+        weight_reads = num_groups * tile
+        return SystolicGroupCost(num_vertices, int(cycles), macs, int(weight_reads))

@@ -1,0 +1,43 @@
+"""Graph substrate: data structures, synthetic datasets, partitioning, sampling."""
+
+from .graph import CSCMatrix, CSRMatrix, Graph, GraphStats, merge_graphs
+from .generators import (
+    community_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    power_law_graph,
+    star_graph,
+)
+from .datasets import DATASETS, DatasetSpec, dataset_names, dataset_table, load_dataset
+from .partition import EdgeShard, IntervalShardPartition, VertexInterval, partition_graph
+from .sampling import NeighborSampler, SamplingConfig, sample_graph
+from .io import export_edge_list, import_edge_list, load_graph, save_graph
+
+__all__ = [
+    "CSCMatrix",
+    "CSRMatrix",
+    "Graph",
+    "GraphStats",
+    "merge_graphs",
+    "community_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "power_law_graph",
+    "star_graph",
+    "DATASETS",
+    "DatasetSpec",
+    "dataset_names",
+    "dataset_table",
+    "load_dataset",
+    "EdgeShard",
+    "IntervalShardPartition",
+    "VertexInterval",
+    "partition_graph",
+    "NeighborSampler",
+    "SamplingConfig",
+    "sample_graph",
+    "export_edge_list",
+    "import_edge_list",
+    "load_graph",
+    "save_graph",
+]

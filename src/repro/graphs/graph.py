@@ -1,0 +1,350 @@
+"""Core graph data structures used throughout the HyGCN reproduction.
+
+The accelerator consumes graphs in compressed sparse column (CSC) format --
+the paper's interval/shard partitioning (Section 4.3.2) is defined directly on
+the CSC layout -- while the workload models and baselines mostly iterate over
+the compressed sparse row (CSR) view.  :class:`Graph` keeps both views in sync
+and exposes the per-vertex feature matrix ``X`` that GCN layers operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["CSRMatrix", "CSCMatrix", "Graph", "GraphStats"]
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics for a graph, mirroring the columns of Table 4."""
+
+    num_vertices: int
+    num_edges: int
+    feature_length: int
+    avg_degree: float
+    max_degree: int
+    storage_bytes: int
+
+    def as_dict(self) -> dict:
+        """Return the statistics as a plain dictionary (useful for reports)."""
+        return {
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "feature_length": self.feature_length,
+            "avg_degree": self.avg_degree,
+            "max_degree": self.max_degree,
+            "storage_bytes": self.storage_bytes,
+        }
+
+
+class CSRMatrix:
+    """A minimal compressed-sparse-row adjacency structure.
+
+    Row ``v`` of the matrix stores the *outgoing* neighbours of vertex ``v``.
+    Only the structure (indptr/indices) is stored; GCN adjacency matrices are
+    binary so no value array is needed.
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, num_cols: int):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ValueError("indptr and indices must be one-dimensional")
+        if indptr[0] != 0 or indptr[-1] != len(indices):
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if len(indices) and (indices.min() < 0 or indices.max() >= num_cols):
+            raise ValueError("column indices out of range")
+        self.indptr = indptr
+        self.indices = indices
+        self.num_rows = len(indptr) - 1
+        self.num_cols = int(num_cols)
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored edges."""
+        return int(len(self.indices))
+
+    def row(self, i: int) -> np.ndarray:
+        """Return the column indices of row ``i``."""
+        return self.indices[self.indptr[i]:self.indptr[i + 1]]
+
+    def degree(self, i: int) -> int:
+        """Return the number of non-zeros in row ``i``."""
+        return int(self.indptr[i + 1] - self.indptr[i])
+
+    def degrees(self) -> np.ndarray:
+        """Return the per-row non-zero counts."""
+        return np.diff(self.indptr)
+
+    def iter_rows(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Iterate over ``(row_index, column_indices)`` pairs."""
+        for i in range(self.num_rows):
+            yield i, self.row(i)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the matrix as a dense binary array (small graphs only)."""
+        dense = np.zeros((self.num_rows, self.num_cols), dtype=np.int8)
+        for i in range(self.num_rows):
+            dense[i, self.row(i)] = 1
+        return dense
+
+    def transpose(self) -> "CSRMatrix":
+        """Return the transposed structure (rows become columns)."""
+        counts = np.zeros(self.num_cols + 1, dtype=np.int64)
+        if self.nnz:
+            np.add.at(counts, self.indices + 1, 1)
+        indptr = np.cumsum(counts)
+        if self.nnz == 0:
+            return CSRMatrix(indptr, np.empty(0, dtype=np.int64), self.num_rows)
+        row_of_edge = np.repeat(np.arange(self.num_rows), np.diff(self.indptr))
+        order = np.argsort(self.indices, kind="stable")
+        return CSRMatrix(indptr, row_of_edge[order], self.num_rows)
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        num_rows: int,
+        num_cols: Optional[int] = None,
+        deduplicate: bool = True,
+    ) -> "CSRMatrix":
+        """Build a CSR structure from an iterable of ``(row, col)`` pairs."""
+        num_cols = num_rows if num_cols is None else num_cols
+        if isinstance(edges, np.ndarray):
+            edge_array = np.asarray(edges, dtype=np.int64)
+        else:
+            edge_array = np.asarray(list(edges), dtype=np.int64)
+        if edge_array.size == 0:
+            return cls(np.zeros(num_rows + 1, dtype=np.int64),
+                       np.empty(0, dtype=np.int64), num_cols)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise ValueError("edges must be (row, col) pairs")
+        rows, cols = edge_array[:, 0], edge_array[:, 1]
+        if rows.min() < 0 or rows.max() >= num_rows:
+            raise ValueError("row index out of range")
+        if cols.min() < 0 or cols.max() >= num_cols:
+            raise ValueError("column index out of range")
+        order = np.lexsort((cols, rows))
+        rows, cols = rows[order], cols[order]
+        if deduplicate:
+            keep = np.ones(len(rows), dtype=bool)
+            keep[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+            rows, cols = rows[keep], cols[keep]
+        counts = np.zeros(num_rows + 1, dtype=np.int64)
+        np.add.at(counts, rows + 1, 1)
+        indptr = np.cumsum(counts)
+        return cls(indptr, cols, num_cols)
+
+
+class CSCMatrix:
+    """Compressed-sparse-column view: column ``v`` stores the in-neighbours of ``v``.
+
+    This is the input format HyGCN consumes directly (Section 4.3.2): no
+    explicit preprocessing is needed to derive vertex intervals and edge
+    shards because columns are already grouped by destination vertex.
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, num_rows: int):
+        self._csr = CSRMatrix(indptr, indices, num_rows)
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._csr.indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._csr.indices
+
+    @property
+    def num_cols(self) -> int:
+        return self._csr.num_rows
+
+    @property
+    def num_rows(self) -> int:
+        return self._csr.num_cols
+
+    @property
+    def nnz(self) -> int:
+        return self._csr.nnz
+
+    def column(self, v: int) -> np.ndarray:
+        """Return the in-neighbour (source row) indices of column ``v``."""
+        return self._csr.row(v)
+
+    def in_degree(self, v: int) -> int:
+        """Return the number of in-neighbours of vertex ``v``."""
+        return self._csr.degree(v)
+
+    def in_degrees(self) -> np.ndarray:
+        """Return the in-degree of every vertex."""
+        return self._csr.degrees()
+
+    def to_dense(self) -> np.ndarray:
+        """Dense ``(num_rows, num_cols)`` adjacency with ``A[src, dst] = 1``."""
+        return self._csr.to_dense().T
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "CSCMatrix":
+        """Derive the CSC view of a CSR adjacency (transpose of structure)."""
+        transposed = csr.transpose()
+        return cls(transposed.indptr, transposed.indices, csr.num_cols)
+
+
+class Graph:
+    """An attributed graph: adjacency structure plus a vertex feature matrix.
+
+    Parameters
+    ----------
+    csr:
+        Out-neighbour adjacency.  For the undirected graphs used in the paper
+        the structure is symmetric, so CSR rows double as in-neighbour lists.
+    features:
+        ``(num_vertices, feature_length)`` float matrix ``X``.
+    name:
+        Optional dataset name for reporting.
+    """
+
+    def __init__(self, csr: CSRMatrix, features: np.ndarray, name: str = "graph"):
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D matrix")
+        if features.shape[0] != csr.num_rows:
+            raise ValueError(
+                f"feature rows ({features.shape[0]}) do not match vertex count "
+                f"({csr.num_rows})"
+            )
+        self.csr = csr
+        self.features = features
+        self.name = name
+        self._csc: Optional[CSCMatrix] = None
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_edge_list(
+        cls,
+        edges: Sequence[Tuple[int, int]],
+        num_vertices: int,
+        features: Optional[np.ndarray] = None,
+        feature_length: int = 16,
+        undirected: bool = True,
+        name: str = "graph",
+        seed: int = 0,
+    ) -> "Graph":
+        """Build a graph from an edge list, optionally symmetrising it."""
+        edge_array = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if undirected and edge_array.size:
+            edge_array = np.vstack([edge_array, edge_array[:, ::-1]])
+        csr = CSRMatrix.from_edges(edge_array, num_vertices)
+        if features is None:
+            rng = np.random.default_rng(seed)
+            features = rng.standard_normal((num_vertices, feature_length))
+        return cls(csr, features, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Views and basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        return self.csr.num_rows
+
+    @property
+    def num_edges(self) -> int:
+        return self.csr.nnz
+
+    @property
+    def feature_length(self) -> int:
+        return int(self.features.shape[1])
+
+    @property
+    def csc(self) -> CSCMatrix:
+        """Lazily derived CSC view (destination-major adjacency)."""
+        if self._csc is None:
+            self._csc = CSCMatrix.from_csr(self.csr)
+        return self._csc
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Out-neighbours of vertex ``v`` (== in-neighbours for undirected graphs)."""
+        return self.csr.row(v)
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """In-neighbours of vertex ``v`` derived from the CSC view."""
+        return self.csc.column(v)
+
+    def degree(self, v: int) -> int:
+        """Out-degree of vertex ``v``."""
+        return self.csr.degree(v)
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex."""
+        return self.csr.degrees()
+
+    def with_features(self, features: np.ndarray, name: Optional[str] = None) -> "Graph":
+        """Return a new graph sharing this structure but with different features."""
+        return Graph(self.csr, features, name=name or self.name)
+
+    # ------------------------------------------------------------------ #
+    # Statistics / storage accounting
+    # ------------------------------------------------------------------ #
+    def storage_bytes(self, feature_bytes: int = 4, index_bytes: int = 4) -> int:
+        """Approximate on-disk/in-memory footprint, matching Table 4 accounting.
+
+        Storage is dominated by the feature matrix (``V x F`` values) plus the
+        edge array; the paper reports single-precision features.
+        """
+        feature_storage = self.num_vertices * self.feature_length * feature_bytes
+        edge_storage = self.num_edges * index_bytes
+        offset_storage = (self.num_vertices + 1) * index_bytes
+        return int(feature_storage + edge_storage + offset_storage)
+
+    def stats(self) -> GraphStats:
+        """Compute :class:`GraphStats` for this graph."""
+        degs = self.degrees()
+        return GraphStats(
+            num_vertices=self.num_vertices,
+            num_edges=self.num_edges,
+            feature_length=self.feature_length,
+            avg_degree=float(degs.mean()) if len(degs) else 0.0,
+            max_degree=int(degs.max()) if len(degs) else 0,
+            storage_bytes=self.storage_bytes(),
+        )
+
+    def adjacency_dense(self) -> np.ndarray:
+        """Dense adjacency matrix ``A`` with ``A[u, v] = 1`` for edge (u, v)."""
+        return self.csr.to_dense().astype(np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Graph(name={self.name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges}, feature_length={self.feature_length})"
+        )
+
+
+def merge_graphs(graphs: Sequence[Graph], name: str = "merged") -> Graph:
+    """Assemble several graphs into one disjoint union.
+
+    The paper assembles 128 randomly selected small graphs into one large graph
+    before processing multi-graph datasets (Section 5.1); this helper performs
+    that assembly.
+    """
+    if not graphs:
+        raise ValueError("merge_graphs requires at least one graph")
+    feature_length = graphs[0].feature_length
+    for g in graphs:
+        if g.feature_length != feature_length:
+            raise ValueError("all graphs must share the same feature length")
+    offsets = np.cumsum([0] + [g.num_vertices for g in graphs])
+    edges = []
+    for offset, g in zip(offsets[:-1], graphs):
+        for v in range(g.num_vertices):
+            for u in g.neighbors(v):
+                edges.append((v + offset, int(u) + offset))
+    features = np.vstack([g.features for g in graphs])
+    csr = CSRMatrix.from_edges(edges, int(offsets[-1]))
+    return Graph(csr, features, name=name)

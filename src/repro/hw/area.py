@@ -1,0 +1,165 @@
+"""Area and power model (Table 7 / Section 5.2.1).
+
+The paper synthesizes the RTL with Synopsys Design Compiler on a TSMC 12 nm
+library and reports 6.7 W / 7.8 mm^2 with the per-module breakdown of Table 7.
+We cannot rerun synthesis, so this module provides an analytical model: each
+module's area and power are estimated from its configuration (number of SIMD
+cores, systolic PEs, buffer capacities) using per-unit constants calibrated so
+the *default* Table 6 configuration reproduces the published totals and
+breakdown percentages.  Scaling experiments (e.g. the Fig. 18 buffer sweep)
+then perturb individual components in a physically sensible way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["ModuleBudget", "AreaPowerModel", "PAPER_TABLE7"]
+
+MIB = 1024 * 1024
+
+#: The published Table 7 breakdown, as fractions of the 6.7 W / 7.8 mm^2 totals.
+PAPER_TABLE7: Dict[str, Dict[str, float]] = {
+    "aggregation_buffer": {"power": 0.0237, "area": 0.0541},
+    "aggregation_compute": {"power": 0.0385, "area": 0.0143},
+    "aggregation_control": {"power": 0.0048, "area": 0.0018},
+    "combination_buffer": {"power": 0.1440, "area": 0.1513},
+    "combination_compute": {"power": 0.6052, "area": 0.4296},
+    "combination_control": {"power": 0.0031, "area": 0.0007},
+    "coordinator_buffer": {"power": 0.1766, "area": 0.3464},
+    "coordinator_control": {"power": 0.0041, "area": 0.0019},
+}
+
+#: Published totals for the default configuration.
+PAPER_TOTAL_POWER_W = 6.7
+PAPER_TOTAL_AREA_MM2 = 7.8
+
+
+@dataclass(frozen=True)
+class ModuleBudget:
+    """Power (W) and area (mm^2) of one architectural module."""
+
+    name: str
+    power_w: float
+    area_mm2: float
+
+
+@dataclass(frozen=True)
+class AreaPowerConfig:
+    """Structural parameters the model scales with (defaults = Table 6)."""
+
+    num_simd_cores: int = 32
+    simd_width: int = 16
+    num_systolic_modules: int = 8
+    systolic_rows: int = 4
+    systolic_cols: int = 128
+    input_buffer_bytes: int = 128 * 1024
+    edge_buffer_bytes: int = 2 * MIB
+    weight_buffer_bytes: int = 2 * MIB
+    output_buffer_bytes: int = 4 * MIB
+    aggregation_buffer_bytes: int = 16 * MIB
+
+    @property
+    def total_simd_lanes(self) -> int:
+        return self.num_simd_cores * self.simd_width
+
+    @property
+    def total_pes(self) -> int:
+        return self.num_systolic_modules * self.systolic_rows * self.systolic_cols
+
+
+class AreaPowerModel:
+    """Analytical area/power estimator calibrated against Table 7."""
+
+    # Per-unit constants derived from the published breakdown at the default
+    # configuration: e.g. combination compute is 60.52% of 6.7 W over 4096 PEs.
+    _DEFAULT = AreaPowerConfig()
+
+    def __init__(self, config: AreaPowerConfig = None):
+        self.config = config or AreaPowerConfig()
+        default = self._DEFAULT
+        self._power_per_pe = PAPER_TABLE7["combination_compute"]["power"] * \
+            PAPER_TOTAL_POWER_W / default.total_pes
+        self._area_per_pe = PAPER_TABLE7["combination_compute"]["area"] * \
+            PAPER_TOTAL_AREA_MM2 / default.total_pes
+        self._power_per_lane = PAPER_TABLE7["aggregation_compute"]["power"] * \
+            PAPER_TOTAL_POWER_W / default.total_simd_lanes
+        self._area_per_lane = PAPER_TABLE7["aggregation_compute"]["area"] * \
+            PAPER_TOTAL_AREA_MM2 / default.total_simd_lanes
+        agg_engine_buffer_bytes = default.input_buffer_bytes + default.edge_buffer_bytes
+        comb_engine_buffer_bytes = default.weight_buffer_bytes + default.output_buffer_bytes
+        self._power_per_buffer_byte = {
+            "aggregation": PAPER_TABLE7["aggregation_buffer"]["power"] * PAPER_TOTAL_POWER_W / agg_engine_buffer_bytes,
+            "combination": PAPER_TABLE7["combination_buffer"]["power"] * PAPER_TOTAL_POWER_W / comb_engine_buffer_bytes,
+            "coordinator": PAPER_TABLE7["coordinator_buffer"]["power"] * PAPER_TOTAL_POWER_W / default.aggregation_buffer_bytes,
+        }
+        self._area_per_buffer_byte = {
+            "aggregation": PAPER_TABLE7["aggregation_buffer"]["area"] * PAPER_TOTAL_AREA_MM2 / agg_engine_buffer_bytes,
+            "combination": PAPER_TABLE7["combination_buffer"]["area"] * PAPER_TOTAL_AREA_MM2 / comb_engine_buffer_bytes,
+            "coordinator": PAPER_TABLE7["coordinator_buffer"]["area"] * PAPER_TOTAL_AREA_MM2 / default.aggregation_buffer_bytes,
+        }
+
+    # ------------------------------------------------------------------ #
+    def module_budgets(self) -> List[ModuleBudget]:
+        """Per-module power/area for the current configuration."""
+        cfg = self.config
+        control_power = (PAPER_TABLE7["aggregation_control"]["power"]
+                         + PAPER_TABLE7["combination_control"]["power"]
+                         + PAPER_TABLE7["coordinator_control"]["power"]) * PAPER_TOTAL_POWER_W
+        control_area = (PAPER_TABLE7["aggregation_control"]["area"]
+                        + PAPER_TABLE7["combination_control"]["area"]
+                        + PAPER_TABLE7["coordinator_control"]["area"]) * PAPER_TOTAL_AREA_MM2
+        budgets = [
+            ModuleBudget(
+                "aggregation_buffer",
+                (cfg.input_buffer_bytes + cfg.edge_buffer_bytes) * self._power_per_buffer_byte["aggregation"],
+                (cfg.input_buffer_bytes + cfg.edge_buffer_bytes) * self._area_per_buffer_byte["aggregation"],
+            ),
+            ModuleBudget(
+                "aggregation_compute",
+                cfg.total_simd_lanes * self._power_per_lane,
+                cfg.total_simd_lanes * self._area_per_lane,
+            ),
+            ModuleBudget(
+                "combination_buffer",
+                (cfg.weight_buffer_bytes + cfg.output_buffer_bytes) * self._power_per_buffer_byte["combination"],
+                (cfg.weight_buffer_bytes + cfg.output_buffer_bytes) * self._area_per_buffer_byte["combination"],
+            ),
+            ModuleBudget(
+                "combination_compute",
+                cfg.total_pes * self._power_per_pe,
+                cfg.total_pes * self._area_per_pe,
+            ),
+            ModuleBudget(
+                "coordinator_buffer",
+                cfg.aggregation_buffer_bytes * self._power_per_buffer_byte["coordinator"],
+                cfg.aggregation_buffer_bytes * self._area_per_buffer_byte["coordinator"],
+            ),
+            ModuleBudget("control", control_power, control_area),
+        ]
+        return budgets
+
+    def total_power_w(self) -> float:
+        """Total accelerator power in watts."""
+        return sum(m.power_w for m in self.module_budgets())
+
+    def total_area_mm2(self) -> float:
+        """Total accelerator area in mm^2."""
+        return sum(m.area_mm2 for m in self.module_budgets())
+
+    def breakdown_table(self) -> List[dict]:
+        """Table 7 style rows: component, power %, area %."""
+        budgets = self.module_budgets()
+        total_power = sum(m.power_w for m in budgets) or 1.0
+        total_area = sum(m.area_mm2 for m in budgets) or 1.0
+        return [
+            {
+                "module": m.name,
+                "power_w": round(m.power_w, 4),
+                "power_pct": round(100.0 * m.power_w / total_power, 2),
+                "area_mm2": round(m.area_mm2, 4),
+                "area_pct": round(100.0 * m.area_mm2 / total_area, 2),
+            }
+            for m in budgets
+        ]

@@ -1,0 +1,224 @@
+"""Simplified High Bandwidth Memory (HBM) model.
+
+The paper integrates Ramulator to simulate an HBM 1.0 stack (256 GB/s,
+Table 6) and charges 7 pJ/bit per access (Section 5.1).  This module provides
+the stand-in: a transaction-level DRAM model with channels, banks and open-row
+(row-buffer) state.  It is deliberately simple -- fixed row activate/precharge
+/CAS latencies, per-channel data buses, no refresh -- but it preserves the two
+effects the evaluation depends on:
+
+* row-buffer locality: consecutive requests to the same row are much cheaper,
+  which is what the priority-based access coordination (Section 4.5.2 /
+  Fig. 17) improves;
+* channel/bank-level parallelism: the coordinator remaps addresses so the low
+  bits select channel and bank, letting independent streams proceed in
+  parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["HBMConfig", "MemoryRequest", "DRAMStats", "HBMModel"]
+
+
+@dataclass(frozen=True)
+class HBMConfig:
+    """Timing/geometry parameters of the HBM stack (in accelerator cycles @ 1 GHz)."""
+
+    num_channels: int = 8
+    banks_per_channel: int = 16
+    row_buffer_bytes: int = 2048
+    #: data bus width per channel in bytes transferred per accelerator cycle;
+    #: 8 channels x 32 B/cycle = 256 GB/s at 1 GHz, matching Table 6.
+    channel_bytes_per_cycle: int = 32
+    #: row activate latency (tRCD) in cycles
+    activate_cycles: int = 14
+    #: precharge latency (tRP) in cycles
+    precharge_cycles: int = 14
+    #: column access latency (tCAS) in cycles
+    cas_cycles: int = 14
+    #: energy per bit moved across the HBM interface (picojoules)
+    energy_pj_per_bit: float = 7.0
+
+    @property
+    def peak_bandwidth_bytes_per_cycle(self) -> int:
+        """Aggregate peak bandwidth across all channels."""
+        return self.num_channels * self.channel_bytes_per_cycle
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Peak bandwidth in GB/s assuming a 1 GHz accelerator clock."""
+        return self.peak_bandwidth_bytes_per_cycle  # bytes/ns == GB/s
+
+
+@dataclass
+class MemoryRequest:
+    """One off-chip access issued by a buffer's fill/drain engine.
+
+    ``stream`` identifies the logical data stream (``edges``, ``input_features``,
+    ``weights``, ``output_features``), which the memory handler uses for its
+    priority ordering; ``address`` is a byte address in the flat physical
+    space of that stream.
+    """
+
+    stream: str
+    address: int
+    num_bytes: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_bytes <= 0:
+            raise ValueError("num_bytes must be positive")
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+
+
+@dataclass
+class DRAMStats:
+    """Aggregate statistics over a sequence of serviced requests."""
+
+    requests: int = 0
+    bytes_transferred: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    busy_cycles: int = 0          # max over channels (critical path)
+    total_channel_cycles: int = 0  # sum over channels (for utilisation)
+    energy_pj: float = 0.0
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0
+
+    def bandwidth_utilization(self, config: HBMConfig,
+                              elapsed_cycles: Optional[int] = None) -> float:
+        """Achieved fraction of peak bandwidth over ``elapsed_cycles``.
+
+        If ``elapsed_cycles`` is omitted the DRAM busy time is used, i.e. the
+        utilisation *while transferring*.
+        """
+        cycles = elapsed_cycles if elapsed_cycles else self.busy_cycles
+        if not cycles:
+            return 0.0
+        peak = config.peak_bandwidth_bytes_per_cycle * cycles
+        return min(1.0, self.bytes_transferred / peak)
+
+    def merge(self, other: "DRAMStats") -> "DRAMStats":
+        """Combine stats from two phases executed back to back."""
+        return DRAMStats(
+            requests=self.requests + other.requests,
+            bytes_transferred=self.bytes_transferred + other.bytes_transferred,
+            row_hits=self.row_hits + other.row_hits,
+            row_misses=self.row_misses + other.row_misses,
+            busy_cycles=self.busy_cycles + other.busy_cycles,
+            total_channel_cycles=self.total_channel_cycles + other.total_channel_cycles,
+            energy_pj=self.energy_pj + other.energy_pj,
+        )
+
+
+class HBMModel:
+    """Transaction-level HBM stack with open-row policy.
+
+    Requests are serviced in the order given, each mapped to a (channel, bank,
+    row) triple.  Channels operate in parallel: the model accumulates busy
+    cycles per channel and reports the maximum as the critical-path DRAM time.
+    """
+
+    def __init__(self, config: Optional[HBMConfig] = None,
+                 interleave_low_bits: bool = True):
+        self.config = config or HBMConfig()
+        #: when True, consecutive row-buffer-sized blocks rotate across
+        #: channels/banks (the coordinator's low-bit remapping); when False,
+        #: each stream is confined to a channel subset, modelling the naive
+        #: address map used in the no-coordination ablation.
+        self.interleave_low_bits = interleave_low_bits
+        self._open_rows = [
+            [-1] * self.config.banks_per_channel
+            for _ in range(self.config.num_channels)
+        ]
+        #: distinct streams get distinct high-order address regions so rows
+        #: from different streams never alias.
+        self._stream_regions = {}
+
+    # ------------------------------------------------------------------ #
+    def _stream_base(self, stream: str) -> int:
+        if stream not in self._stream_regions:
+            # 1 TiB per stream keeps regions disjoint for any realistic input.
+            self._stream_regions[stream] = len(self._stream_regions) * (1 << 40)
+        return self._stream_regions[stream]
+
+    def _map_address(self, request: MemoryRequest) -> tuple:
+        """Map a request to (channel, bank, row)."""
+        cfg = self.config
+        address = self._stream_base(request.stream) + request.address
+        block = address // cfg.row_buffer_bytes
+        if self.interleave_low_bits:
+            channel = block % cfg.num_channels
+            bank = (block // cfg.num_channels) % cfg.banks_per_channel
+            row = block // (cfg.num_channels * cfg.banks_per_channel)
+        else:
+            # Naive map: the stream id picks the channel, so concurrent streams
+            # collide on a few channels and banks see frequent row conflicts.
+            stream_index = list(self._stream_regions).index(request.stream)
+            channel = stream_index % cfg.num_channels
+            bank = block % cfg.banks_per_channel
+            row = block // cfg.banks_per_channel
+        return channel, bank, row
+
+    # ------------------------------------------------------------------ #
+    def service(self, requests: Sequence[MemoryRequest]) -> DRAMStats:
+        """Service ``requests`` in order and return the aggregate statistics."""
+        cfg = self.config
+        stats = DRAMStats()
+        channel_busy = [0] * cfg.num_channels
+        for request in requests:
+            channel, bank, row = self._map_address(request)
+            open_row = self._open_rows[channel][bank]
+            transfer = -(-request.num_bytes // cfg.channel_bytes_per_cycle)
+            if open_row == row:
+                latency = cfg.cas_cycles + transfer
+                stats.row_hits += 1
+            else:
+                latency = (cfg.precharge_cycles + cfg.activate_cycles
+                           + cfg.cas_cycles + transfer)
+                stats.row_misses += 1
+                self._open_rows[channel][bank] = row
+            channel_busy[channel] += latency
+            stats.requests += 1
+            stats.bytes_transferred += request.num_bytes
+            stats.energy_pj += request.num_bytes * 8 * cfg.energy_pj_per_bit
+        stats.busy_cycles = max(channel_busy) if channel_busy else 0
+        stats.total_channel_cycles = sum(channel_busy)
+        return stats
+
+    def service_stream(self, stream: str, total_bytes: int,
+                       access_granularity: int = 64,
+                       sequential: bool = True,
+                       is_write: bool = False) -> DRAMStats:
+        """Convenience helper: service ``total_bytes`` of one stream.
+
+        ``sequential`` requests walk consecutive addresses (high row-buffer
+        locality); non-sequential requests stride by one row buffer per access
+        (every access misses), which approximates the random neighbour-feature
+        gathers of the Aggregation phase without sparsity optimisations.
+        """
+        if total_bytes <= 0:
+            return DRAMStats()
+        requests = []
+        stride = access_granularity if sequential else self.config.row_buffer_bytes
+        address = 0
+        remaining = total_bytes
+        while remaining > 0:
+            chunk = min(access_granularity, remaining)
+            requests.append(MemoryRequest(stream, address, chunk, is_write=is_write))
+            address += stride
+            remaining -= chunk
+        return self.service(requests)
+
+    def reset(self) -> None:
+        """Close all rows (e.g. between independent experiments)."""
+        for channel in self._open_rows:
+            for bank in range(len(channel)):
+                channel[bank] = -1

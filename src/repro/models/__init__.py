@@ -1,0 +1,48 @@
+"""GCN workload models: GCN, GraphSage, GINConv, DiffPool (Table 5)."""
+
+from .layers import (
+    AggregationPhase,
+    CombinationPhase,
+    LayerWorkload,
+    MLP,
+    relu,
+    softmax,
+)
+from .base import GCNLayer, GCNModel
+from .gcn import build_gcn
+from .graphsage import build_graphsage
+from .gin import build_gin
+from .diffpool import DiffPoolModel, build_diffpool
+from .model_zoo import MODEL_NAMES, build_model, model_table, workloads_for
+from .readout import (
+    add_readout_vertex,
+    readout_concat,
+    readout_max,
+    readout_mean,
+    readout_sum,
+)
+
+__all__ = [
+    "AggregationPhase",
+    "CombinationPhase",
+    "LayerWorkload",
+    "MLP",
+    "relu",
+    "softmax",
+    "GCNLayer",
+    "GCNModel",
+    "build_gcn",
+    "build_graphsage",
+    "build_gin",
+    "DiffPoolModel",
+    "build_diffpool",
+    "MODEL_NAMES",
+    "build_model",
+    "model_table",
+    "workloads_for",
+    "add_readout_vertex",
+    "readout_concat",
+    "readout_max",
+    "readout_mean",
+    "readout_sum",
+]

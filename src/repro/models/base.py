@@ -1,0 +1,131 @@
+"""Common model abstractions: a GCN layer and a multi-layer GCN model.
+
+Each concrete model (GCN, GraphSage, GINConv, DiffPool) is expressed as a
+sequence of :class:`GCNLayer` objects.  A layer bundles an
+:class:`~repro.models.layers.AggregationPhase` and a
+:class:`~repro.models.layers.CombinationPhase` together with the phase order,
+and knows how to both *execute* itself functionally (numpy forward pass) and
+*describe* itself as a :class:`~repro.models.layers.LayerWorkload` for the
+hardware models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from .layers import AggregationPhase, CombinationPhase, LayerWorkload
+
+__all__ = ["GCNLayer", "GCNModel"]
+
+
+@dataclass
+class GCNLayer:
+    """One graph-convolution layer.
+
+    ``aggregate_first`` selects the phase order: GINConv aggregates at the
+    full input feature length; GCN and GraphSage effectively shorten the
+    feature vector through Combination first (the execution-flow difference
+    the paper highlights in Sections 3.1 and 5.2).
+    """
+
+    name: str
+    aggregation: AggregationPhase
+    combination: CombinationPhase
+    aggregate_first: bool = True
+
+    def forward(self, graph: Graph, features: np.ndarray) -> np.ndarray:
+        """Run the layer functionally and return the new vertex features."""
+        if self.aggregate_first:
+            aggregated = self.aggregation.forward(graph, features)
+            return self.combination.forward(aggregated)
+        transformed = self.combination.forward(features)
+        return self.aggregation.forward(graph, transformed)
+
+    def workload(self, graph: Graph, in_feature_length: Optional[int] = None) -> LayerWorkload:
+        """Describe this layer as a workload on ``graph`` for the hardware models."""
+        return LayerWorkload(
+            name=self.name,
+            graph=graph,
+            aggregation=self.aggregation,
+            combination=self.combination,
+            aggregate_first=self.aggregate_first,
+            in_feature_length=in_feature_length or graph.feature_length,
+            out_feature_length=self.combination.output_size,
+        )
+
+    @property
+    def output_size(self) -> int:
+        return self.combination.output_size
+
+
+class GCNModel:
+    """A stack of :class:`GCNLayer` objects plus optional readout."""
+
+    def __init__(self, name: str, layers: Sequence[GCNLayer], readout: Optional[str] = None):
+        if not layers:
+            raise ValueError("a model needs at least one layer")
+        if readout not in (None, "sum", "mean", "concat_sum"):
+            raise ValueError("readout must be None, 'sum', 'mean' or 'concat_sum'")
+        self.name = name
+        self.layers = list(layers)
+        self.readout = readout
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    # ------------------------------------------------------------------ #
+    # Functional execution
+    # ------------------------------------------------------------------ #
+    def forward(self, graph: Graph, features: Optional[np.ndarray] = None) -> np.ndarray:
+        """Run inference and return the final per-vertex feature matrix."""
+        h = graph.features if features is None else np.asarray(features, dtype=np.float64)
+        for layer in self.layers:
+            h = layer.forward(graph, h)
+        return h
+
+    def forward_all_layers(self, graph: Graph) -> List[np.ndarray]:
+        """Return the output of every layer (needed by GIN's concat readout)."""
+        outputs = []
+        h = graph.features
+        for layer in self.layers:
+            h = layer.forward(graph, h)
+            outputs.append(h)
+        return outputs
+
+    def graph_representation(self, graph: Graph) -> np.ndarray:
+        """Apply the Readout function (Eq. 3 / Eq. 7) to obtain h_G."""
+        if self.readout is None:
+            raise ValueError(f"model {self.name!r} has no readout configured")
+        if self.readout == "concat_sum":
+            per_layer = [h.sum(axis=0) for h in self.forward_all_layers(graph)]
+            return np.concatenate(per_layer)
+        final = self.forward(graph)
+        return final.mean(axis=0) if self.readout == "mean" else final.sum(axis=0)
+
+    # ------------------------------------------------------------------ #
+    # Workload description
+    # ------------------------------------------------------------------ #
+    def workloads(self, graph: Graph) -> List[LayerWorkload]:
+        """Per-layer workload descriptions with feature lengths chained correctly."""
+        result = []
+        in_len = graph.feature_length
+        for layer in self.layers:
+            result.append(layer.workload(graph, in_feature_length=in_len))
+            in_len = layer.output_size
+        return result
+
+    def total_aggregation_ops(self, graph: Graph) -> int:
+        """Total scalar aggregation operations across all layers."""
+        return sum(w.aggregation_ops() for w in self.workloads(graph))
+
+    def total_combination_macs(self, graph: Graph) -> int:
+        """Total combination MACs across all layers."""
+        return sum(w.combination_macs() for w in self.workloads(graph))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GCNModel(name={self.name!r}, layers={self.num_layers})"

@@ -1,0 +1,51 @@
+"""Vanilla GCN (Kipf & Welling), Eq. 4 of the paper.
+
+Each layer computes ``a_v = sum_u h_u / sqrt(Dv * Du)`` over the closed
+neighbourhood and then ``h_v = ReLU(W a_v + b)``.  Table 5 configures the
+evaluation instance as a single layer with MLP shape ``|a_v|–128`` and an
+``Add`` (degree-normalised) aggregation executed *after* Combination, i.e.
+the feature vector is shortened to 128 before the graph traversal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .base import GCNLayer, GCNModel
+from .layers import AggregationPhase, CombinationPhase, MLP
+
+__all__ = ["build_gcn"]
+
+
+def build_gcn(
+    input_length: int,
+    hidden_sizes: Sequence[int] = (128,),
+    aggregate_first: bool = False,
+    seed: int = 0,
+    name: str = "GCN",
+) -> GCNModel:
+    """Construct a GCN model.
+
+    Parameters
+    ----------
+    input_length:
+        Length of the raw vertex feature vectors (dataset dependent).
+    hidden_sizes:
+        Output size of each layer; Table 5 uses a single 128-wide layer.
+    aggregate_first:
+        Phase order.  The paper's GCN/PyG configuration combines first
+        (``False``), which shortens features before aggregation.
+    """
+    layers = []
+    in_size = input_length
+    for i, out_size in enumerate(hidden_sizes):
+        aggregation = AggregationPhase(reducer="gcn_norm", include_self=True)
+        combination = CombinationPhase(MLP([in_size, out_size], seed=seed + i))
+        layers.append(GCNLayer(
+            name=f"{name.lower()}_layer{i}",
+            aggregation=aggregation,
+            combination=combination,
+            aggregate_first=aggregate_first,
+        ))
+        in_size = out_size
+    return GCNModel(name, layers, readout="sum")

@@ -1,0 +1,51 @@
+"""GINConv (Xu et al.), Eq. 6–7 of the paper.
+
+GIN aggregates *first*, at the full input feature length, using
+``a_v = (1 + eps) h_v + sum_u h_u``, and then applies a two-layer MLP
+(Table 5: ``|a_v|–128–128``).  The aggregate-first order is why GIN spends the
+largest share of its time in Aggregation on CPU (Fig. 2) and why HyGCN's
+speedup over PyG is largest for GIN (Fig. 10c).  For graph classification the
+readout concatenates the per-layer summed representations (Eq. 7).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import GCNLayer, GCNModel
+from .layers import AggregationPhase, CombinationPhase, MLP
+
+__all__ = ["build_gin"]
+
+
+def build_gin(
+    input_length: int,
+    hidden_sizes: Sequence[Sequence[int]] = ((128, 128),),
+    epsilon: float = 0.0,
+    seed: int = 0,
+    name: str = "GINConv",
+) -> GCNModel:
+    """Construct a GINConv model.
+
+    Parameters
+    ----------
+    hidden_sizes:
+        One entry per layer; each entry is the MLP's hidden/output sizes.
+        Table 5 uses a single layer with a ``|a_v|–128–128`` MLP.
+    epsilon:
+        The learnable epsilon weighting the self feature.
+    """
+    layers = []
+    in_size = input_length
+    for i, sizes in enumerate(hidden_sizes):
+        mlp_sizes = [in_size, *sizes]
+        aggregation = AggregationPhase(reducer="gin_sum", epsilon=epsilon)
+        combination = CombinationPhase(MLP(mlp_sizes, seed=seed + i))
+        layers.append(GCNLayer(
+            name=f"{name.lower()}_layer{i}",
+            aggregation=aggregation,
+            combination=combination,
+            aggregate_first=True,
+        ))
+        in_size = mlp_sizes[-1]
+    return GCNModel(name, layers, readout="concat_sum")

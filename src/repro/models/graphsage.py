@@ -1,0 +1,63 @@
+"""GraphSage (Hamilton et al.), Eq. 5 of the paper.
+
+GraphSage uniformly samples a fixed number of neighbours (25 in Table 5),
+aggregates them with an element-wise reduction (the paper's Table 5 instance
+uses ``Max``), and combines with ``ReLU(W a_v + b)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..graphs.sampling import SamplingConfig
+from .base import GCNLayer, GCNModel
+from .layers import AggregationPhase, CombinationPhase, MLP
+
+__all__ = ["build_graphsage"]
+
+
+def build_graphsage(
+    input_length: int,
+    hidden_sizes: Sequence[int] = (128,),
+    sample_neighbors: Optional[int] = 25,
+    sampling_factor: int = 1,
+    reducer: str = "max",
+    aggregate_first: bool = False,
+    seed: int = 0,
+    name: str = "GraphSage",
+) -> GCNModel:
+    """Construct a GraphSage model.
+
+    Parameters
+    ----------
+    sample_neighbors:
+        Fixed neighbour fan-in per vertex (Table 5 uses 25); ``None`` disables
+        the cap.
+    sampling_factor:
+        Additional 1/f edge sampling used by the Fig. 18a–c scalability sweep.
+    reducer:
+        Element-wise reduction; Table 5 uses ``max`` (``Mean`` in Eq. 5 is also
+        supported).
+    """
+    sampling = SamplingConfig(
+        max_neighbors=sample_neighbors,
+        sampling_factor=sampling_factor,
+        seed=seed,
+    )
+    layers = []
+    in_size = input_length
+    for i, out_size in enumerate(hidden_sizes):
+        aggregation = AggregationPhase(
+            reducer=reducer,
+            include_self=True,
+            sampling=sampling if sampling.enabled else None,
+        )
+        combination = CombinationPhase(MLP([in_size, out_size], seed=seed + i))
+        layers.append(GCNLayer(
+            name=f"{name.lower()}_layer{i}",
+            aggregation=aggregation,
+            combination=combination,
+            aggregate_first=aggregate_first,
+        ))
+        in_size = out_size
+    return GCNModel(name, layers, readout="mean")

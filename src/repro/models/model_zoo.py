@@ -1,0 +1,91 @@
+"""Model zoo: the Table 5 evaluation configurations.
+
+``build_model`` constructs the exact instances the paper evaluates (GCN, GSC,
+GIN, DFP) for a given dataset feature length, and ``workloads_for`` flattens a
+model into the per-layer :class:`~repro.models.layers.LayerWorkload` list the
+hardware models consume (including DiffPool's internal GCNs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from ..graphs.graph import Graph
+from .base import GCNModel
+from .diffpool import DiffPoolModel, build_diffpool
+from .gcn import build_gcn
+from .gin import build_gin
+from .graphsage import build_graphsage
+from .layers import LayerWorkload
+
+__all__ = ["MODEL_NAMES", "build_model", "workloads_for", "model_table"]
+
+#: The abbreviations used in the paper's figures.
+MODEL_NAMES = ("GCN", "GSC", "GIN", "DFP")
+
+AnyModel = Union[GCNModel, DiffPoolModel]
+
+
+def build_model(
+    name: str,
+    input_length: int,
+    hidden_size: int = 128,
+    sampling_factor: int = 1,
+    seed: int = 0,
+) -> AnyModel:
+    """Build one of the four Table 5 model instances.
+
+    Parameters
+    ----------
+    name:
+        ``GCN``, ``GSC`` (GraphSage), ``GIN`` (GINConv) or ``DFP`` (DiffPool).
+    input_length:
+        Dataset feature-vector length (|a_v| in Table 5).
+    hidden_size:
+        MLP output width; 128 everywhere in the paper.
+    sampling_factor:
+        Extra 1/f edge sampling used by the Fig. 18 scalability sweep
+        (only meaningful for GSC).
+    """
+    key = name.upper()
+    if key == "GCN":
+        return build_gcn(input_length, hidden_sizes=(hidden_size,), seed=seed)
+    if key == "GSC":
+        return build_graphsage(
+            input_length,
+            hidden_sizes=(hidden_size,),
+            sample_neighbors=25,
+            sampling_factor=sampling_factor,
+            reducer="max",
+            seed=seed,
+        )
+    if key == "GIN":
+        return build_gin(
+            input_length,
+            hidden_sizes=((hidden_size, hidden_size),),
+            seed=seed,
+        )
+    if key == "DFP":
+        return build_diffpool(input_length, hidden_size=hidden_size, seed=seed)
+    raise ValueError(f"unknown model {name!r}; choose from {MODEL_NAMES}")
+
+
+def workloads_for(model: AnyModel, graph: Graph) -> List[LayerWorkload]:
+    """Flatten a model into per-layer workloads on ``graph``."""
+    if isinstance(model, DiffPoolModel):
+        return model.workloads(graph)
+    return model.workloads(graph)
+
+
+def model_table() -> list:
+    """Return Table 5 as a list of row dictionaries."""
+    return [
+        {"model": "GCN (GCN)", "sampling": None,
+         "aggregation": "Add (degree-normalised)", "mlp": "|a_v|-128"},
+        {"model": "GraphSage (GSC)", "sampling": 25,
+         "aggregation": "Max", "mlp": "|a_v|-128"},
+        {"model": "GINConv (GIN)", "sampling": None,
+         "aggregation": "Add", "mlp": "|a_v|-128-128"},
+        {"model": "DiffPool (DFP)", "sampling": None,
+         "aggregation": "Min (pool & embedding GCNs)", "mlp": "|a_v|-128 (x2)"},
+    ]

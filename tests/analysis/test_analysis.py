@@ -1,0 +1,152 @@
+"""Tests for the comparison harness, sweeps and report formatting."""
+
+import pytest
+
+from repro.analysis import (
+    PlatformComparison,
+    aggregation_buffer_sweep,
+    format_table,
+    geometric_mean,
+    memory_coordination_sweep,
+    pipeline_mode_sweep,
+    print_table,
+    sampling_factor_sweep,
+    sparsity_elimination_sweep,
+    systolic_module_sweep,
+)
+from repro.core import HyGCNConfig
+
+
+SMALL = HyGCNConfig()
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_ignores_nonpositive(self):
+        assert geometric_mean([0, -5, 4]) == pytest.approx(4.0)
+
+
+class TestPlatformComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return PlatformComparison().compare("GCN", "IB")
+
+    def test_speedups_positive(self, result):
+        assert result.speedup_vs_cpu > 1.0
+        assert result.speedup_vs_gpu is not None and result.speedup_vs_gpu > 0
+
+    def test_hygcn_wins_cpu_by_large_margin(self, result):
+        # the paper's headline: orders of magnitude faster than PyG-CPU
+        assert result.speedup_vs_cpu > 20
+
+    def test_energy_much_lower_than_cpu(self, result):
+        assert result.energy_vs_cpu < 0.05  # < 5% of CPU energy
+
+    def test_dram_access_not_larger_than_cpu(self, result):
+        assert result.dram_vs_cpu < 1.2
+
+    def test_bandwidth_utilization_ordering(self, result):
+        utils = result.bandwidth_utilizations()
+        assert utils["HyGCN"] > utils["PyG-CPU"]
+
+    def test_energy_breakdown_sums_to_one(self, result):
+        shares = result.energy_breakdown()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_as_row_keys(self, result):
+        row = result.as_row()
+        assert {"model", "dataset", "speedup_vs_cpu", "speedup_vs_gpu",
+                "energy_vs_cpu_pct", "dram_vs_cpu_pct", "gpu_oom"} <= set(row)
+
+    def test_grid_and_summary(self):
+        comparison = PlatformComparison()
+        results = comparison.compare_grid(["GCN"], ["IB", "CR"])
+        assert len(results) == 2
+        summary = comparison.summarize(results)
+        assert summary["geomean_speedup_vs_cpu"] > 1
+        assert "num_gpu_oom" in summary
+
+    def test_gpu_oom_handled_in_row(self):
+        result = PlatformComparison().compare("GIN", "RD")
+        row = result.as_row()
+        assert row["gpu_oom"] is True
+        assert row["speedup_vs_gpu"] is None
+
+
+class TestSweeps:
+    def test_sparsity_sweep_speedup_at_least_one(self):
+        rows = sparsity_elimination_sweep(datasets=("CR",), config=SMALL)
+        assert len(rows) == 1
+        assert rows[0]["speedup"] >= 1.0
+        assert rows[0]["dram_access_pct"] <= 100.0
+        assert 0.0 <= rows[0]["sparsity_reduction_pct"] <= 100.0
+
+    def test_pipeline_sweep_time_and_dram_reduced(self):
+        rows = pipeline_mode_sweep(datasets=("CR",), config=SMALL)
+        row = rows[0]
+        assert row["execution_time_pct_vs_no_pipeline"] < 100.0
+        assert row["dram_access_pct_vs_no_pipeline"] < 100.0
+        assert row["lpipe_vertex_latency_pct_vs_epipe"] < 100.0
+        assert row["epipe_combination_energy_pct_vs_lpipe"] < 100.0
+
+    def test_memory_coordination_sweep(self):
+        rows = memory_coordination_sweep(datasets=("CR",), config=SMALL)
+        row = rows[0]
+        assert row["execution_time_pct_with_coordination"] < 100.0
+        assert row["time_saving_pct"] > 0
+        assert row["bandwidth_utilization_improvement"] > 1.0
+
+    def test_sampling_factor_sweep_monotone_dram(self):
+        rows = sampling_factor_sweep(datasets=("CR",), factors=(1, 4, 16), config=SMALL)
+        dram = [r["dram_access_pct"] for r in rows]
+        assert dram[0] == pytest.approx(100.0)
+        assert dram[-1] <= dram[0]
+        sparsity = [r["sparsity_reduction_pct"] for r in rows]
+        assert sparsity[-1] >= sparsity[0]
+
+    def test_aggregation_buffer_sweep_larger_buffer_less_dram(self):
+        rows = aggregation_buffer_sweep(datasets=("CS",), capacities_mb=(2, 16),
+                                        config=SMALL)
+        small, large = rows[0], rows[-1]
+        assert large["dram_access_pct"] <= small["dram_access_pct"]
+        assert large["execution_time_pct"] <= small["execution_time_pct"] + 1e-6
+
+    def test_systolic_module_sweep_tradeoff(self):
+        rows = systolic_module_sweep(datasets=("CR",), module_counts=(32, 1),
+                                     config=SMALL)
+        fine, coarse = rows[0], rows[-1]
+        # coarser modules: higher vertex latency, lower combination energy
+        assert coarse["vertex_latency_pct"] >= fine["vertex_latency_pct"]
+        assert coarse["combination_energy_pct"] <= fine["combination_energy_pct"]
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_handles_none_and_bool(self):
+        text = format_table([{"v": None, "flag": True}])
+        assert "OoM" in text
+        assert "yes" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_table_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_print_table_smoke(self, capsys):
+        print_table([{"a": 1.23456}], title="t")
+        captured = capsys.readouterr()
+        assert "t" in captured.out

@@ -1,0 +1,94 @@
+"""Tests for the design-space exploration API and the stacked ablation."""
+
+import pytest
+
+from repro.analysis import (
+    ABLATION_STEPS,
+    DesignPoint,
+    WorkloadMix,
+    evaluate_design_point,
+    explore,
+    pareto_front,
+    stacked_optimization_ablation,
+)
+from repro.core import HyGCNConfig
+
+#: a quick mix for tests: one small multi-graph dataset, one model each way
+QUICK_MIX = WorkloadMix(name="quick", entries=(("GCN", "IB"), ("GIN", "IB")))
+
+
+class TestDesignSpaceExploration:
+    def test_evaluate_design_point_fields(self):
+        point = evaluate_design_point(HyGCNConfig(), QUICK_MIX)
+        assert point.total_cycles > 0
+        assert point.total_energy_j > 0
+        assert point.power_w == pytest.approx(6.7, rel=0.05)
+        assert point.area_mm2 == pytest.approx(7.8, rel=0.05)
+        assert len(point.per_workload_cycles) == 2
+        assert point.time_ms > 0
+        assert point.perf_per_watt > 0
+        assert point.perf_per_mm2 > 0
+
+    def test_as_row_keys(self):
+        point = evaluate_design_point(HyGCNConfig(), QUICK_MIX)
+        assert {"simd_cores", "systolic_modules", "agg_buffer_mb", "time_ms",
+                "power_w", "area_mm2", "perf_per_watt"} <= set(point.as_row())
+
+    def test_explore_returns_one_point_per_config(self):
+        configs = [HyGCNConfig(), HyGCNConfig(num_simd_cores=8, num_systolic_modules=2)]
+        points = explore(configs, QUICK_MIX)
+        assert len(points) == 2
+        # the smaller design is cheaper but slower
+        big, small = points
+        assert small.power_w < big.power_w
+        assert small.area_mm2 < big.area_mm2
+        assert small.total_cycles >= big.total_cycles
+
+    def test_dominates_semantics(self):
+        cfg = HyGCNConfig()
+        better = DesignPoint(cfg, total_cycles=100)
+        better.power_w, better.area_mm2 = 5.0, 5.0
+        worse = DesignPoint(cfg, total_cycles=200)
+        worse.power_w, worse.area_mm2 = 6.0, 6.0
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+        assert not better.dominates(better)
+
+    def test_pareto_front_filters_dominated_points(self):
+        cfg = HyGCNConfig()
+        a = DesignPoint(cfg, total_cycles=100); a.power_w, a.area_mm2 = 10.0, 10.0
+        b = DesignPoint(cfg, total_cycles=200); b.power_w, b.area_mm2 = 5.0, 5.0
+        c = DesignPoint(cfg, total_cycles=300); c.power_w, c.area_mm2 = 12.0, 12.0
+        front = pareto_front([a, b, c])
+        assert a in front and b in front and c not in front
+
+    def test_workload_mix_graphs(self):
+        graphs = QUICK_MIX.graphs()
+        assert len(graphs) == 2
+        assert all(g.num_vertices > 0 for _, g in graphs)
+
+
+class TestStackedAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return stacked_optimization_ablation(dataset="CR", model_name="GCN")
+
+    def test_one_row_per_step(self, rows):
+        assert [r["step"] for r in rows] == list(ABLATION_STEPS)
+
+    def test_baseline_normalised_to_100(self, rows):
+        assert rows[0]["time_pct_of_baseline"] == pytest.approx(100.0)
+        assert rows[0]["dram_pct_of_baseline"] == pytest.approx(100.0)
+        assert rows[0]["speedup_vs_baseline"] == pytest.approx(1.0)
+
+    def test_cumulative_speedup_monotone(self, rows):
+        speedups = [r["speedup_vs_baseline"] for r in rows]
+        assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] > 1.5
+
+    def test_dram_never_increases(self, rows):
+        dram = [r["dram_pct_of_baseline"] for r in rows]
+        assert all(b <= a + 1e-9 for a, b in zip(dram, dram[1:]))
+
+    def test_full_stack_saves_energy(self, rows):
+        assert rows[-1]["energy_pct_of_baseline"] < 100.0

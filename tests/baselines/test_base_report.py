@@ -1,0 +1,64 @@
+"""Tests for the BaselineReport container shared by the CPU/GPU models."""
+
+import pytest
+
+from repro.baselines import BaselineReport
+
+
+def make_report(**overrides):
+    defaults = dict(
+        platform="PyG-CPU",
+        model_name="GCN",
+        dataset_name="CR",
+        aggregation_time_s=0.6,
+        combination_time_s=0.4,
+        aggregation_dram_bytes=6 * 10**9,
+        combination_dram_bytes=4 * 10**9,
+        energy_j=100.0,
+        peak_bandwidth_gbps=136.5,
+    )
+    defaults.update(overrides)
+    return BaselineReport(**defaults)
+
+
+class TestBaselineReport:
+    def test_total_time_and_bytes(self):
+        report = make_report()
+        assert report.total_time_s == pytest.approx(1.0)
+        assert report.dram_bytes == 10**10
+
+    def test_phase_fractions(self):
+        report = make_report()
+        assert report.aggregation_fraction == pytest.approx(0.6)
+        assert report.combination_fraction == pytest.approx(0.4)
+
+    def test_other_time_included_in_total(self):
+        report = make_report(other_time_s=1.0)
+        assert report.total_time_s == pytest.approx(2.0)
+        assert report.aggregation_fraction == pytest.approx(0.3)
+
+    def test_zero_time_fractions(self):
+        report = make_report(aggregation_time_s=0.0, combination_time_s=0.0)
+        assert report.aggregation_fraction == 0.0
+        assert report.combination_fraction == 0.0
+        assert report.bandwidth_utilization == 0.0
+
+    def test_bandwidth_utilization(self):
+        # 10 GB over 1 s against 136.5 GB/s peak
+        report = make_report()
+        assert report.bandwidth_utilization == pytest.approx(10 / 136.5, rel=1e-3)
+
+    def test_bandwidth_utilization_capped_at_one(self):
+        report = make_report(aggregation_dram_bytes=10**12, combination_dram_bytes=0)
+        assert report.bandwidth_utilization == 1.0
+
+    def test_summary_keys_and_values(self):
+        summary = make_report().summary()
+        assert summary["platform"] == "PyG-CPU"
+        assert summary["aggregation_pct"] == pytest.approx(60.0)
+        assert summary["dram_mb"] == pytest.approx(10**10 / (1 << 20))
+        assert summary["out_of_memory"] is False
+
+    def test_oom_flag_propagates(self):
+        report = make_report(out_of_memory=True)
+        assert report.summary()["out_of_memory"] is True

@@ -1,0 +1,122 @@
+"""Tests for the cache hierarchy simulator and trace generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import CacheConfig, CacheHierarchy, CacheLevel
+from repro.baselines.cache import aggregation_trace, combination_trace
+from repro.graphs import erdos_renyi_graph, power_law_graph
+
+
+class TestCacheLevel:
+    def test_hit_after_miss(self):
+        level = CacheLevel(CacheConfig("L1", 1024, associativity=2, line_bytes=64))
+        assert level.access(0) is False
+        assert level.access(0) is True
+        assert level.access(32) is True  # same line
+        assert level.stats.misses == 1
+        assert level.stats.hits == 2
+
+    def test_lru_eviction(self):
+        # 2-way, 64B lines, 2 sets -> capacity 256B
+        level = CacheLevel(CacheConfig("L1", 256, associativity=2, line_bytes=64))
+        # three lines mapping to the same set (stride = num_sets * line)
+        a, b, c = 0, 128, 256
+        level.access(a)
+        level.access(b)
+        level.access(c)          # evicts a (LRU)
+        assert level.access(b) is True
+        assert level.access(a) is False
+
+    def test_reset(self):
+        level = CacheLevel(CacheConfig("L1", 1024, associativity=2))
+        level.access(0)
+        level.reset()
+        assert level.stats.accesses == 0
+        assert level.access(0) is False
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            CacheConfig("L1", 0)
+        with pytest.raises(ValueError):
+            CacheConfig("L1", 1000, associativity=3, line_bytes=64)
+
+    def test_miss_rate_and_mpki(self):
+        level = CacheLevel(CacheConfig("L1", 1024, associativity=2))
+        for i in range(10):
+            level.access(i * 4096)
+        assert level.stats.miss_rate == 1.0
+        assert level.stats.mpki(instructions=1000) == 10.0
+        assert level.stats.mpki(instructions=0) == 0.0
+
+
+class TestCacheHierarchy:
+    def test_miss_propagates_to_dram(self):
+        hierarchy = CacheHierarchy()
+        assert hierarchy.access(0) == "DRAM"
+        assert hierarchy.access(0) == "L1"
+
+    def test_l2_hit_after_l1_eviction(self):
+        small_l1 = CacheConfig("L1", 128, associativity=2, line_bytes=64)
+        big_l2 = CacheConfig("L2", 64 * 1024, associativity=8, line_bytes=64)
+        hierarchy = CacheHierarchy([small_l1, big_l2])
+        addresses = [i * 64 for i in range(8)]
+        for a in addresses:
+            hierarchy.access(a)
+        # address 0 was evicted from the tiny L1 but still lives in L2
+        assert hierarchy.access(0) == "L2"
+
+    def test_run_trace_reports_dram_bytes(self):
+        hierarchy = CacheHierarchy()
+        result = hierarchy.run_trace([i * 4096 for i in range(100)])
+        assert result["dram_accesses"] == 100
+        assert result["dram_bytes"] == 100 * 64
+
+    def test_stats_for_unknown_level(self):
+        with pytest.raises(KeyError):
+            CacheHierarchy().stats_for("L9")
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])
+
+    @settings(max_examples=10, deadline=None)
+    @given(stride=st.sampled_from([64, 128, 4096]), count=st.integers(10, 200))
+    def test_property_sequential_trace_misses_bounded(self, stride, count):
+        hierarchy = CacheHierarchy()
+        result = hierarchy.run_trace([i * stride for i in range(count)])
+        total_l1 = hierarchy.stats_for("L1")
+        assert total_l1.misses <= count
+        assert result["dram_accesses"] <= count
+
+
+class TestTraces:
+    def test_aggregation_trace_irregular_misses_more(self):
+        # a skewed random graph produces worse locality than the weight-reusing
+        # combination stream: misses per trace element are higher for aggregation
+        g = power_law_graph(512, 4096, feature_length=64, seed=0)
+        agg = aggregation_trace(g, 64, max_vertices=128)
+        comb = combination_trace(512, 64, 32, max_vertices=128)
+        agg_cache, comb_cache = CacheHierarchy(), CacheHierarchy()
+        agg_result = agg_cache.run_trace(agg)
+        comb_result = comb_cache.run_trace(comb)
+        assert agg_result["dram_accesses"] / len(agg) > \
+            comb_result["dram_accesses"] / len(comb)
+
+    def test_aggregation_trace_length(self):
+        g = erdos_renyi_graph(64, 256, feature_length=16, seed=1)
+        trace = aggregation_trace(g, 16, max_vertices=None)
+        # one line per neighbour row (16*4=64B = 1 line) plus one per vertex
+        assert len(trace) == g.num_edges + g.num_vertices
+
+    def test_aggregation_trace_respects_max_vertices(self):
+        g = erdos_renyi_graph(64, 256, feature_length=16, seed=1)
+        full = aggregation_trace(g, 16)
+        partial = aggregation_trace(g, 16, max_vertices=8)
+        assert len(partial) < len(full)
+
+    def test_combination_trace_nonempty(self):
+        trace = combination_trace(32, 128, 64, max_vertices=16)
+        assert len(trace) > 0
+        assert (np.asarray(trace) >= 0).all()

@@ -1,0 +1,158 @@
+"""Tests for the PyG-CPU and PyG-GPU analytical baseline models."""
+
+import pytest
+
+from repro.baselines import (
+    CPUConfig,
+    GPUConfig,
+    PyGCPUModel,
+    PyGGPUModel,
+    characterize_phases,
+    execution_pattern_table,
+    execution_time_breakdown,
+)
+from repro.graphs import DATASETS, community_graph, load_dataset, power_law_graph
+from repro.models import build_diffpool, build_gcn, build_model
+
+
+def citation_like(seed=0):
+    return community_graph(512, 2048, feature_length=256, num_communities=16, seed=seed)
+
+
+class TestPyGCPUModel:
+    def test_report_populated(self):
+        g = citation_like()
+        model = build_gcn(g.feature_length, hidden_sizes=(64,))
+        report = PyGCPUModel().run(model, g, dataset_name="synthetic")
+        assert report.total_time_s > 0
+        assert report.aggregation_time_s > 0
+        assert report.combination_time_s > 0
+        assert report.dram_bytes > 0
+        assert report.energy_j > 0
+        assert 0.0 <= report.bandwidth_utilization <= 1.0
+        assert report.platform == "PyG-CPU"
+
+    def test_both_phases_significant(self):
+        # Fig. 2's headline: neither phase is negligible.
+        g = citation_like()
+        model = build_gcn(g.feature_length, hidden_sizes=(64,))
+        report = PyGCPUModel().run(model, g)
+        assert 0.05 < report.aggregation_fraction < 0.99
+        assert 0.01 < report.combination_fraction < 0.95
+
+    def test_gin_more_aggregation_bound_than_gcn(self):
+        g = citation_like()
+        cpu = PyGCPUModel()
+        gcn = cpu.run(build_model("GCN", input_length=g.feature_length), g)
+        gin = cpu.run(build_model("GIN", input_length=g.feature_length), g)
+        assert gin.aggregation_fraction > gcn.aggregation_fraction
+
+    def test_algorithm_optimization_speeds_up_cpu(self):
+        # Fig. 10a: the interval-shard optimisation helps on CPU.
+        g = power_law_graph(1024, 16384, feature_length=128, seed=1)
+        model = build_gcn(g.feature_length, hidden_sizes=(128,))
+        plain = PyGCPUModel().run(model, g)
+        optimized = PyGCPUModel(algorithm_optimized=True).run(model, g)
+        assert optimized.total_time_s < plain.total_time_s
+        assert optimized.dram_bytes < plain.dram_bytes
+        assert optimized.platform.endswith("-OP")
+
+    def test_dram_traffic_scales_with_edges(self):
+        sparse = power_law_graph(512, 1024, feature_length=64, seed=2)
+        dense = power_law_graph(512, 8192, feature_length=64, seed=2)
+        model = build_gcn(64, hidden_sizes=(64,))
+        cpu = PyGCPUModel()
+        assert cpu.run(model, dense).aggregation_dram_bytes > \
+            cpu.run(model, sparse).aggregation_dram_bytes
+
+    def test_diffpool_adds_matmul_time(self):
+        g = citation_like()
+        cpu = PyGCPUModel()
+        dfp = build_diffpool(g.feature_length, hidden_size=64, num_clusters=16)
+        gcn = build_gcn(g.feature_length, hidden_sizes=(64,))
+        assert cpu.run(dfp, g).combination_time_s > cpu.run(gcn, g).combination_time_s
+
+    def test_config_derived_rates(self):
+        cfg = CPUConfig()
+        assert cfg.peak_gflops == 24 * 2.5 * 32
+        assert cfg.sustained_gemm_gflops < cfg.peak_gflops
+
+
+class TestPyGGPUModel:
+    def test_report_populated(self):
+        g = citation_like()
+        model = build_gcn(g.feature_length, hidden_sizes=(64,))
+        report = PyGGPUModel().run(model, g, dataset_name="synthetic")
+        assert report.total_time_s > 0
+        assert not report.out_of_memory
+        assert report.platform == "PyG-GPU"
+
+    def test_gpu_faster_than_cpu(self):
+        g = citation_like()
+        model = build_gcn(g.feature_length, hidden_sizes=(64,))
+        cpu = PyGCPUModel().run(model, g)
+        gpu = PyGGPUModel().run(model, g)
+        assert gpu.total_time_s < cpu.total_time_s
+
+    def test_oom_on_full_scale_reddit_gin(self):
+        g = load_dataset("RD", seed=0)
+        model = build_model("GIN", input_length=g.feature_length)
+        report = PyGGPUModel().run(model, g, dataset_name="RD",
+                                   full_scale_spec=DATASETS["RD"])
+        assert report.out_of_memory
+        assert report.notes["oom_footprint_gb"] > 16
+
+    def test_no_oom_for_sampled_graphsage_on_reddit(self):
+        g = load_dataset("RD", seed=0)
+        model = build_model("GSC", input_length=g.feature_length)
+        report = PyGGPUModel().run(model, g, dataset_name="RD",
+                                   full_scale_spec=DATASETS["RD"])
+        assert not report.out_of_memory
+
+    def test_no_oom_without_full_scale_spec(self):
+        g = load_dataset("RD", seed=0)
+        model = build_model("GIN", input_length=g.feature_length)
+        assert not PyGGPUModel().run(model, g, dataset_name="RD").out_of_memory
+
+    def test_shard_optimization_slows_gpu_down(self):
+        # Fig. 10b: the CPU-friendly shard optimisation hurts the GPU.
+        g = citation_like()
+        model = build_gcn(g.feature_length, hidden_sizes=(64,))
+        plain = PyGGPUModel().run(model, g)
+        sharded = PyGGPUModel(algorithm_optimized=True).run(model, g)
+        assert sharded.total_time_s > plain.total_time_s
+
+    def test_would_oom_threshold(self):
+        gpu = PyGGPUModel()
+        assert gpu.would_oom(num_edges=10 ** 9, feature_length=128)
+        assert not gpu.would_oom(num_edges=10 ** 4, feature_length=128)
+
+
+class TestCharacterization:
+    def test_execution_time_breakdown_rows(self):
+        rows = execution_time_breakdown(model_names=("GCN",), dataset_names=("IB", "CR"))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["aggregation_pct"] + row["combination_pct"] == pytest.approx(100, abs=0.5)
+
+    def test_characterize_phases_table2_shape(self):
+        g = community_graph(384, 4096, feature_length=128, num_communities=8, seed=3)
+        chars = characterize_phases(graph=g, model_name="GCN", max_trace_vertices=96)
+        agg, comb = chars["aggregation"], chars["combination"]
+        # Table 2's qualitative content: aggregation needs far more DRAM per op
+        # and misses much more often in L2/L3 than combination.
+        assert agg.dram_bytes_per_op > 10 * comb.dram_bytes_per_op
+        assert agg.l2_mpki > comb.l2_mpki
+        assert agg.l3_mpki > comb.l3_mpki
+        assert comb.sync_time_fraction == pytest.approx(0.36)
+        assert agg.as_row()["phase"] == "Aggregation"
+
+    def test_execution_pattern_table3(self):
+        g = community_graph(256, 2048, feature_length=64, num_communities=8, seed=4)
+        chars = characterize_phases(graph=g, model_name="GCN", max_trace_vertices=64)
+        table = execution_pattern_table(chars)
+        rows = {r["property"]: r for r in table}
+        assert rows["Data Reusability"]["aggregation"] == "Low"
+        assert rows["Computation Intensity"]["combination"] == "High"
+        assert rows["Execution Bound"]["aggregation"] == "Memory"
+        assert len(table) == 5

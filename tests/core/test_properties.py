@@ -1,0 +1,91 @@
+"""Property-based tests on core simulator invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import HyGCNConfig, HyGCNSimulator, PipelineMode, SystolicArrayModel
+from repro.core.coordinator import Coordinator, IntervalTiming
+from repro.graphs import erdos_renyi_graph
+from repro.models import build_gcn
+
+SLOW = settings(max_examples=15, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestSystolicProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        vertices=st.integers(1, 2048),
+        in_features=st.integers(1, 512),
+        out_features=st.integers(1, 256),
+        cooperative=st.booleans(),
+    )
+    def test_layer_cost_invariants(self, vertices, in_features, out_features, cooperative):
+        array = SystolicArrayModel(8, 4, 128)
+        cost = array.layer_cost(vertices, in_features, out_features, cooperative)
+        # MAC count is exact
+        assert cost.macs == vertices * in_features * out_features
+        # cycles can never beat the peak-throughput bound
+        assert cost.cycles >= cost.macs // array.total_pes
+        # weight traffic is at least one full tile and a multiple of the tile size
+        tile = in_features * out_features * 4
+        assert cost.weight_buffer_read_bytes >= tile
+        assert cost.weight_buffer_read_bytes % tile == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(vertices=st.integers(1, 4096), in_features=st.integers(1, 256),
+           out_features=st.integers(1, 256))
+    def test_cooperative_never_reads_more_weights(self, vertices, in_features, out_features):
+        array = SystolicArrayModel(8, 4, 128)
+        independent = array.layer_cost(vertices, in_features, out_features, False)
+        cooperative = array.layer_cost(vertices, in_features, out_features, True)
+        assert cooperative.weight_buffer_read_bytes <= independent.weight_buffer_read_bytes
+
+
+class TestCoordinatorProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        agg=st.lists(st.integers(0, 10_000), min_size=1, max_size=12),
+        comb=st.lists(st.integers(0, 10_000), min_size=1, max_size=12),
+    )
+    def test_pipeline_never_slower_than_serial(self, agg, comb):
+        n = min(len(agg), len(comb))
+        timings = [IntervalTiming(i, agg[i], comb[i]) for i in range(n)]
+        graph = erdos_renyi_graph(16, 48, feature_length=8, seed=0)
+        workload = build_gcn(graph.feature_length, hidden_sizes=(8,)).workloads(graph)[0]
+        coordinator = Coordinator(HyGCNConfig())
+        serial = coordinator.compose(workload, timings, PipelineMode.NONE)
+        pipelined = coordinator.compose(workload, timings, PipelineMode.LATENCY)
+        assert pipelined.total_cycles <= serial.total_cycles
+        # both bounded below by the slower engine's total work
+        lower_bound = max(sum(t.aggregation_cycles for t in timings),
+                          sum(t.combination_cycles for t in timings))
+        assert pipelined.total_cycles >= lower_bound
+
+
+class TestSimulatorProperties:
+    @SLOW
+    @given(
+        num_vertices=st.integers(24, 96),
+        edge_factor=st.integers(2, 8),
+        feature_length=st.sampled_from([8, 32, 96]),
+        seed=st.integers(0, 3),
+    )
+    def test_report_invariants_hold_for_random_graphs(self, num_vertices, edge_factor,
+                                                      feature_length, seed):
+        graph = erdos_renyi_graph(num_vertices, num_vertices * edge_factor,
+                                  feature_length=feature_length, seed=seed)
+        model = build_gcn(graph.feature_length, hidden_sizes=(16,), seed=seed)
+        report = HyGCNSimulator(HyGCNConfig(
+            input_buffer_bytes=4 * 1024,
+            aggregation_buffer_bytes=64 * 1024,
+        )).run_workload(model.workloads(graph)[0])
+        assert report.total_cycles > 0
+        assert report.macs == graph.num_vertices * feature_length * 16
+        assert report.num_edges == graph.num_edges
+        assert 0.0 <= report.sparsity_reduction <= 1.0
+        assert 0.0 <= report.bandwidth_utilization <= 1.0
+        assert sum(report.dram_bytes_by_stream.values()) == report.dram_bytes
+        # the pipeline composition can never be faster than either engine alone
+        assert report.total_cycles >= max(0, report.combination_cycles // report.num_intervals)

@@ -1,0 +1,96 @@
+"""Tests for the 32-bit fixed-point quantisation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.quantization import (
+    FixedPointFormat,
+    compare_precision,
+    dequantize,
+    quantization_error,
+    quantize,
+    quantize_graph,
+    quantize_model,
+)
+from repro.graphs import erdos_renyi_graph
+from repro.models import build_gcn
+
+
+class TestFixedPointFormat:
+    def test_default_is_32_bit(self):
+        fmt = FixedPointFormat()
+        assert fmt.total_bits == 32
+        assert fmt.bytes_per_value == 4
+        assert fmt.scale == 2.0 ** -15
+
+    def test_range(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=4)
+        assert fmt.max_value == pytest.approx(127 / 16)
+        assert fmt.min_value == pytest.approx(-8.0)
+
+    def test_invalid_formats(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=1)
+        with pytest.raises(ValueError):
+            FixedPointFormat(total_bits=8, frac_bits=8)
+
+
+class TestQuantizeRoundTrip:
+    def test_roundtrip_error_bounded_by_half_lsb(self):
+        fmt = FixedPointFormat()
+        values = np.linspace(-100, 100, 1001)
+        assert quantization_error(values, fmt) <= fmt.scale / 2 + 1e-12
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(total_bits=8, frac_bits=0)
+        codes = quantize(np.array([1000.0, -1000.0]), fmt)
+        np.testing.assert_array_equal(codes, [127, -128])
+
+    def test_zero_preserved(self):
+        fmt = FixedPointFormat()
+        assert dequantize(quantize(np.array([0.0]), fmt), fmt)[0] == 0.0
+
+    def test_codes_are_integers(self):
+        codes = quantize(np.random.default_rng(0).standard_normal(100))
+        assert codes.dtype == np.int64
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(-1000, 1000), min_size=1, max_size=50))
+    def test_property_roundtrip_bounded(self, values):
+        fmt = FixedPointFormat()
+        arr = np.array(values)
+        in_range = np.clip(arr, fmt.min_value, fmt.max_value)
+        error = np.max(np.abs(in_range - dequantize(quantize(in_range, fmt), fmt)))
+        assert error <= fmt.scale / 2 + 1e-9
+
+
+class TestModelQuantization:
+    def test_quantize_graph_preserves_structure(self):
+        g = erdos_renyi_graph(32, 128, feature_length=8, seed=0)
+        q = quantize_graph(g)
+        assert q.num_edges == g.num_edges
+        assert q.name.endswith("[q32]")
+        assert np.max(np.abs(q.features - g.features)) <= FixedPointFormat().scale
+
+    def test_quantize_model_in_place(self):
+        model = build_gcn(16, hidden_sizes=(8,))
+        original = model.layers[0].combination.mlp.weights[0].copy()
+        quantize_model(model)
+        quantized = model.layers[0].combination.mlp.weights[0]
+        assert np.max(np.abs(original - quantized)) <= FixedPointFormat().scale
+
+    def test_32bit_inference_accuracy_preserved(self):
+        # the paper's claim: 32-bit fixed point maintains GCN inference accuracy
+        g = erdos_renyi_graph(64, 256, feature_length=32, seed=1)
+        model = build_gcn(g.feature_length, hidden_sizes=(16,))
+        abs_error, rel_error = compare_precision(model, g)
+        assert rel_error < 1e-3
+
+    def test_low_precision_degrades(self):
+        g = erdos_renyi_graph(64, 256, feature_length=32, seed=1)
+        model = build_gcn(g.feature_length, hidden_sizes=(16,))
+        _, rel32 = compare_precision(model, g, FixedPointFormat(32, 15))
+        model2 = build_gcn(g.feature_length, hidden_sizes=(16,))
+        _, rel8 = compare_precision(model2, g, FixedPointFormat(8, 4))
+        assert rel8 > rel32

@@ -1,0 +1,110 @@
+"""Tests for the LayerReport / SimulationReport result containers."""
+
+import pytest
+
+from repro.core.stats import LayerReport, SimulationReport
+from repro.hw import DRAMStats, EnergyBreakdown
+
+
+def make_layer(name="layer0", cycles=1000, agg=600, comb=400, dram_bytes=4096,
+               energy_pj=2000.0, vertex_latency=50.0, sparsity=0.25):
+    stats = DRAMStats(requests=4, bytes_transferred=dram_bytes, row_hits=2,
+                      row_misses=2, busy_cycles=cycles // 2,
+                      total_channel_cycles=cycles, energy_pj=dram_bytes * 56.0)
+    energy = EnergyBreakdown(
+        aggregation_compute_pj=energy_pj * 0.2,
+        aggregation_buffers_pj=energy_pj * 0.1,
+        combination_compute_pj=energy_pj * 0.4,
+        combination_buffers_pj=energy_pj * 0.1,
+        coordinator_buffers_pj=energy_pj * 0.1,
+        dram_pj=energy_pj * 0.05,
+        static_pj=energy_pj * 0.05,
+    )
+    return LayerReport(
+        name=name,
+        total_cycles=cycles,
+        aggregation_cycles=agg,
+        combination_cycles=comb,
+        num_vertices=64,
+        num_edges=256,
+        simd_ops=10_000,
+        macs=20_000,
+        dram_stats=stats,
+        dram_bytes_by_stream={"edges": dram_bytes // 2, "input_features": dram_bytes // 2},
+        energy=energy,
+        avg_vertex_latency_cycles=vertex_latency,
+        sparsity_reduction=sparsity,
+        loaded_feature_rows=48,
+        baseline_feature_rows=64,
+        num_intervals=2,
+    )
+
+
+class TestLayerReport:
+    def test_derived_properties(self):
+        layer = make_layer()
+        assert layer.dram_bytes == 4096
+        assert 0.0 <= layer.bandwidth_utilization <= 1.0
+
+    def test_zero_cycles_bandwidth(self):
+        layer = make_layer(cycles=0)
+        assert layer.bandwidth_utilization == 0.0
+
+
+class TestSimulationReport:
+    def make_report(self, num_layers=3):
+        report = SimulationReport(model_name="GCN", dataset_name="CR")
+        for i in range(num_layers):
+            report.layers.append(make_layer(name=f"layer{i}", cycles=1000 * (i + 1)))
+        return report
+
+    def test_totals_sum_layers(self):
+        report = self.make_report()
+        assert report.total_cycles == 1000 + 2000 + 3000
+        assert report.total_dram_bytes == 3 * 4096
+        assert report.aggregation_cycles == 3 * 600
+        assert report.combination_cycles == 3 * 400
+
+    def test_execution_time_uses_clock(self):
+        report = self.make_report()
+        assert report.execution_time_s == pytest.approx(6000 / 1e9)
+        report.clock_ghz = 2.0
+        assert report.execution_time_s == pytest.approx(6000 / 2e9)
+
+    def test_energy_merge(self):
+        report = self.make_report()
+        assert report.total_energy_j == pytest.approx(3 * 2000.0 * 1e-12)
+
+    def test_dram_stats_merge(self):
+        report = self.make_report()
+        assert report.dram_stats.requests == 12
+        assert report.dram_stats.bytes_transferred == 3 * 4096
+
+    def test_stream_bytes_aggregate(self):
+        report = self.make_report()
+        streams = report.dram_bytes_by_stream()
+        assert streams["edges"] == 3 * 2048
+        assert sum(streams.values()) == report.total_dram_bytes
+
+    def test_average_metrics(self):
+        report = self.make_report()
+        assert report.avg_vertex_latency_cycles == pytest.approx(50.0)
+        assert report.avg_sparsity_reduction == pytest.approx(0.25)
+
+    def test_empty_report(self):
+        report = SimulationReport(model_name="GCN", dataset_name="CR")
+        assert report.total_cycles == 0
+        assert report.avg_vertex_latency_cycles == 0.0
+        assert report.avg_sparsity_reduction == 0.0
+        assert report.bandwidth_utilization == 0.0
+
+    def test_speedup_and_energy_ratio(self):
+        report = self.make_report()
+        assert report.speedup_over(report.execution_time_s * 2) == pytest.approx(2.0)
+        assert report.energy_ratio_to(report.total_energy_j * 2) == pytest.approx(0.5)
+
+    def test_summary_contents(self):
+        summary = self.make_report().summary()
+        assert summary["model"] == "GCN"
+        assert summary["dataset"] == "CR"
+        assert summary["cycles"] == 6000

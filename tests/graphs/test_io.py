@@ -1,0 +1,75 @@
+"""Tests for graph persistence (npz archives and edge-list files)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    erdos_renyi_graph,
+    export_edge_list,
+    import_edge_list,
+    load_graph,
+    save_graph,
+)
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi_graph(48, 192, feature_length=12, seed=3)
+
+
+class TestNpzRoundTrip:
+    def test_roundtrip_structure_and_features(self, graph, tmp_path):
+        path = save_graph(graph, tmp_path / "graph.npz")
+        loaded = load_graph(path)
+        assert loaded.num_vertices == graph.num_vertices
+        assert loaded.num_edges == graph.num_edges
+        assert loaded.name == graph.name
+        np.testing.assert_array_equal(loaded.csr.indptr, graph.csr.indptr)
+        np.testing.assert_array_equal(loaded.csr.indices, graph.csr.indices)
+        np.testing.assert_allclose(loaded.features, graph.features)
+
+    def test_extension_added_automatically(self, graph, tmp_path):
+        path = save_graph(graph, tmp_path / "graph")
+        assert str(path).endswith(".npz")
+        loaded = load_graph(tmp_path / "graph")
+        assert loaded.num_edges == graph.num_edges
+
+    def test_creates_parent_directories(self, graph, tmp_path):
+        path = save_graph(graph, tmp_path / "nested" / "dir" / "g.npz")
+        assert path.exists()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_graph(tmp_path / "does_not_exist.npz")
+
+
+class TestEdgeListRoundTrip:
+    def test_export_then_import(self, graph, tmp_path):
+        path = export_edge_list(graph, tmp_path / "edges.txt")
+        imported = import_edge_list(path, num_vertices=graph.num_vertices,
+                                    feature_length=4)
+        assert imported.num_vertices == graph.num_vertices
+        assert imported.num_edges == graph.num_edges
+        # same adjacency structure
+        np.testing.assert_array_equal(np.sort(imported.csr.indices),
+                                      np.sort(graph.csr.indices))
+
+    def test_header_and_comments_skipped(self, graph, tmp_path):
+        path = export_edge_list(graph, tmp_path / "edges.txt", header=True)
+        first_line = open(path).readline()
+        assert first_line.startswith("#")
+        imported = import_edge_list(path)
+        assert imported.num_edges == graph.num_edges
+
+    def test_vertex_count_inferred(self, tmp_path):
+        path = tmp_path / "tiny.txt"
+        path.write_text("0 1\n1 2\n4 0\n")
+        g = import_edge_list(path)
+        assert g.num_vertices == 5
+        assert g.num_edges == 3
+
+    def test_undirected_import(self, tmp_path):
+        path = tmp_path / "tiny.txt"
+        path.write_text("0 1\n")
+        g = import_edge_list(path, undirected=True)
+        assert g.num_edges == 2

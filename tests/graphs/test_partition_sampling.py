@@ -1,0 +1,160 @@
+"""Tests for interval-shard partitioning and neighbour sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    Graph,
+    NeighborSampler,
+    SamplingConfig,
+    erdos_renyi_graph,
+    partition_graph,
+    power_law_graph,
+    sample_graph,
+)
+
+
+def small_graph(seed=0):
+    return erdos_renyi_graph(32, 128, feature_length=8, seed=seed)
+
+
+class TestPartition:
+    def test_partition_covers_all_vertices(self):
+        g = small_graph()
+        part = partition_graph(g, interval_size=8, shard_height=8)
+        covered = np.concatenate([iv.vertices() for iv in part.intervals])
+        np.testing.assert_array_equal(np.sort(covered), np.arange(g.num_vertices))
+
+    def test_partition_preserves_all_edges(self):
+        g = small_graph()
+        part = partition_graph(g, interval_size=8, shard_height=8)
+        assert part.total_edges() == g.num_edges
+
+    def test_edges_fall_inside_their_shard(self):
+        g = small_graph(seed=1)
+        part = partition_graph(g, interval_size=8, shard_height=4)
+        for shard in part.iter_shards():
+            interval = part.intervals[shard.interval_index]
+            for src, dst in shard.edges:
+                assert shard.src_start <= src < shard.src_stop
+                assert dst in interval
+
+    def test_uneven_sizes(self):
+        g = small_graph(seed=2)
+        part = partition_graph(g, interval_size=10, shard_height=7)
+        assert part.intervals[-1].stop == g.num_vertices
+        assert part.total_edges() == g.num_edges
+
+    def test_interval_membership(self):
+        g = small_graph()
+        part = partition_graph(g, interval_size=8, shard_height=8)
+        interval = part.intervals[1]
+        assert 8 in interval and 15 in interval and 16 not in interval
+
+    def test_single_interval_whole_graph(self):
+        g = small_graph()
+        part = partition_graph(g, interval_size=g.num_vertices,
+                               shard_height=g.num_vertices)
+        assert part.num_intervals == 1
+        assert part.num_row_blocks == 1
+        assert part.shards_for_interval(0)[0].num_edges == g.num_edges
+
+    def test_occupancy_between_zero_and_one(self):
+        g = small_graph()
+        part = partition_graph(g, interval_size=8, shard_height=8)
+        assert 0.0 < part.occupancy() <= 1.0
+
+    def test_nonempty_shards_subset(self):
+        g = power_law_graph(64, 256, feature_length=4, seed=3)
+        part = partition_graph(g, interval_size=16, shard_height=16)
+        for i in range(part.num_intervals):
+            nonempty = part.nonempty_shards_for_interval(i)
+            assert all(not s.is_empty for s in nonempty)
+            assert len(nonempty) <= len(part.shards_for_interval(i))
+
+    def test_invalid_sizes_rejected(self):
+        g = small_graph()
+        with pytest.raises(ValueError):
+            partition_graph(g, interval_size=0, shard_height=8)
+        with pytest.raises(ValueError):
+            partition_graph(g, interval_size=8, shard_height=0)
+
+    def test_shard_density(self):
+        g = small_graph()
+        part = partition_graph(g, interval_size=8, shard_height=8)
+        for shard in part.iter_shards():
+            assert 0.0 <= shard.density(8) <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(interval=st.integers(1, 40), height=st.integers(1, 40), seed=st.integers(0, 5))
+    def test_property_edges_conserved(self, interval, height, seed):
+        g = erdos_renyi_graph(24, 96, feature_length=4, seed=seed)
+        part = partition_graph(g, interval_size=interval, shard_height=height)
+        assert part.total_edges() == g.num_edges
+
+
+class TestSampling:
+    def test_disabled_sampling_is_identity(self):
+        g = small_graph()
+        cfg = SamplingConfig()
+        assert not cfg.enabled
+        sampled = sample_graph(g, cfg)
+        assert sampled is g
+
+    def test_max_neighbors_cap(self):
+        g = power_law_graph(64, 1024, feature_length=4, seed=1)
+        sampler = NeighborSampler(SamplingConfig(max_neighbors=3, seed=0))
+        for v in range(g.num_vertices):
+            assert len(sampler.sample_neighbors(g.in_neighbors(v))) <= 3
+
+    def test_sampling_factor_reduces_edges(self):
+        g = power_law_graph(64, 1024, feature_length=4, seed=2)
+        sampled = sample_graph(g, SamplingConfig(sampling_factor=4, seed=0))
+        assert sampled.num_edges < g.num_edges
+        # at least one neighbour is always kept per vertex with neighbours
+        for v in range(g.num_vertices):
+            if g.csc.in_degree(v) > 0:
+                assert sampled.csc.in_degree(v) >= 1
+
+    def test_sampled_neighbors_are_subset(self):
+        g = small_graph(seed=4)
+        sampler = NeighborSampler(SamplingConfig(max_neighbors=2, seed=1))
+        for v in range(g.num_vertices):
+            original = set(g.in_neighbors(v).tolist())
+            sampled = set(sampler.sample_neighbors(g.in_neighbors(v)).tolist())
+            assert sampled <= original
+
+    def test_strided_strategy_deterministic(self):
+        g = small_graph(seed=5)
+        cfg = SamplingConfig(max_neighbors=2, strategy="strided")
+        s1 = NeighborSampler(cfg).sample_graph(g)
+        s2 = NeighborSampler(cfg).sample_graph(g)
+        np.testing.assert_array_equal(s1.csr.indices, s2.csr.indices)
+
+    def test_sampled_graph_shares_features(self):
+        g = small_graph()
+        sampled = sample_graph(g, SamplingConfig(max_neighbors=1, seed=0))
+        assert sampled.features is g.features
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(sampling_factor=0)
+        with pytest.raises(ValueError):
+            SamplingConfig(max_neighbors=0)
+        with pytest.raises(ValueError):
+            SamplingConfig(strategy="bogus")
+
+    def test_sampled_degree_map(self):
+        g = small_graph(seed=6)
+        sampler = NeighborSampler(SamplingConfig(max_neighbors=2, seed=0))
+        degmap = sampler.sampled_degree_map(g)
+        assert set(degmap) == set(range(g.num_vertices))
+        assert all(0 <= d <= 2 for d in degmap.values())
+
+    @settings(max_examples=20, deadline=None)
+    @given(factor=st.integers(1, 8), seed=st.integers(0, 3))
+    def test_property_sampling_never_increases_edges(self, factor, seed):
+        g = power_law_graph(48, 512, feature_length=4, seed=seed)
+        sampled = sample_graph(g, SamplingConfig(sampling_factor=factor, seed=seed))
+        assert sampled.num_edges <= g.num_edges

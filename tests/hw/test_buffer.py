@@ -1,0 +1,92 @@
+"""Tests for on-chip buffer models."""
+
+import pytest
+
+from repro.hw import BufferStats, DoubleBuffer, PingPongBuffer, ScratchpadBuffer
+
+
+class TestScratchpadBuffer:
+    def test_allocate_and_free(self):
+        buf = ScratchpadBuffer("input", 1024)
+        assert buf.allocate("shard0", 512)
+        assert buf.used_bytes == 512
+        assert buf.free_bytes == 512
+        buf.free("shard0")
+        assert buf.used_bytes == 0
+
+    def test_overflow_counted_not_fatal(self):
+        buf = ScratchpadBuffer("input", 100)
+        assert not buf.allocate("big", 200)
+        assert buf.stats.overflow_events == 1
+        assert buf.occupancy > 1.0
+
+    def test_reallocate_same_region_replaces(self):
+        buf = ScratchpadBuffer("input", 1024)
+        buf.allocate("a", 100)
+        buf.allocate("a", 300)
+        assert buf.used_bytes == 300
+
+    def test_clear(self):
+        buf = ScratchpadBuffer("input", 1024)
+        buf.allocate("a", 100)
+        buf.allocate("b", 200)
+        buf.clear()
+        assert buf.used_bytes == 0
+        assert buf.region_bytes("a") == 0
+
+    def test_traffic_accounting(self):
+        buf = ScratchpadBuffer("weights", 1024)
+        buf.read(256, accesses=4)
+        buf.write(128, accesses=2)
+        assert buf.stats.reads == 4
+        assert buf.stats.writes == 2
+        assert buf.stats.bytes_read == 256
+        assert buf.stats.bytes_written == 128
+        assert buf.stats.total_bytes == 384
+        assert buf.stats.total_accesses == 6
+
+    def test_reset_stats(self):
+        buf = ScratchpadBuffer("weights", 1024)
+        buf.read(256)
+        buf.reset_stats()
+        assert buf.stats.total_bytes == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ScratchpadBuffer("x", 0)
+
+    def test_negative_allocation_rejected(self):
+        buf = ScratchpadBuffer("x", 10)
+        with pytest.raises(ValueError):
+            buf.allocate("r", -1)
+
+    def test_stats_merge(self):
+        a = BufferStats(reads=1, writes=2, bytes_read=10, bytes_written=20)
+        b = BufferStats(reads=3, writes=4, bytes_read=30, bytes_written=40, overflow_events=1)
+        merged = a.merge(b)
+        assert merged.reads == 4 and merged.writes == 6
+        assert merged.total_bytes == 100
+        assert merged.overflow_events == 1
+
+
+class TestDoubleBuffer:
+    def test_working_capacity_is_half(self):
+        buf = DoubleBuffer("edge", 2048)
+        assert buf.working_capacity == 1024
+        assert buf.fits_working_set(1024)
+        assert not buf.fits_working_set(1025)
+
+
+class TestPingPongBuffer:
+    def test_chunk_capacity_is_half(self):
+        buf = PingPongBuffer("aggregation", 16 * 1024)
+        assert buf.chunk_capacity == 8 * 1024
+        assert buf.fits_chunk(8 * 1024)
+        assert not buf.fits_chunk(8 * 1024 + 1)
+
+    def test_swap_toggles_and_counts(self):
+        buf = PingPongBuffer("aggregation", 1024)
+        assert buf.active_chunk == 0
+        assert buf.swap() == 1
+        assert buf.swap() == 0
+        assert buf.swaps == 2

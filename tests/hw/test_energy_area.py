@@ -1,0 +1,102 @@
+"""Tests for the energy and area/power models."""
+
+import pytest
+
+from repro.hw import (
+    AreaPowerConfig,
+    AreaPowerModel,
+    EnergyBreakdown,
+    EnergyModel,
+    EnergyParams,
+    PAPER_TABLE7,
+)
+
+
+class TestEnergyModel:
+    def make_breakdown(self, **overrides):
+        defaults = dict(
+            simd_ops=1000,
+            macs=2000,
+            aggregation_buffer_bytes={"edge": 100, "input": 200},
+            combination_buffer_bytes={"weight": 300, "output": 400},
+            coordinator_buffer_bytes=500,
+            dram_bytes=1000,
+            cycles=10_000,
+        )
+        defaults.update(overrides)
+        return EnergyModel().compute(**defaults)
+
+    def test_component_energies(self):
+        params = EnergyParams()
+        bd = self.make_breakdown()
+        assert bd.aggregation_compute_pj == pytest.approx(1000 * params.simd_op_pj)
+        assert bd.combination_compute_pj == pytest.approx(2000 * params.mac_pj)
+        assert bd.aggregation_buffers_pj == pytest.approx(300 * params.buffer_pj_per_byte)
+        assert bd.combination_buffers_pj == pytest.approx(700 * params.buffer_pj_per_byte)
+        assert bd.coordinator_buffers_pj == pytest.approx(500 * params.buffer_pj_per_byte)
+        assert bd.dram_pj == pytest.approx(1000 * params.dram_pj_per_byte)
+
+    def test_static_energy_scales_with_cycles(self):
+        short = self.make_breakdown(cycles=1000)
+        long = self.make_breakdown(cycles=100_000)
+        assert long.static_pj > short.static_pj
+
+    def test_totals_and_shares(self):
+        bd = self.make_breakdown()
+        shares = bd.engine_shares()
+        assert bd.total_pj > 0
+        assert bd.total_joules == pytest.approx(bd.total_pj * 1e-12)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_merge(self):
+        a = self.make_breakdown()
+        b = self.make_breakdown(macs=0, simd_ops=0)
+        merged = a.merge(b)
+        assert merged.total_pj == pytest.approx(a.total_pj + b.total_pj)
+
+    def test_more_macs_more_combination_energy(self):
+        low = self.make_breakdown(macs=100)
+        high = self.make_breakdown(macs=1_000_000)
+        assert high.combination_engine_pj > low.combination_engine_pj
+
+    def test_dram_dominates_for_memory_bound(self):
+        bd = self.make_breakdown(dram_bytes=10**7, macs=10, simd_ops=10)
+        assert bd.dram_pj > bd.on_chip_pj
+
+
+class TestAreaPowerModel:
+    def test_default_matches_published_totals(self):
+        model = AreaPowerModel()
+        assert model.total_power_w() == pytest.approx(6.7, rel=0.02)
+        assert model.total_area_mm2() == pytest.approx(7.8, rel=0.02)
+
+    def test_default_breakdown_matches_table7(self):
+        rows = {r["module"]: r for r in AreaPowerModel().breakdown_table()}
+        assert rows["combination_compute"]["power_pct"] == pytest.approx(60.52, abs=1.5)
+        assert rows["coordinator_buffer"]["area_pct"] == pytest.approx(34.64, abs=1.5)
+        assert rows["aggregation_buffer"]["area_pct"] == pytest.approx(5.41, abs=1.5)
+
+    def test_control_overhead_is_small(self):
+        rows = {r["module"]: r for r in AreaPowerModel().breakdown_table()}
+        assert rows["control"]["power_pct"] < 2.0
+        assert rows["control"]["area_pct"] < 1.0
+
+    def test_bigger_aggregation_buffer_more_area(self):
+        small = AreaPowerModel(AreaPowerConfig(aggregation_buffer_bytes=2 << 20))
+        big = AreaPowerModel(AreaPowerConfig(aggregation_buffer_bytes=32 << 20))
+        assert big.total_area_mm2() > small.total_area_mm2()
+
+    def test_fewer_pes_less_power(self):
+        half = AreaPowerModel(AreaPowerConfig(num_systolic_modules=4))
+        full = AreaPowerModel(AreaPowerConfig(num_systolic_modules=8))
+        assert half.total_power_w() < full.total_power_w()
+
+    def test_paper_table_fractions_sum_to_one(self):
+        power = sum(v["power"] for v in PAPER_TABLE7.values())
+        area = sum(v["area"] for v in PAPER_TABLE7.values())
+        assert power == pytest.approx(1.0, abs=0.01)
+        assert area == pytest.approx(1.0, abs=0.01)
+
+    def test_breakdown_rows_have_expected_keys(self):
+        for row in AreaPowerModel().breakdown_table():
+            assert {"module", "power_w", "power_pct", "area_mm2", "area_pct"} <= set(row)

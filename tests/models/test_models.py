@@ -1,0 +1,187 @@
+"""Tests for the GCN model zoo (GCN, GraphSage, GIN, DiffPool)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi_graph, load_dataset
+from repro.models import (
+    MODEL_NAMES,
+    build_diffpool,
+    build_gcn,
+    build_gin,
+    build_graphsage,
+    build_model,
+    model_table,
+    workloads_for,
+)
+from repro.models.diffpool import DiffPoolModel
+
+
+def make_graph(seed=0, feature_length=12):
+    return erdos_renyi_graph(40, 160, feature_length=feature_length, seed=seed)
+
+
+class TestGCN:
+    def test_output_shape(self):
+        g = make_graph()
+        model = build_gcn(g.feature_length, hidden_sizes=(8,))
+        out = model.forward(g)
+        assert out.shape == (g.num_vertices, 8)
+
+    def test_outputs_nonnegative_after_relu(self):
+        g = make_graph()
+        model = build_gcn(g.feature_length, hidden_sizes=(8,))
+        assert (model.forward(g) >= 0).all()
+
+    def test_multi_layer(self):
+        g = make_graph()
+        model = build_gcn(g.feature_length, hidden_sizes=(16, 4))
+        assert model.num_layers == 2
+        assert model.forward(g).shape == (g.num_vertices, 4)
+
+    def test_workloads_chain_feature_lengths(self):
+        g = make_graph()
+        model = build_gcn(g.feature_length, hidden_sizes=(16, 4))
+        wls = model.workloads(g)
+        assert wls[0].in_feature_length == g.feature_length
+        assert wls[1].in_feature_length == 16
+        assert wls[1].out_feature_length == 4
+
+    def test_combine_first_order(self):
+        g = make_graph()
+        model = build_gcn(g.feature_length, hidden_sizes=(8,))
+        assert model.layers[0].aggregate_first is False
+
+    def test_readout_sum(self):
+        g = make_graph()
+        model = build_gcn(g.feature_length, hidden_sizes=(8,))
+        hg = model.graph_representation(g)
+        np.testing.assert_allclose(hg, model.forward(g).sum(axis=0))
+
+
+class TestGraphSage:
+    def test_sampling_caps_neighbors(self):
+        g = make_graph()
+        model = build_graphsage(g.feature_length, sample_neighbors=2)
+        sampling = model.layers[0].aggregation.sampling
+        assert sampling is not None and sampling.max_neighbors == 2
+
+    def test_no_sampling_when_disabled(self):
+        model = build_graphsage(8, sample_neighbors=None, sampling_factor=1)
+        assert model.layers[0].aggregation.sampling is None
+
+    def test_forward_shape(self):
+        g = make_graph()
+        model = build_graphsage(g.feature_length, hidden_sizes=(8,), sample_neighbors=5)
+        assert model.forward(g).shape == (g.num_vertices, 8)
+
+    def test_max_reducer_used(self):
+        model = build_graphsage(8)
+        assert model.layers[0].aggregation.reducer == "max"
+
+    def test_sampling_factor_reduces_aggregation_ops(self):
+        g = make_graph()
+        dense = build_graphsage(g.feature_length, sample_neighbors=None, sampling_factor=1)
+        sparse = build_graphsage(g.feature_length, sample_neighbors=None, sampling_factor=4)
+        assert sparse.total_aggregation_ops(g) < dense.total_aggregation_ops(g)
+
+
+class TestGIN:
+    def test_two_layer_mlp(self):
+        model = build_gin(12, hidden_sizes=((16, 8),))
+        assert model.layers[0].combination.mlp.num_layers == 2
+        assert model.layers[0].output_size == 8
+
+    def test_aggregate_first(self):
+        model = build_gin(12)
+        assert model.layers[0].aggregate_first is True
+
+    def test_forward_shape(self):
+        g = make_graph()
+        model = build_gin(g.feature_length, hidden_sizes=((8, 8),))
+        assert model.forward(g).shape == (g.num_vertices, 8)
+
+    def test_concat_readout_length(self):
+        g = make_graph()
+        model = build_gin(g.feature_length, hidden_sizes=((8, 8), (8, 4)))
+        hg = model.graph_representation(g)
+        assert hg.shape == (8 + 4,)
+
+    def test_gin_aggregation_dominates_ops(self):
+        # GIN aggregates at full input feature length, so its aggregation op
+        # count must exceed a combine-first GCN's on the same graph.
+        g = make_graph(feature_length=64)
+        gin = build_gin(g.feature_length, hidden_sizes=((16, 16),))
+        gcn = build_gcn(g.feature_length, hidden_sizes=(16,))
+        assert gin.total_aggregation_ops(g) > gcn.total_aggregation_ops(g)
+
+
+class TestDiffPool:
+    def test_pooled_graph_smaller(self):
+        g = make_graph()
+        model = build_diffpool(g.feature_length, hidden_size=16, num_clusters=8)
+        pooled, assignment, features = model.forward(g)
+        assert pooled.num_vertices == 8
+        assert assignment.shape == (g.num_vertices, 8)
+        assert features.shape == (8, 16)
+
+    def test_assignment_rows_are_distributions(self):
+        g = make_graph()
+        model = build_diffpool(g.feature_length, hidden_size=16, num_clusters=8)
+        _, assignment, _ = model.forward(g)
+        np.testing.assert_allclose(assignment.sum(axis=1), np.ones(g.num_vertices))
+        assert (assignment >= 0).all()
+
+    def test_extra_matmul_macs(self):
+        g = make_graph()
+        model = build_diffpool(g.feature_length, hidden_size=16, num_clusters=8)
+        matmuls = model.extra_matmuls(g)
+        assert len(matmuls) == 3
+        n, c, z = g.num_vertices, 8, 16
+        assert sum(m.macs for m in matmuls) == c * n * z + c * n * n + c * n * c
+
+    def test_min_reducer_in_internal_gcns(self):
+        model = build_diffpool(8)
+        assert model.pool_gcn.layers[0].aggregation.reducer == "min"
+        assert model.embed_gcn.layers[0].aggregation.reducer == "min"
+
+    def test_workloads_include_both_gcns(self):
+        g = make_graph()
+        model = build_diffpool(g.feature_length, hidden_size=16, num_clusters=8)
+        assert len(model.workloads(g)) == 2
+
+    def test_cluster_cap(self):
+        model = build_diffpool(8, hidden_size=16, num_clusters=999)
+        assert model.num_clusters == 16
+
+
+class TestModelZoo:
+    def test_all_four_models_build(self):
+        for name in MODEL_NAMES:
+            model = build_model(name, input_length=32)
+            assert model is not None
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("TPU", input_length=8)
+
+    def test_workloads_for_all_models(self):
+        g = make_graph()
+        for name in MODEL_NAMES:
+            model = build_model(name, input_length=g.feature_length)
+            wls = workloads_for(model, g)
+            assert len(wls) >= 1
+            assert all(w.combination_macs() > 0 for w in wls)
+
+    def test_model_table_has_four_rows(self):
+        assert len(model_table()) == 4
+
+    def test_build_model_on_dataset(self):
+        g = load_dataset("IB", seed=0)
+        model = build_model("GCN", input_length=g.feature_length)
+        wls = workloads_for(model, g)
+        assert wls[0].in_feature_length == 136
+
+    def test_gsc_sampling_factor_passthrough(self):
+        model = build_model("GSC", input_length=16, sampling_factor=4)
+        assert model.layers[0].aggregation.sampling.sampling_factor == 4

@@ -1,0 +1,68 @@
+"""Tests for the Readout operators and the virtual readout vertex."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import erdos_renyi_graph
+from repro.models import (
+    AggregationPhase,
+    add_readout_vertex,
+    readout_concat,
+    readout_max,
+    readout_mean,
+    readout_sum,
+)
+
+
+class TestReadoutOperators:
+    def setup_method(self):
+        self.features = np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 0.0]])
+
+    def test_sum(self):
+        np.testing.assert_array_equal(readout_sum(self.features), [9.0, 6.0])
+
+    def test_mean(self):
+        np.testing.assert_array_equal(readout_mean(self.features), [3.0, 2.0])
+
+    def test_max(self):
+        np.testing.assert_array_equal(readout_max(self.features), [5.0, 4.0])
+
+    def test_concat_across_layers(self):
+        layer1 = np.ones((3, 2))
+        layer2 = 2 * np.ones((3, 4))
+        out = readout_concat([layer1, layer2])
+        assert out.shape == (6,)
+        np.testing.assert_array_equal(out[:2], [3.0, 3.0])
+        np.testing.assert_array_equal(out[2:], [6.0] * 4)
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(ValueError):
+            readout_concat([])
+
+
+class TestReadoutVertex:
+    def test_virtual_vertex_connected_to_all(self):
+        g = erdos_renyi_graph(16, 64, feature_length=4, seed=0)
+        extended = add_readout_vertex(g)
+        assert extended.num_vertices == g.num_vertices + 1
+        readout_id = g.num_vertices
+        assert sorted(extended.in_neighbors(readout_id)) == list(range(g.num_vertices))
+        # the virtual vertex has no outgoing edges and a zero feature vector
+        assert len(extended.neighbors(readout_id)) == 0
+        np.testing.assert_array_equal(extended.features[readout_id],
+                                      np.zeros(g.feature_length))
+
+    def test_original_structure_preserved(self):
+        g = erdos_renyi_graph(16, 64, feature_length=4, seed=1)
+        extended = add_readout_vertex(g)
+        for v in range(g.num_vertices):
+            assert sorted(n for n in extended.neighbors(v) if n < g.num_vertices) \
+                == sorted(g.neighbors(v))
+
+    def test_aggregating_readout_vertex_matches_sum_readout(self):
+        # the paper's mapping: Readout == aggregation of the virtual vertex
+        g = erdos_renyi_graph(16, 64, feature_length=4, seed=2)
+        extended = add_readout_vertex(g)
+        phase = AggregationPhase(reducer="add", include_self=False)
+        aggregated = phase.forward(extended, extended.features)
+        np.testing.assert_allclose(aggregated[g.num_vertices], readout_sum(g.features))

@@ -1,0 +1,60 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestSimulateCommand:
+    def test_basic_simulation(self, capsys):
+        assert main(["simulate", "--model", "GCN", "--dataset", "IB"]) == 0
+        out = capsys.readouterr().out
+        assert "HyGCN: GCN on IB" in out
+        assert "per-layer breakdown" in out
+
+    def test_with_comparison(self, capsys):
+        assert main(["simulate", "--model", "GIN", "--dataset", "IB", "--compare"]) == 0
+        out = capsys.readouterr().out
+        assert "platform comparison" in out
+        assert "PyG-CPU" in out and "PyG-GPU" in out
+
+    def test_optimisations_can_be_disabled(self, capsys):
+        assert main(["simulate", "--dataset", "IB", "--no-sparsity",
+                     "--no-coordination", "--pipeline", "none"]) == 0
+        assert "sparsity_reduction_pct" in capsys.readouterr().out
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--model", "TPU"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--dataset", "XX"])
+
+
+class TestSweepCommand:
+    def test_sparsity_sweep(self, capsys):
+        assert main(["sweep", "sparsity", "--datasets", "CR"]) == 0
+        assert "sparsity sweep" in capsys.readouterr().out
+
+    def test_ablation_sweep(self, capsys):
+        assert main(["sweep", "ablation", "--datasets", "CR"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative optimisation ablation" in out
+        assert "+memory coordination" in out
+
+    def test_unknown_sweep_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "bogus"])
+
+
+class TestInfoCommand:
+    def test_info_prints_all_tables(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 4" in out and "Table 5" in out
+        assert "Table 6" in out and "Table 7" in out
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,72 @@
+"""Smoke tests: the example scripts run end to end on the public API."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module without executing ``main``."""
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[path.stem] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart.py", "citation_classification.py",
+            "recommendation_inference.py", "design_space_exploration.py"} <= names
+
+
+def test_quickstart_runs(capsys):
+    module = load_example("quickstart.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "HyGCN" in out
+    assert "speedup over PyG-CPU" in out
+
+
+def test_recommendation_example_helpers():
+    module = load_example("recommendation_inference.py")
+    graph = module.build_interaction_graph(num_entities=256, interactions=2048,
+                                           embedding_length=32, seed=1)
+    assert graph.num_vertices == 256
+    assert graph.feature_length == 32
+    # skewed: the hubs carry a disproportionate share of interactions
+    degrees = graph.degrees()
+    assert degrees.max() > 4 * degrees.mean()
+
+
+def test_citation_example_prediction_head():
+    module = load_example("citation_classification.py")
+    import numpy as np
+    predictions = module.predict_classes(np.random.default_rng(0).standard_normal((50, 16)),
+                                         num_classes=7)
+    assert predictions.shape == (50,)
+    assert set(predictions.tolist()) <= set(range(7))
+
+
+def test_design_space_example_candidates():
+    module = load_example("design_space_exploration.py")
+    configs = module.candidate_configs()
+    assert len(configs) == len(module.DESIGN_POINTS)
+    # the paper's Table 6 configuration is one of the candidates
+    assert any(c.num_simd_cores == 32 and c.num_systolic_modules == 8
+               and c.aggregation_buffer_bytes == 16 << 20 for c in configs)
+
+
+def test_design_space_example_runs_on_small_mix():
+    from repro.analysis import WorkloadMix, explore, pareto_front
+    module = load_example("design_space_exploration.py")
+    quick_mix = WorkloadMix(name="quick", entries=(("GCN", "IB"),))
+    points = explore(module.candidate_configs()[:2], quick_mix)
+    assert len(points) == 2
+    assert all(p.time_ms > 0 and p.power_w > 0 for p in points)
+    assert len(pareto_front(points)) >= 1

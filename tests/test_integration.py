@@ -1,0 +1,133 @@
+"""Cross-module integration tests.
+
+These exercise full paths through the stack: functional equivalence between
+the programming model and the layer implementations, end-to-end simulation of
+every Table 5 model on every (scaled) Table 4 dataset class, determinism of
+the whole pipeline, and consistency invariants across the reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PyGCPUModel, PyGGPUModel
+from repro.core import (
+    EdgeMVMProgram,
+    HyGCNConfig,
+    HyGCNSimulator,
+    PipelineMode,
+)
+from repro.graphs import community_graph, load_dataset, power_law_graph
+from repro.models import MODEL_NAMES, build_gcn, build_model, workloads_for
+
+
+class TestFunctionalEquivalence:
+    """The edge-/MVM-centric program computes the same result as the layers."""
+
+    @pytest.mark.parametrize("model_name", ["GCN", "GIN"])
+    def test_program_matches_model(self, model_name):
+        g = community_graph(64, 512, feature_length=24, num_communities=4, seed=1)
+        model = build_model(model_name, input_length=g.feature_length, hidden_size=16)
+        workload = workloads_for(model, g)[0]
+        program_out = EdgeMVMProgram(workload).run()
+        layer_out = model.layers[0].forward(g, g.features)
+        np.testing.assert_allclose(program_out, layer_out, rtol=1e-9)
+
+    def test_trace_consistent_with_workload_counts(self):
+        g = power_law_graph(64, 512, feature_length=16, seed=2)
+        model = build_gcn(g.feature_length, hidden_sizes=(8,))
+        workload = model.workloads(g)[0]
+        trace = EdgeMVMProgram(workload).trace()
+        assert trace.combination_macs == workload.combination_macs()
+        assert trace.edges_processed == g.num_edges
+
+
+class TestEndToEndGrid:
+    """Every model runs end to end on representative datasets on all platforms."""
+
+    @pytest.mark.parametrize("model_name", MODEL_NAMES)
+    def test_model_on_imdb(self, model_name):
+        g = load_dataset("IB", seed=0)
+        model = build_model(model_name, input_length=g.feature_length)
+        hygcn = HyGCNSimulator().run_model(model, g, "IB")
+        cpu = PyGCPUModel().run(model, g, "IB")
+        gpu = PyGGPUModel().run(model, g, "IB")
+        # HyGCN wins on both time and energy for every model
+        assert hygcn.execution_time_s < cpu.total_time_s
+        assert hygcn.execution_time_s < gpu.total_time_s
+        assert hygcn.total_energy_j < cpu.energy_j
+        assert hygcn.total_energy_j < gpu.energy_j
+
+    @pytest.mark.parametrize("dataset", ["IB", "CR", "PB"])
+    def test_gcn_across_datasets(self, dataset):
+        g = load_dataset(dataset, seed=0)
+        model = build_model("GCN", input_length=g.feature_length)
+        report = HyGCNSimulator().run_model(model, g, dataset)
+        assert report.total_cycles > 0
+        assert report.layers[0].num_edges == g.num_edges
+        assert report.layers[0].buffer_overflows == 0
+
+
+class TestDeterminism:
+    def test_simulation_is_deterministic(self):
+        g = load_dataset("CR", seed=0)
+        model = build_model("GCN", input_length=g.feature_length)
+        a = HyGCNSimulator().run_model(model, g, "CR")
+        b = HyGCNSimulator().run_model(model, g, "CR")
+        assert a.total_cycles == b.total_cycles
+        assert a.total_dram_bytes == b.total_dram_bytes
+        assert a.total_energy_j == pytest.approx(b.total_energy_j)
+
+    def test_dataset_generation_deterministic_across_seeds(self):
+        g1 = load_dataset("IB", seed=0)
+        g2 = load_dataset("IB", seed=0)
+        assert g1.num_edges == g2.num_edges
+
+    def test_functional_inference_deterministic(self):
+        g = load_dataset("IB", seed=0)
+        model = build_model("GCN", input_length=g.feature_length, seed=5)
+        np.testing.assert_array_equal(model.forward(g), model.forward(g))
+
+
+class TestReportInvariants:
+    def test_stream_bytes_sum_to_total(self):
+        g = community_graph(256, 2048, feature_length=64, num_communities=8, seed=3)
+        model = build_gcn(g.feature_length, hidden_sizes=(32,))
+        report = HyGCNSimulator().run_model(model, g)
+        assert sum(report.dram_bytes_by_stream().values()) == report.total_dram_bytes
+
+    def test_layer_cycles_sum_to_model_cycles(self):
+        g = community_graph(256, 2048, feature_length=64, num_communities=8, seed=3)
+        model = build_gcn(g.feature_length, hidden_sizes=(32, 16))
+        report = HyGCNSimulator().run_model(model, g)
+        assert report.total_cycles == sum(l.total_cycles for l in report.layers)
+
+    def test_energy_components_sum(self):
+        g = community_graph(128, 1024, feature_length=32, num_communities=8, seed=4)
+        model = build_gcn(g.feature_length, hidden_sizes=(16,))
+        report = HyGCNSimulator().run_model(model, g)
+        e = report.energy
+        assert e.total_pj == pytest.approx(
+            e.aggregation_engine_pj + e.combination_engine_pj
+            + e.coordinator_buffers_pj + e.static_pj + e.dram_pj)
+
+    def test_more_edges_more_cycles_and_traffic(self):
+        sparse = power_law_graph(256, 1024, feature_length=64, seed=5)
+        dense = power_law_graph(256, 8192, feature_length=64, seed=5)
+        model = build_gcn(64, hidden_sizes=(32,))
+        sim = HyGCNSimulator()
+        sparse_report = sim.run_model(model, sparse)
+        dense_report = sim.run_model(model, dense)
+        assert dense_report.total_cycles > sparse_report.total_cycles
+        assert dense_report.layers[0].simd_ops > sparse_report.layers[0].simd_ops
+
+    def test_all_optimizations_off_is_worst(self):
+        g = community_graph(384, 3072, feature_length=96, num_communities=12, seed=6)
+        model = build_gcn(g.feature_length, hidden_sizes=(32,))
+        best = HyGCNSimulator(HyGCNConfig()).run_model(model, g)
+        worst = HyGCNSimulator(HyGCNConfig(
+            enable_sparsity_elimination=False,
+            enable_memory_coordination=False,
+            pipeline_mode=PipelineMode.NONE,
+        )).run_model(model, g)
+        assert worst.total_cycles > best.total_cycles
+        assert worst.total_dram_bytes >= best.total_dram_bytes
