@@ -1,4 +1,19 @@
-"""Setuptools shim so legacy editable installs work in offline environments."""
-from setuptools import setup
+"""Packaging for the HyGCN reproduction (``src/`` layout).
 
-setup()
+Declares the layout explicitly so ``pip install -e .`` (and plain
+``pip install .``) works in offline environments without manually exporting
+``PYTHONPATH=src``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-hygcn",
+    version="1.0.0",
+    description="HyGCN reproduction: a hybrid-architecture GCN accelerator "
+                "simulator with an online-serving subsystem",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.8",
+    install_requires=["numpy"],
+)

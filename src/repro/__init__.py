@@ -10,12 +10,15 @@ The package is organised as:
 * :mod:`repro.baselines` -- PyG-CPU / PyG-GPU analytical models and the CPU
   characterisation harness;
 * :mod:`repro.analysis` -- comparison tables and parameter sweeps used by the
-  benchmark harness.
+  benchmark harness;
+* :mod:`repro.serving` -- online inference serving on a fleet of simulated
+  accelerators (request traffic, batching, dispatch, caching, SLO reporting).
 """
 
 from .core import HyGCNConfig, HyGCNSimulator, PipelineMode, SimulationReport
 from .graphs import Graph, load_dataset
 from .models import build_model
+from .serving import FleetConfig, ServingReport, run_serving
 
 __version__ = "1.0.0"
 
@@ -27,5 +30,8 @@ __all__ = [
     "Graph",
     "load_dataset",
     "build_model",
+    "FleetConfig",
+    "ServingReport",
+    "run_serving",
     "__version__",
 ]

@@ -1,9 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows without writing a script:
+Four commands cover the common workflows without writing a script:
 
 * ``simulate`` -- run one model on one dataset on the HyGCN simulator and
   print the report (optionally comparing against the CPU/GPU baselines);
+* ``serve``    -- replay request traffic against a fleet of simulated HyGCN
+  chips with batching, dispatch and caching, and print the latency /
+  throughput / SLO report;
 * ``sweep``    -- run one of the named ablation/scalability sweeps;
 * ``info``     -- print the dataset registry (Table 4), the model zoo
   (Table 5) and the default accelerator configuration (Table 6/7 view).
@@ -30,6 +33,13 @@ from .core import HyGCNConfig, HyGCNSimulator, PipelineMode
 from .graphs import DATASETS, dataset_table, load_dataset
 from .hw import AreaPowerModel
 from .models import MODEL_NAMES, build_model, model_table
+from .serving import (
+    ARRIVAL_PROCESSES,
+    BATCHING_POLICIES,
+    DISPATCH_POLICIES,
+    FleetConfig,
+    run_serving,
+)
 
 _SWEEPS = {
     "sparsity": sparsity_elimination_sweep,
@@ -61,6 +71,42 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--compare", action="store_true",
                           help="also run the PyG-CPU / PyG-GPU baseline models")
     simulate.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser(
+        "serve", help="serve request traffic on a fleet of simulated chips")
+    serve.add_argument("--model", type=str.upper, choices=MODEL_NAMES, default="GCN")
+    serve.add_argument("--dataset", type=str.upper, choices=sorted(DATASETS),
+                       default="CR")
+    serve.add_argument("--chips", type=int, default=4,
+                       help="number of accelerator instances in the fleet")
+    serve.add_argument("--requests", type=int, default=1000,
+                       help="number of inference requests to replay")
+    serve.add_argument("--rate", type=float, default=None,
+                       help="mean arrival rate in requests/s of simulated time "
+                            "(default: calibrated to --utilization of capacity)")
+    serve.add_argument("--utilization", type=float, default=0.7,
+                       help="target fleet load when --rate is not given")
+    serve.add_argument("--arrival", choices=ARRIVAL_PROCESSES, default="poisson")
+    serve.add_argument("--trace-file", default=None,
+                       help="file with one arrival timestamp (seconds) per line, "
+                            "required for --arrival trace")
+    serve.add_argument("--skew", type=float, default=0.8,
+                       help="Zipf exponent of target-vertex popularity (0 = uniform)")
+    serve.add_argument("--batch-policy", choices=BATCHING_POLICIES, default="timeout")
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--batch-timeout-ms", type=float, default=None,
+                       help="timeout-flush budget (default: adaptive)")
+    serve.add_argument("--dispatch", choices=DISPATCH_POLICIES,
+                       default="round-robin")
+    serve.add_argument("--hops", type=int, default=2,
+                       help="k-hop neighbourhood depth per request")
+    serve.add_argument("--fanout", type=int, default=8,
+                       help="max sampled in-neighbours per hop")
+    serve.add_argument("--cache-size", type=int, default=4096,
+                       help="result-cache entries (0 disables the cache)")
+    serve.add_argument("--slo-ms", type=float, default=None,
+                       help="latency SLO in milliseconds (default: adaptive)")
+    serve.add_argument("--seed", type=int, default=0)
 
     sweep = sub.add_parser("sweep", help="run an ablation / scalability sweep")
     sweep.add_argument("name", choices=sorted(_SWEEPS))
@@ -105,6 +151,72 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    trace = None
+    if args.arrival == "trace":
+        if args.trace_file is None:
+            print("error: --arrival trace requires --trace-file", file=sys.stderr)
+            return 2
+        try:
+            with open(args.trace_file) as handle:
+                trace = [float(line) for line in handle if line.strip()]
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read trace file {args.trace_file!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    try:
+        config = FleetConfig(
+            num_chips=args.chips,
+            dispatch=args.dispatch,
+            batch_policy=args.batch_policy,
+            max_batch_size=args.max_batch,
+            batch_timeout_s=None if args.batch_timeout_ms is None
+            else args.batch_timeout_ms * 1e-3,
+            slo_s=None if args.slo_ms is None else args.slo_ms * 1e-3,
+            cache_size=args.cache_size,
+            num_hops=args.hops,
+            fanout=args.fanout,
+            seed=args.seed,
+        )
+        report = run_serving(
+            dataset=args.dataset,
+            model_name=args.model,
+            num_requests=args.requests,
+            rate_rps=args.rate,
+            arrival=args.arrival,
+            popularity_skew=args.skew,
+            config=config,
+            trace=trace,
+            utilization_target=args.utilization,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    title = (f"serving: {args.model} on {args.dataset}, {args.chips} chips, "
+             f"{args.batch_policy} batching, {args.dispatch} dispatch")
+    print_table([report.summary()], title=title)
+    print_table([{
+        "p50_ms": round(report.p50_latency_s * 1e3, 4),
+        "p95_ms": round(report.p95_latency_s * 1e3, 4),
+        "p99_ms": round(report.p99_latency_s * 1e3, 4),
+        "mean_ms": round(report.mean_latency_s * 1e3, 4),
+        "max_ms": round(report.max_latency_s * 1e3, 4),
+        "slo_ms": round(report.slo_s * 1e3, 4),
+        "slo_violations": report.slo_violations,
+        **report.latency_breakdown(),
+    }], title="latency profile (simulated time)")
+    print_table(report.per_chip_table(), title="per-chip utilization")
+    print_table([{
+        "arrival_rate_rps": round(report.rate_rps, 1),
+        "throughput_rps": round(report.throughput_rps, 1),
+        "cache_hit_rate_pct": round(100.0 * report.cache.hit_rate, 2),
+        "avg_in_flight_requests": round(report.avg_in_flight, 2),
+        "max_queue_depth": report.max_queue_depth,
+    }], title="traffic summary")
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     if args.name == "ablation":
         rows: List[dict] = []
@@ -139,6 +251,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "simulate":
         return _run_simulate(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "sweep":
         return _run_sweep(args)
     return _run_info()

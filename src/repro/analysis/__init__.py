@@ -11,9 +11,12 @@ from .dse import (
 )
 from .report import format_table, print_table
 from .sweeps import (
+    SimJob,
     aggregation_buffer_sweep,
     memory_coordination_sweep,
+    parallel_map,
     pipeline_mode_sweep,
+    run_simulation_jobs,
     sampling_factor_sweep,
     sparsity_elimination_sweep,
     systolic_module_sweep,
@@ -32,6 +35,9 @@ __all__ = [
     "geometric_mean",
     "format_table",
     "print_table",
+    "SimJob",
+    "parallel_map",
+    "run_simulation_jobs",
     "aggregation_buffer_sweep",
     "memory_coordination_sweep",
     "pipeline_mode_sweep",

@@ -10,12 +10,10 @@ time, so the *cumulative* contribution of each choice is visible.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from ..core.config import HyGCNConfig, PipelineMode
-from ..core.simulator import HyGCNSimulator
-from ..graphs.datasets import load_dataset
-from ..models.model_zoo import build_model
+from .sweeps import SimJob, run_simulation_jobs
 
 __all__ = ["ABLATION_STEPS", "stacked_optimization_ablation"]
 
@@ -42,21 +40,24 @@ def stacked_optimization_ablation(
     model_name: str = "GCN",
     config: Optional[HyGCNConfig] = None,
     seed: int = 0,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Run the cumulative ablation and return one row per step.
 
     Each row reports execution time, DRAM traffic and energy normalised to the
     all-optimisations-off baseline, so the incremental benefit of each design
-    choice reads directly off the table.
+    choice reads directly off the table.  The steps are independent
+    simulations, so they fan out across cores like the named sweeps.
     """
     base = config or HyGCNConfig()
-    graph = load_dataset(dataset, seed=seed)
-    model = build_model(model_name, input_length=graph.feature_length)
+    jobs = [SimJob(dataset, model_name, _config_for_step(index, base), seed)
+            for index in range(len(ABLATION_STEPS))]
+    reports = run_simulation_jobs(jobs, max_workers=max_workers, parallel=parallel)
     rows: List[Dict[str, float]] = []
     baseline = None
     for index, step in enumerate(ABLATION_STEPS):
-        cfg = _config_for_step(index, base)
-        report = HyGCNSimulator(cfg).run_model(model, graph, dataset)
+        report = reports[index]
         if baseline is None:
             baseline = report
         rows.append({

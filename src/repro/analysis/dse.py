@@ -130,10 +130,21 @@ def evaluate_design_point(config: HyGCNConfig,
 
 
 def explore(configs: Sequence[HyGCNConfig],
-            mix: Optional[WorkloadMix] = None) -> List[DesignPoint]:
-    """Evaluate every candidate configuration on the same workload mix."""
+            mix: Optional[WorkloadMix] = None,
+            parallel: bool = True,
+            max_workers: Optional[int] = None) -> List[DesignPoint]:
+    """Evaluate every candidate configuration on the same workload mix.
+
+    Candidate evaluations are independent, so they fan out across CPU cores
+    (with a transparent sequential fallback) like the named sweeps.
+    """
+    from functools import partial
+
+    from .sweeps import parallel_map
+
     mix = mix or WorkloadMix()
-    return [evaluate_design_point(config, mix) for config in configs]
+    return parallel_map(partial(evaluate_design_point, mix=mix), configs,
+                        max_workers=max_workers, parallel=parallel)
 
 
 def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:

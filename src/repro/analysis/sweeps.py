@@ -6,19 +6,31 @@ experiments: sparsity elimination (Fig. 15), the inter-engine pipeline
 (sampling factor, Aggregation Buffer capacity, systolic module granularity).
 Results are returned as lists of plain dictionaries so the benchmark harness
 can print them as tables.
+
+Every sweep enumerates independent (dataset, model, config) simulation jobs,
+so they fan out across a :class:`concurrent.futures.ProcessPoolExecutor` by
+default (``parallel=False`` forces sequential execution, and any failure to
+spin up or use the pool -- sandboxed environments, unpicklable overrides --
+falls back to the sequential path with identical results).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
 from ..core.config import HyGCNConfig, PipelineMode
 from ..core.simulator import HyGCNSimulator
+from ..core.stats import SimulationReport
 from ..graphs.datasets import load_dataset
-from ..graphs.graph import Graph
 from ..models.model_zoo import build_model
 
 __all__ = [
+    "SimJob",
+    "run_simulation_jobs",
+    "parallel_map",
     "sparsity_elimination_sweep",
     "pipeline_mode_sweep",
     "memory_coordination_sweep",
@@ -29,9 +41,93 @@ __all__ = [
 
 MIB = 1024 * 1024
 
+_T = TypeVar("_T")
+_R = TypeVar("_R")
 
-def _graph_for(dataset: str, seed: int) -> Graph:
-    return load_dataset(dataset, seed=seed)
+
+# --------------------------------------------------------------------- #
+# Parallel job execution
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SimJob:
+    """One independent simulation: a (dataset, model, config) combination."""
+
+    dataset: str
+    model_name: str
+    config: HyGCNConfig
+    seed: int = 0
+    sampling_factor: int = 1
+
+
+@lru_cache(maxsize=32)
+def _model_for(model_name: str, input_length: int, sampling_factor: int):
+    """Process-local model reuse: jobs that differ only in the hardware
+    config share one model instance, so the memoised ``workloads_for``
+    flattening (and ``load_dataset``'s graph cache) actually repeat."""
+    return build_model(model_name, input_length=input_length,
+                       sampling_factor=sampling_factor)
+
+
+def _execute_sim_job(job: SimJob) -> SimulationReport:
+    """Worker entry point; module-level so it pickles into pool processes."""
+    graph = load_dataset(job.dataset, seed=job.seed)
+    model = _model_for(job.model_name, graph.feature_length, job.sampling_factor)
+    return HyGCNSimulator(job.config).run_model(model, graph, job.dataset)
+
+
+def _pool_warmup() -> bool:
+    """No-op task used to probe that pool workers can actually spawn."""
+    return True
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    max_workers: Optional[int] = None,
+    parallel: bool = True,
+) -> List[_R]:
+    """Order-preserving map over ``items``, on a process pool when possible.
+
+    ``fn`` and every item must be picklable for the pool path.  When the pool
+    cannot be used -- single item, one CPU, ``parallel=False``, or a pool
+    *infrastructure* failure (no forking in the sandbox, unpicklable payloads,
+    a broken/crashed pool) -- the map runs sequentially in-process, producing
+    identical results.  An exception raised by ``fn`` itself is not an
+    infrastructure failure and propagates immediately on either path: a no-op
+    warm-up task probes the pool first, so spawn-time errors (OSError) are
+    distinguished from errors ``fn`` raises while mapping.
+    """
+    import pickle
+    from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
+    items = list(items)
+    use_pool = parallel and len(items) > 1 and (os.cpu_count() or 1) > 1
+    executor = None
+    if use_pool:
+        try:
+            executor = ProcessPoolExecutor(max_workers=max_workers)
+            executor.submit(_pool_warmup).result()
+        except (BrokenExecutor, ImportError, OSError):
+            if executor is not None:
+                executor.shutdown(wait=False)
+            executor = None  # pool unusable here: use the sequential path
+    if executor is not None:
+        try:
+            with executor:
+                return list(executor.map(fn, items))
+        except (BrokenExecutor, pickle.PicklingError):
+            pass  # pool died or payload unpicklable: re-run sequentially
+    return [fn(item) for item in items]
+
+
+def run_simulation_jobs(
+    jobs: Sequence[SimJob],
+    max_workers: Optional[int] = None,
+    parallel: bool = True,
+) -> List[SimulationReport]:
+    """Run independent simulation jobs, fanning out across CPU cores."""
+    return parallel_map(_execute_sim_job, jobs, max_workers=max_workers,
+                        parallel=parallel)
 
 
 def sparsity_elimination_sweep(
@@ -39,17 +135,20 @@ def sparsity_elimination_sweep(
     model_name: str = "GCN",
     config: Optional[HyGCNConfig] = None,
     seed: int = 0,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 15: HyGCN with vs. without window sliding/shrinking."""
     base = config or HyGCNConfig()
+    jobs = [
+        SimJob(dataset, model_name,
+               base.with_overrides(enable_sparsity_elimination=enabled), seed)
+        for dataset in datasets for enabled in (True, False)
+    ]
+    reports = run_simulation_jobs(jobs, max_workers=max_workers, parallel=parallel)
     rows = []
-    for dataset in datasets:
-        graph = _graph_for(dataset, seed)
-        model = build_model(model_name, input_length=graph.feature_length)
-        with_opt = HyGCNSimulator(base.with_overrides(enable_sparsity_elimination=True)) \
-            .run_model(model, graph, dataset)
-        without = HyGCNSimulator(base.with_overrides(enable_sparsity_elimination=False)) \
-            .run_model(model, graph, dataset)
+    for i, dataset in enumerate(datasets):
+        with_opt, without = reports[2 * i], reports[2 * i + 1]
         rows.append({
             "dataset": dataset,
             "speedup": without.execution_time_s / with_opt.execution_time_s,
@@ -65,19 +164,20 @@ def pipeline_mode_sweep(
     model_name: str = "GCN",
     config: Optional[HyGCNConfig] = None,
     seed: int = 0,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 16: no-pipeline vs. pipeline, and latency- vs. energy-aware modes."""
     base = config or HyGCNConfig()
+    modes = (PipelineMode.NONE, PipelineMode.LATENCY, PipelineMode.ENERGY)
+    jobs = [
+        SimJob(dataset, model_name, base.with_overrides(pipeline_mode=mode), seed)
+        for dataset in datasets for mode in modes
+    ]
+    reports = run_simulation_jobs(jobs, max_workers=max_workers, parallel=parallel)
     rows = []
-    for dataset in datasets:
-        graph = _graph_for(dataset, seed)
-        model = build_model(model_name, input_length=graph.feature_length)
-        no_pipe = HyGCNSimulator(base.with_overrides(pipeline_mode=PipelineMode.NONE)) \
-            .run_model(model, graph, dataset)
-        latency = HyGCNSimulator(base.with_overrides(pipeline_mode=PipelineMode.LATENCY)) \
-            .run_model(model, graph, dataset)
-        energy = HyGCNSimulator(base.with_overrides(pipeline_mode=PipelineMode.ENERGY)) \
-            .run_model(model, graph, dataset)
+    for i, dataset in enumerate(datasets):
+        no_pipe, latency, energy = reports[3 * i:3 * i + 3]
         rows.append({
             "dataset": dataset,
             "execution_time_pct_vs_no_pipeline":
@@ -99,17 +199,20 @@ def memory_coordination_sweep(
     model_name: str = "GCN",
     config: Optional[HyGCNConfig] = None,
     seed: int = 0,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 17: off-chip access coordination on vs. off."""
     base = config or HyGCNConfig()
+    jobs = [
+        SimJob(dataset, model_name,
+               base.with_overrides(enable_memory_coordination=enabled), seed)
+        for dataset in datasets for enabled in (True, False)
+    ]
+    reports = run_simulation_jobs(jobs, max_workers=max_workers, parallel=parallel)
     rows = []
-    for dataset in datasets:
-        graph = _graph_for(dataset, seed)
-        model = build_model(model_name, input_length=graph.feature_length)
-        coordinated = HyGCNSimulator(base.with_overrides(enable_memory_coordination=True)) \
-            .run_model(model, graph, dataset)
-        uncoordinated = HyGCNSimulator(base.with_overrides(enable_memory_coordination=False)) \
-            .run_model(model, graph, dataset)
+    for i, dataset in enumerate(datasets):
+        coordinated, uncoordinated = reports[2 * i], reports[2 * i + 1]
         rows.append({
             "dataset": dataset,
             "execution_time_pct_with_coordination":
@@ -128,17 +231,21 @@ def sampling_factor_sweep(
     factors: Sequence[int] = (1, 2, 4, 8, 16),
     config: Optional[HyGCNConfig] = None,
     seed: int = 0,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 18a-c: GraphSage sampling factor vs. time / DRAM / sparsity reduction."""
     base = config or HyGCNConfig()
+    jobs = [
+        SimJob(dataset, "GSC", base, seed, sampling_factor=factor)
+        for dataset in datasets for factor in factors
+    ]
+    reports = run_simulation_jobs(jobs, max_workers=max_workers, parallel=parallel)
     rows = []
-    for dataset in datasets:
-        graph = _graph_for(dataset, seed)
+    for i, dataset in enumerate(datasets):
         baseline = None
-        for factor in factors:
-            model = build_model("GSC", input_length=graph.feature_length,
-                                sampling_factor=factor)
-            report = HyGCNSimulator(base).run_model(model, graph, dataset)
+        for j, factor in enumerate(factors):
+            report = reports[i * len(factors) + j]
             if baseline is None:
                 baseline = report
             rows.append({
@@ -159,17 +266,22 @@ def aggregation_buffer_sweep(
     model_name: str = "GSC",
     config: Optional[HyGCNConfig] = None,
     seed: int = 0,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 18d-f: Aggregation Buffer capacity vs. time / DRAM / sparsity reduction."""
     base = config or HyGCNConfig()
+    jobs = [
+        SimJob(dataset, model_name,
+               base.with_overrides(aggregation_buffer_bytes=capacity * MIB), seed)
+        for dataset in datasets for capacity in capacities_mb
+    ]
+    reports = run_simulation_jobs(jobs, max_workers=max_workers, parallel=parallel)
     rows = []
-    for dataset in datasets:
-        graph = _graph_for(dataset, seed)
-        model = build_model(model_name, input_length=graph.feature_length)
+    for i, dataset in enumerate(datasets):
         baseline = None
-        for capacity in capacities_mb:
-            cfg = base.with_overrides(aggregation_buffer_bytes=capacity * MIB)
-            report = HyGCNSimulator(cfg).run_model(model, graph, dataset)
+        for j, capacity in enumerate(capacities_mb):
+            report = reports[i * len(capacities_mb) + j]
             if baseline is None:
                 baseline = report
             rows.append({
@@ -190,6 +302,8 @@ def systolic_module_sweep(
     model_name: str = "GSC",
     config: Optional[HyGCNConfig] = None,
     seed: int = 0,
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Fig. 18g: module granularity (fixed total arrays) vs. vertex latency / energy.
 
@@ -199,17 +313,18 @@ def systolic_module_sweep(
     """
     base = config or HyGCNConfig()
     total_rows = 32
+    jobs = [
+        SimJob(dataset, model_name,
+               base.with_overrides(num_systolic_modules=modules,
+                                   systolic_rows=total_rows // modules), seed)
+        for dataset in datasets for modules in module_counts
+    ]
+    reports = run_simulation_jobs(jobs, max_workers=max_workers, parallel=parallel)
     rows = []
-    for dataset in datasets:
-        graph = _graph_for(dataset, seed)
-        model = build_model(model_name, input_length=graph.feature_length)
+    for i, dataset in enumerate(datasets):
         baseline = None
-        for modules in module_counts:
-            cfg = base.with_overrides(
-                num_systolic_modules=modules,
-                systolic_rows=total_rows // modules,
-            )
-            report = HyGCNSimulator(cfg).run_model(model, graph, dataset)
+        for j, modules in enumerate(module_counts):
+            report = reports[i * len(module_counts) + j]
             if baseline is None:
                 baseline = report
             rows.append({

@@ -13,7 +13,13 @@ from .gcn import build_gcn
 from .graphsage import build_graphsage
 from .gin import build_gin
 from .diffpool import DiffPoolModel, build_diffpool
-from .model_zoo import MODEL_NAMES, build_model, model_table, workloads_for
+from .model_zoo import (
+    MODEL_NAMES,
+    build_model,
+    clear_workloads_cache,
+    model_table,
+    workloads_for,
+)
 from .readout import (
     add_readout_vertex,
     readout_concat,
@@ -38,6 +44,7 @@ __all__ = [
     "build_diffpool",
     "MODEL_NAMES",
     "build_model",
+    "clear_workloads_cache",
     "model_table",
     "workloads_for",
     "add_readout_vertex",

@@ -4,11 +4,19 @@
 GIN, DFP) for a given dataset feature length, and ``workloads_for`` flattens a
 model into the per-layer :class:`~repro.models.layers.LayerWorkload` list the
 hardware models consume (including DiffPool's internal GCNs).
+
+``workloads_for`` memoises its result per (model, graph) pair: flattening a
+model walks every layer and (for the sampled models) every vertex, so
+repeated simulations of the same workload -- ablation sweeps that flip only
+hardware switches, serving runs that re-dispatch the same fused batch -- skip
+the recomputation.  ``load_dataset`` provides the matching dataset-level
+memoisation in :mod:`repro.graphs.datasets`.
 """
 
 from __future__ import annotations
 
-from typing import List, Union
+from collections import OrderedDict
+from typing import List, Tuple, Union
 
 from ..graphs.graph import Graph
 from .base import GCNModel
@@ -18,7 +26,8 @@ from .gin import build_gin
 from .graphsage import build_graphsage
 from .layers import LayerWorkload
 
-__all__ = ["MODEL_NAMES", "build_model", "workloads_for", "model_table"]
+__all__ = ["MODEL_NAMES", "build_model", "workloads_for",
+           "clear_workloads_cache", "model_table"]
 
 #: The abbreviations used in the paper's figures.
 MODEL_NAMES = ("GCN", "GSC", "GIN", "DFP")
@@ -70,11 +79,39 @@ def build_model(
     raise ValueError(f"unknown model {name!r}; choose from {MODEL_NAMES}")
 
 
+#: Bounded LRU of flattened workloads.  Entries pin the (model, graph) pair
+#: they describe, so an ``id()`` can never be recycled while its key is live.
+_WORKLOADS_CACHE: "OrderedDict[Tuple[int, int], Tuple[AnyModel, Graph, List[LayerWorkload]]]" = OrderedDict()
+_WORKLOADS_CACHE_SIZE = 64
+
+
 def workloads_for(model: AnyModel, graph: Graph) -> List[LayerWorkload]:
-    """Flatten a model into per-layer workloads on ``graph``."""
-    if isinstance(model, DiffPoolModel):
+    """Flatten a model into per-layer workloads on ``graph`` (memoised).
+
+    The cache is keyed by object identity -- workload descriptions embed the
+    model's phases and the graph itself, so identity is the only equality that
+    is both cheap and sound.  A fresh list is returned on every call so
+    callers may reorder or filter it without corrupting the cache.
+    """
+    if not getattr(graph, "memoize_workloads", True):
+        # one-shot graphs (e.g. fused serving batches) opt out: a cache entry
+        # would pin the graph and its feature matrix without ever hitting
         return model.workloads(graph)
-    return model.workloads(graph)
+    key = (id(model), id(graph))
+    entry = _WORKLOADS_CACHE.get(key)
+    if entry is not None and entry[0] is model and entry[1] is graph:
+        _WORKLOADS_CACHE.move_to_end(key)
+        return list(entry[2])
+    workloads = model.workloads(graph)
+    _WORKLOADS_CACHE[key] = (model, graph, workloads)
+    while len(_WORKLOADS_CACHE) > _WORKLOADS_CACHE_SIZE:
+        _WORKLOADS_CACHE.popitem(last=False)
+    return list(workloads)
+
+
+def clear_workloads_cache() -> None:
+    """Drop every memoised workload flattening (frees the pinned graphs)."""
+    _WORKLOADS_CACHE.clear()
 
 
 def model_table() -> list:

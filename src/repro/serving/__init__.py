@@ -1,0 +1,63 @@
+"""Online inference serving on a fleet of HyGCN accelerators.
+
+The serving subsystem turns the single-shot simulator into an online-serving
+scenario: a stream of per-target-vertex requests (:mod:`repro.serving.workload`)
+is expanded into k-hop subgraphs (:mod:`repro.serving.sampler`), fused into
+batches (:mod:`repro.serving.batcher`), short-circuited by a result cache
+(:mod:`repro.serving.cache`) and dispatched across simulated chips whose
+service times drive a discrete-event clock (:mod:`repro.serving.fleet`);
+latency/throughput/SLO metrics land in :mod:`repro.serving.stats`.
+"""
+
+from .batcher import (
+    BATCHING_POLICIES,
+    Batch,
+    Batcher,
+    SizeCappedBatcher,
+    SLOAwareBatcher,
+    TimeoutBatcher,
+    build_batcher,
+)
+from .cache import CacheStats, LRUCache
+from .fleet import DISPATCH_POLICIES, Chip, FleetConfig, ServingSimulator, run_serving
+from .sampler import SubgraphSample, SubgraphSampler
+from .stats import ChipStats, RequestRecord, ServingReport, percentile
+from .workload import (
+    ARRIVAL_PROCESSES,
+    Request,
+    RequestGenerator,
+    WorkloadConfig,
+    bursty_arrival_times,
+    poisson_arrival_times,
+    trace_arrival_times,
+)
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "BATCHING_POLICIES",
+    "DISPATCH_POLICIES",
+    "Batch",
+    "Batcher",
+    "CacheStats",
+    "Chip",
+    "ChipStats",
+    "FleetConfig",
+    "LRUCache",
+    "Request",
+    "RequestGenerator",
+    "RequestRecord",
+    "ServingReport",
+    "ServingSimulator",
+    "SizeCappedBatcher",
+    "SLOAwareBatcher",
+    "SubgraphSample",
+    "SubgraphSampler",
+    "TimeoutBatcher",
+    "WorkloadConfig",
+    "build_batcher",
+    "bursty_arrival_times",
+    "percentile",
+    "poisson_arrival_times",
+    "run_serving",
+    "trace_arrival_times",
+]

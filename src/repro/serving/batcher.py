@@ -1,0 +1,187 @@
+"""Dynamic request batching policies.
+
+Batching amortises the accelerator's per-dispatch overhead (weight streaming,
+pipeline fill) across many requests, at the cost of queueing delay for the
+requests that arrive first.  Three policies cover the classic trade-off:
+
+* ``size``    -- flush only when ``max_batch_size`` requests are waiting
+  (maximum throughput, unbounded tail latency under light load);
+* ``timeout`` -- additionally flush when the oldest waiting request has been
+  queued for ``timeout_s`` (bounds the batching delay);
+* ``slo``     -- flush when the oldest request's remaining latency budget
+  drops below a safety multiple of the estimated service time, where the
+  estimate is an EWMA of service times observed by the fleet (adapts the
+  batching delay to how fast the chips currently are).
+
+The batchers are passive: the discrete-event loop in
+:mod:`repro.serving.fleet` calls :meth:`Batcher.add` on every arrival, asks
+:meth:`Batcher.next_deadline` when to schedule a timer, and calls
+:meth:`Batcher.flush_due` when that timer fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .workload import Request
+
+__all__ = [
+    "BATCHING_POLICIES",
+    "Batch",
+    "Batcher",
+    "SizeCappedBatcher",
+    "TimeoutBatcher",
+    "SLOAwareBatcher",
+    "build_batcher",
+]
+
+#: Policy names accepted by the CLI and :func:`build_batcher`.
+BATCHING_POLICIES = ("size", "timeout", "slo")
+
+_EPS = 1e-12
+
+
+@dataclass
+class Batch:
+    """A group of requests fused into one accelerator dispatch."""
+
+    batch_id: int
+    requests: List[Request]
+    created_time_s: float
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+    @property
+    def oldest_arrival_s(self) -> float:
+        return min(r.arrival_time_s for r in self.requests)
+
+
+@dataclass
+class Batcher:
+    """Base class: size-capped accumulation plus a policy-defined deadline."""
+
+    max_batch_size: int = 32
+    policy: str = "size"
+    _pending: List[Request] = field(default_factory=list, repr=False)
+    _next_batch_id: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def add(self, request: Request, now: float) -> Optional[Batch]:
+        """Queue ``request``; returns a batch when the size cap is reached."""
+        self._pending.append(request)
+        if len(self._pending) >= self.max_batch_size:
+            return self.flush(now)
+        return None
+
+    def flush(self, now: float) -> Optional[Batch]:
+        """Unconditionally emit the pending requests as a batch."""
+        if not self._pending:
+            return None
+        batch = Batch(batch_id=self._next_batch_id, requests=self._pending,
+                      created_time_s=now)
+        self._next_batch_id += 1
+        self._pending = []
+        return batch
+
+    def flush_due(self, now: float) -> Optional[Batch]:
+        """Emit the pending batch if its deadline has been reached."""
+        deadline = self.next_deadline(now)
+        if deadline is not None and now >= deadline - _EPS:
+            return self.flush(now)
+        return None
+
+    def next_deadline(self, now: float) -> Optional[float]:
+        """Absolute time at which the pending requests must be flushed.
+
+        ``None`` means the policy never flushes on time alone (pure size cap).
+        """
+        return None
+
+    def observe_service_time(self, service_s: float) -> None:
+        """Feedback hook: the fleet reports each batch's service time."""
+
+
+class SizeCappedBatcher(Batcher):
+    """Flush only on the size cap (the event loop flushes leftovers at EOS)."""
+
+    def __init__(self, max_batch_size: int = 32):
+        super().__init__(max_batch_size=max_batch_size, policy="size")
+
+
+class TimeoutBatcher(Batcher):
+    """Flush on the size cap or when the oldest request ages past ``timeout_s``."""
+
+    def __init__(self, max_batch_size: int = 32, timeout_s: float = 5e-4):
+        super().__init__(max_batch_size=max_batch_size, policy="timeout")
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.timeout_s = float(timeout_s)
+
+    def next_deadline(self, now: float) -> Optional[float]:
+        if not self._pending:
+            return None
+        return self._pending[0].arrival_time_s + self.timeout_s
+
+
+class SLOAwareBatcher(Batcher):
+    """Flush so the oldest request can still meet its latency SLO.
+
+    The deadline leaves ``safety_factor`` times the estimated service time as
+    headroom inside the ``slo_s`` budget.  Before any feedback arrives the
+    estimate defaults to a quarter of the SLO.
+    """
+
+    def __init__(self, max_batch_size: int = 32, slo_s: float = 2e-3,
+                 safety_factor: float = 1.5, ewma_alpha: float = 0.3):
+        super().__init__(max_batch_size=max_batch_size, policy="slo")
+        if slo_s <= 0:
+            raise ValueError("slo_s must be positive")
+        if not 0 < ewma_alpha <= 1:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self.slo_s = float(slo_s)
+        self.safety_factor = float(safety_factor)
+        self.ewma_alpha = float(ewma_alpha)
+        self._service_estimate_s: Optional[float] = None
+
+    @property
+    def service_estimate_s(self) -> float:
+        if self._service_estimate_s is None:
+            return self.slo_s / 4.0
+        return self._service_estimate_s
+
+    def observe_service_time(self, service_s: float) -> None:
+        if self._service_estimate_s is None:
+            self._service_estimate_s = service_s
+        else:
+            a = self.ewma_alpha
+            self._service_estimate_s = a * service_s + (1 - a) * self._service_estimate_s
+
+    def next_deadline(self, now: float) -> Optional[float]:
+        if not self._pending:
+            return None
+        budget = max(0.0, self.slo_s - self.safety_factor * self.service_estimate_s)
+        return self._pending[0].arrival_time_s + budget
+
+
+def build_batcher(policy: str, max_batch_size: int = 32, timeout_s: float = 5e-4,
+                  slo_s: float = 2e-3) -> Batcher:
+    """Construct the batcher named by ``policy`` (see :data:`BATCHING_POLICIES`)."""
+    if policy == "size":
+        return SizeCappedBatcher(max_batch_size=max_batch_size)
+    if policy == "timeout":
+        return TimeoutBatcher(max_batch_size=max_batch_size, timeout_s=timeout_s)
+    if policy == "slo":
+        return SLOAwareBatcher(max_batch_size=max_batch_size, slo_s=slo_s)
+    raise ValueError(f"unknown batching policy {policy!r}; "
+                     f"choose from {BATCHING_POLICIES}")

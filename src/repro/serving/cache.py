@@ -1,0 +1,95 @@
+"""LRU caches with hit-rate accounting for the serving stack.
+
+Production GNN serving deployments put small caches in front of the
+accelerator fleet: a *result* cache that answers repeat requests for
+recently-inferred vertices without touching a chip, and per-chip *feature*
+caches that model on-chip reuse of vertex features across consecutive
+batches.  Both roles are served by the same :class:`LRUCache` here; the
+:class:`CacheStats` counters feed the hit-rate column of the serving report.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Optional
+
+__all__ = ["CacheStats", "LRUCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated over the lifetime of one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class LRUCache:
+    """A fixed-capacity least-recently-used cache.
+
+    ``capacity`` counts entries, not bytes; a capacity of zero disables the
+    cache entirely (every ``get`` misses, every ``put`` is dropped), which the
+    CLI uses for ``--cache-size 0`` ablations.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Membership probe that does not touch recency or the counters."""
+        return key in self._entries
+
+    def get(self, key: Hashable, default: Optional[object] = None) -> Optional[object]:
+        """Look up ``key``, refreshing its recency and counting hit/miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return default
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert or refresh ``key``; evicts the least-recently-used entry."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        self._entries[key] = value
+        self.stats.insertions += 1
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the counters are kept)."""
+        self._entries.clear()

@@ -1,0 +1,467 @@
+"""Multi-accelerator fleet simulation driven by a discrete-event clock.
+
+The fleet is ``num_chips`` independent :class:`~repro.core.simulator.HyGCNSimulator`
+instances, each with a FIFO dispatch queue.  The event loop advances a
+simulated clock over three event kinds:
+
+* ``arrival``    -- a request enters: either answered by the result cache or
+  handed to the batcher (which may emit a full batch immediately);
+* ``flush``      -- a batching-policy deadline fired (timeout / SLO budget);
+* ``completion`` -- a chip finished a batch: its requests complete, the
+  result cache is populated, and the next queued batch starts.
+
+A batch's *service time* is the simulated execution time reported by
+:class:`~repro.core.stats.SimulationReport` for the fused subgraph batch,
+discounted by per-chip feature reuse: each chip keeps an LRU of the vertex
+features it recently streamed, modelling the DRAM traffic a warm chip avoids
+when consecutive batches overlap (which is what the locality-aware dispatch
+policy tries to maximise).
+
+Dispatch policies:
+
+* ``round-robin``  -- cycle through the chips (oblivious, perfectly fair);
+* ``least-loaded`` -- pick the chip with the fewest outstanding requests;
+* ``locality``     -- route by the batch's majority vertex partition, trading
+  load balance for feature-cache reuse.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+import numpy as np
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.config import HyGCNConfig
+from ..core.simulator import HyGCNSimulator
+from ..graphs.datasets import load_dataset
+from ..graphs.graph import Graph, merge_graphs
+from ..models.model_zoo import build_model
+from .batcher import BATCHING_POLICIES, Batch, build_batcher
+from .cache import LRUCache
+from .sampler import SubgraphSampler
+from .stats import ChipStats, RequestRecord, ServingReport
+from .workload import Request, RequestGenerator, WorkloadConfig, trace_arrival_times
+
+__all__ = [
+    "DISPATCH_POLICIES",
+    "FleetConfig",
+    "Chip",
+    "ServingSimulator",
+    "run_serving",
+]
+
+#: Dispatch-policy names accepted by the CLI and :class:`FleetConfig`.
+DISPATCH_POLICIES = ("round-robin", "least-loaded", "locality")
+
+_ARRIVAL, _FLUSH, _COMPLETION = 0, 1, 2
+
+#: Adaptive defaults, as multiples of the probe-batch service time: a batch
+#: may wait about two service times before a timeout flush, and the latency
+#: SLO is ten service times (queueing + batching headroom over raw service).
+_TIMEOUT_SERVICE_MULTIPLE = 2.0
+_SLO_SERVICE_MULTIPLE = 10.0
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Structural and policy parameters of the serving deployment.
+
+    ``batch_timeout_s`` and ``slo_s`` default to ``None``, meaning the
+    simulator derives them from a probe batch's service time so the policies
+    stay meaningful across datasets whose per-batch cost varies by orders of
+    magnitude; pass explicit values to pin them.
+    """
+
+    num_chips: int = 4
+    dispatch: str = "round-robin"
+    batch_policy: str = "size"
+    max_batch_size: int = 32
+    batch_timeout_s: Optional[float] = None
+    slo_s: Optional[float] = None
+    cache_size: int = 4096
+    num_hops: int = 2
+    fanout: int = 8
+    feature_cache_size: int = 8192
+    reuse_discount: float = 0.35
+    cache_hit_latency_s: float = 1e-6
+    seed: int = 0
+    hw: HyGCNConfig = field(default_factory=HyGCNConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_chips < 1:
+            raise ValueError("num_chips must be >= 1")
+        if self.dispatch not in DISPATCH_POLICIES:
+            raise ValueError(f"dispatch must be one of {DISPATCH_POLICIES}, "
+                             f"got {self.dispatch!r}")
+        if self.batch_policy not in BATCHING_POLICIES:
+            raise ValueError(f"batch_policy must be one of {BATCHING_POLICIES}, "
+                             f"got {self.batch_policy!r}")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.num_hops < 0:
+            raise ValueError("num_hops must be >= 0")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        if not 0 <= self.reuse_discount < 1:
+            raise ValueError("reuse_discount must be in [0, 1)")
+        if self.cache_size < 0 or self.feature_cache_size < 0:
+            raise ValueError("cache sizes must be >= 0")
+        if self.batch_timeout_s is not None and self.batch_timeout_s <= 0:
+            raise ValueError("batch_timeout_s must be positive when set")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValueError("slo_s must be positive when set")
+
+
+class Chip:
+    """One simulated HyGCN instance: FIFO queue, busy state, feature cache."""
+
+    def __init__(self, chip_id: int, hw: HyGCNConfig, feature_cache_size: int):
+        self.chip_id = chip_id
+        self.simulator = HyGCNSimulator(hw)
+        self.queue: Deque[Tuple[Batch, float]] = deque()
+        self.current: Optional[Batch] = None
+        self.feature_cache = LRUCache(feature_cache_size)
+        self.stats = ChipStats(chip_id=chip_id)
+
+    @property
+    def busy(self) -> bool:
+        return self.current is not None
+
+    @property
+    def outstanding_requests(self) -> int:
+        queued = sum(batch.size for batch, _ in self.queue)
+        return queued + (self.current.size if self.current else 0)
+
+
+class _RoundRobinDispatch:
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, chips: Sequence[Chip], batch: Batch) -> Chip:
+        chip = chips[self._next % len(chips)]
+        self._next += 1
+        return chip
+
+
+class _LeastLoadedDispatch:
+    def select(self, chips: Sequence[Chip], batch: Batch) -> Chip:
+        return min(chips, key=lambda c: (c.outstanding_requests, c.chip_id))
+
+
+class _LocalityDispatch:
+    """Route each batch to the home chip of its majority vertex partition."""
+
+    def __init__(self, num_vertices: int, num_chips: int):
+        self._partition_size = max(1, -(-num_vertices // num_chips))
+
+    def select(self, chips: Sequence[Chip], batch: Batch) -> Chip:
+        votes: Dict[int, int] = {}
+        for request in batch.requests:
+            home = min(request.target_vertex // self._partition_size, len(chips) - 1)
+            votes[home] = votes.get(home, 0) + 1
+        winner = max(votes.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+        return chips[winner]
+
+
+def _build_dispatch(policy: str, num_vertices: int, num_chips: int):
+    if policy == "round-robin":
+        return _RoundRobinDispatch()
+    if policy == "least-loaded":
+        return _LeastLoadedDispatch()
+    if policy == "locality":
+        return _LocalityDispatch(num_vertices, num_chips)
+    raise ValueError(f"unknown dispatch policy {policy!r}; "
+                     f"choose from {DISPATCH_POLICIES}")
+
+
+class ServingSimulator:
+    """Discrete-event simulation of online inference over a chip fleet."""
+
+    def __init__(self, graph: Graph, model, config: Optional[FleetConfig] = None,
+                 dataset_name: Optional[str] = None):
+        self.config = config or FleetConfig()
+        self.graph = graph
+        self.model = model
+        self.dataset_name = dataset_name or graph.name
+        cfg = self.config
+        self.sampler = SubgraphSampler(graph, num_hops=cfg.num_hops,
+                                       fanout=cfg.fanout, seed=cfg.seed)
+        self.chips = [Chip(i, cfg.hw, cfg.feature_cache_size)
+                      for i in range(cfg.num_chips)]
+        self.result_cache = LRUCache(cfg.cache_size)
+        self._dispatch = _build_dispatch(cfg.dispatch, graph.num_vertices,
+                                         cfg.num_chips)
+        self._probe_service_s: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # Adaptive time scales
+    # ------------------------------------------------------------------ #
+    @property
+    def probe_service_time_s(self) -> float:
+        """Service time of one full batch of uniformly-drawn distinct targets.
+
+        Computed once and reused to calibrate the arrival rate and to resolve
+        the adaptive timeout / SLO defaults.
+        """
+        if self._probe_service_s is None:
+            cfg = self.config
+            rng = np.random.default_rng(cfg.seed)
+            num = min(cfg.max_batch_size, self.graph.num_vertices)
+            targets = rng.choice(self.graph.num_vertices, size=num, replace=False)
+            probe = Batch(batch_id=-1, requests=[
+                Request(request_id=-1 - i, target_vertex=int(t), arrival_time_s=0.0)
+                for i, t in enumerate(targets)], created_time_s=0.0)
+            probe_chip = Chip(-1, cfg.hw, feature_cache_size=0)
+            self._probe_service_s = self.batch_service_time_s(
+                probe_chip, probe, account=False)
+        return self._probe_service_s
+
+    @property
+    def slo_s(self) -> float:
+        """The latency SLO: configured value, or a multiple of the probe service."""
+        if self.config.slo_s is not None:
+            return self.config.slo_s
+        return _SLO_SERVICE_MULTIPLE * self.probe_service_time_s
+
+    @property
+    def batch_timeout_s(self) -> float:
+        """Timeout-flush budget: configured, or a multiple of the probe service."""
+        if self.config.batch_timeout_s is not None:
+            return self.config.batch_timeout_s
+        return _TIMEOUT_SERVICE_MULTIPLE * self.probe_service_time_s
+
+    # ------------------------------------------------------------------ #
+    # Service-time model
+    # ------------------------------------------------------------------ #
+    def batch_service_time_s(self, chip: Chip, batch: Batch,
+                             account: bool = True) -> float:
+        """Simulated execution time of the fused subgraph batch on ``chip``.
+
+        Requests for the same target within a batch share one subgraph; the
+        chip's feature-cache hit fraction discounts the simulated time by up
+        to ``reuse_discount`` (warm features skip their DRAM stream).
+        """
+        targets = list(dict.fromkeys(r.target_vertex for r in batch.requests))
+        samples = [self.sampler.extract(t) for t in targets]
+        if len(samples) == 1:
+            fused = samples[0].graph
+        else:
+            fused = merge_graphs([s.graph for s in samples],
+                                 name=f"batch{batch.batch_id}")
+            # fused batches are unique per dispatch; keeping them out of the
+            # workload memo stops it pinning their merged feature matrices
+            fused.memoize_workloads = False
+        report = chip.simulator.run_model(self.model, fused,
+                                          dataset_name=self.dataset_name)
+        vertices: Set[int] = set()
+        for sample in samples:
+            vertices.update(sample.vertices)
+        hits = sum(1 for v in vertices if chip.feature_cache.get(v) is not None)
+        for v in vertices:
+            chip.feature_cache.put(v, True)
+        reuse_fraction = hits / len(vertices) if vertices else 0.0
+        service_s = report.execution_time_s * \
+            (1.0 - self.config.reuse_discount * reuse_fraction)
+        if account:
+            chip.stats.vertices_simulated += fused.num_vertices
+            chip.stats.feature_lookups += len(vertices)
+            chip.stats.feature_hits += hits
+        return service_s
+
+    def calibrate_rate(self, utilization_target: float = 0.7) -> float:
+        """Arrival rate that loads the fleet to ``utilization_target``.
+
+        A probe batch of ``max_batch_size`` distinct uniformly-drawn targets is
+        simulated once; the fleet's aggregate request throughput at full
+        utilisation is ``num_chips * max_batch_size / service_time``.
+        """
+        if not 0 < utilization_target <= 1:
+            raise ValueError("utilization_target must be in (0, 1]")
+        cfg = self.config
+        batch_size = min(cfg.max_batch_size, self.graph.num_vertices)
+        capacity_rps = cfg.num_chips * batch_size \
+            / max(self.probe_service_time_s, 1e-12)
+        return utilization_target * capacity_rps
+
+    # ------------------------------------------------------------------ #
+    # Event loop
+    # ------------------------------------------------------------------ #
+    def run(self, requests: Sequence[Request],
+            rate_rps: float = 0.0) -> ServingReport:
+        """Serve ``requests`` (sorted by arrival) and return the report."""
+        cfg = self.config
+        report = ServingReport(
+            model_name=getattr(self.model, "name", self.model.__class__.__name__),
+            dataset_name=self.dataset_name,
+            num_chips=cfg.num_chips,
+            batch_policy=cfg.batch_policy,
+            dispatch_policy=cfg.dispatch,
+            rate_rps=rate_rps,
+            slo_s=self.slo_s,
+        )
+        if not requests:
+            report.chips = [chip.stats for chip in self.chips]
+            return report
+
+        batcher = build_batcher(cfg.batch_policy, max_batch_size=cfg.max_batch_size,
+                                timeout_s=self.batch_timeout_s, slo_s=self.slo_s)
+        events: List[Tuple[float, int, int, object]] = []
+        seq = 0
+        for request in requests:
+            heapq.heappush(events, (request.arrival_time_s, seq, _ARRIVAL, request))
+            seq += 1
+        arrivals_left = len(requests)
+        dispatch_meta: Dict[int, float] = {}      # batch_id -> dispatch time
+        start_meta: Dict[int, float] = {}         # batch_id -> service start time
+        scheduled_flush: Optional[float] = None
+
+        # time-weighted in-flight integral for the avg queue-pressure metric
+        in_flight = 0
+        last_t = requests[0].arrival_time_s
+        in_flight_area = 0.0
+
+        def schedule_flush(now: float) -> None:
+            nonlocal scheduled_flush, seq
+            deadline = batcher.next_deadline(now)
+            if deadline is not None and deadline != scheduled_flush:
+                heapq.heappush(events, (max(deadline, now), seq, _FLUSH, None))
+                seq += 1
+                scheduled_flush = deadline
+
+        def dispatch(batch: Batch, now: float) -> None:
+            nonlocal seq
+            chip = self._dispatch.select(self.chips, batch)
+            chip.queue.append((batch, now))
+            dispatch_meta[batch.batch_id] = now
+            depth = sum(b.size for b, _ in chip.queue)
+            report.max_queue_depth = max(report.max_queue_depth, depth)
+            if not chip.busy:
+                start_service(chip, now)
+
+        def start_service(chip: Chip, now: float) -> None:
+            nonlocal seq
+            batch, _ = chip.queue.popleft()
+            chip.current = batch
+            start_meta[batch.batch_id] = now
+            service_s = self.batch_service_time_s(chip, batch)
+            batcher.observe_service_time(service_s)
+            chip.stats.busy_s += service_s
+            heapq.heappush(events, (now + service_s, seq, _COMPLETION, chip))
+            seq += 1
+            # the service observation may have tightened an SLO-aware
+            # deadline for requests already pending -- re-arm the timer
+            schedule_flush(now)
+
+        def complete(chip: Chip, now: float) -> None:
+            nonlocal in_flight
+            batch = chip.current
+            chip.current = None
+            chip.stats.batches_served += 1
+            chip.stats.requests_served += batch.size
+            dispatched = dispatch_meta.pop(batch.batch_id)
+            started = start_meta.pop(batch.batch_id)
+            for request in batch.requests:
+                report.records.append(RequestRecord(
+                    request_id=request.request_id,
+                    target_vertex=request.target_vertex,
+                    arrival_time_s=request.arrival_time_s,
+                    dispatch_time_s=dispatched,
+                    service_start_s=started,
+                    completion_time_s=now,
+                    cache_hit=False,
+                    chip_id=chip.chip_id,
+                    batch_id=batch.batch_id,
+                ))
+                self.result_cache.put(request.target_vertex, now)
+                in_flight -= 1
+            if chip.queue:
+                start_service(chip, now)
+
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            in_flight_area += in_flight * (now - last_t)
+            last_t = now
+            if kind == _ARRIVAL:
+                arrivals_left -= 1
+                request: Request = payload
+                if self.result_cache.get(request.target_vertex) is not None:
+                    done = now + cfg.cache_hit_latency_s
+                    report.records.append(RequestRecord(
+                        request_id=request.request_id,
+                        target_vertex=request.target_vertex,
+                        arrival_time_s=request.arrival_time_s,
+                        dispatch_time_s=done,
+                        service_start_s=done,
+                        completion_time_s=done,
+                        cache_hit=True,
+                    ))
+                else:
+                    in_flight += 1
+                    batch = batcher.add(request, now)
+                    if batch is not None:
+                        dispatch(batch, now)
+                    else:
+                        schedule_flush(now)
+                if arrivals_left == 0 and batcher.pending_count \
+                        and batcher.next_deadline(now) is None:
+                    # end of stream under a pure size cap: flush the remainder
+                    leftover = batcher.flush(now)
+                    if leftover is not None:
+                        dispatch(leftover, now)
+            elif kind == _FLUSH:
+                scheduled_flush = None
+                batch = batcher.flush_due(now)
+                if batch is not None:
+                    dispatch(batch, now)
+                schedule_flush(now)
+            else:  # _COMPLETION
+                complete(payload, now)
+
+        span = last_t - requests[0].arrival_time_s
+        report.avg_in_flight = in_flight_area / span if span > 0 else 0.0
+        report.chips = [chip.stats for chip in self.chips]
+        report.cache = self.result_cache.stats
+        return report
+
+
+def run_serving(
+    dataset: str = "CR",
+    model_name: str = "GCN",
+    num_requests: int = 1000,
+    rate_rps: Optional[float] = None,
+    arrival: str = "poisson",
+    popularity_skew: float = 0.8,
+    config: Optional[FleetConfig] = None,
+    trace: Optional[Sequence[float]] = None,
+    utilization_target: float = 0.7,
+    seed: int = 0,
+) -> ServingReport:
+    """End-to-end convenience: dataset -> traffic -> fleet -> report.
+
+    When ``rate_rps`` is ``None`` the arrival rate is calibrated to load the
+    fleet to ``utilization_target`` of its measured batch throughput, so the
+    run exhibits realistic queueing on any dataset/model/hardware combination.
+    For trace replay the timestamps fix the rate, so no calibration runs and
+    the reported rate is the trace's own mean arrival rate.
+    """
+    config = config or FleetConfig()
+    graph = load_dataset(dataset, seed=seed)
+    model = build_model(model_name, input_length=graph.feature_length)
+    simulator = ServingSimulator(graph, model, config, dataset_name=dataset)
+    if arrival == "trace":
+        if rate_rps is None:
+            times = trace_arrival_times(trace or [], num_requests)
+            span = float(times[-1] - times[0]) if times.size > 1 else 0.0
+            # N arrivals span N-1 inter-arrival gaps
+            rate_rps = (times.size - 1) / span if span > 0 \
+                else float(max(1, times.size))
+    elif rate_rps is None:
+        rate_rps = simulator.calibrate_rate(utilization_target)
+    workload = WorkloadConfig(num_requests=num_requests, rate_rps=rate_rps,
+                              arrival=arrival, popularity_skew=popularity_skew,
+                              seed=seed)
+    requests = RequestGenerator(graph.num_vertices, workload).generate(trace)
+    return simulator.run(requests, rate_rps=rate_rps)

@@ -1,0 +1,111 @@
+"""Per-request k-hop subgraph extraction.
+
+Each serving request asks for the embedding of one target vertex, but a GCN
+layer needs the k-hop in-neighbourhood of that vertex to compute it.  The
+:class:`SubgraphSampler` extracts that neighbourhood as a small standalone
+:class:`~repro.graphs.graph.Graph` (local vertex ids, sliced features) so the
+rest of the stack -- the batcher, the fleet, the HyGCN simulator -- can treat
+a request exactly like any other workload graph.
+
+The per-hop fan-out cap mirrors GraphSage-style sampled serving (and reuses
+the same uniform-selection semantics as :mod:`repro.graphs.sampling`): at most
+``fanout`` in-neighbours of each frontier vertex are expanded.  Extraction is
+deterministic per (seed, target) regardless of request order, which keeps the
+result cache semantics honest, and an internal LRU memo avoids re-extracting
+hot vertices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graphs.graph import CSRMatrix, Graph
+from .cache import LRUCache
+
+__all__ = ["SubgraphSample", "SubgraphSampler"]
+
+
+@dataclass(frozen=True)
+class SubgraphSample:
+    """The materialised neighbourhood of one target vertex.
+
+    ``vertices[i]`` is the global id of local vertex ``i``; the target is
+    always local vertex 0.
+    """
+
+    target_vertex: int
+    vertices: Tuple[int, ...]
+    graph: Graph
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+
+class SubgraphSampler:
+    """Extracts capped k-hop in-neighbourhood subgraphs from a base graph."""
+
+    def __init__(self, graph: Graph, num_hops: int = 2, fanout: int = 8,
+                 seed: int = 0, memo_size: int = 2048):
+        if num_hops < 0:
+            raise ValueError("num_hops must be >= 0")
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self.graph = graph
+        self.num_hops = int(num_hops)
+        self.fanout = int(fanout)
+        self.seed = int(seed)
+        self._memo = LRUCache(memo_size)
+
+    def extract(self, target_vertex: int) -> SubgraphSample:
+        """Return the (memoised) k-hop subgraph rooted at ``target_vertex``."""
+        if not 0 <= target_vertex < self.graph.num_vertices:
+            raise ValueError(f"target vertex {target_vertex} out of range")
+        cached = self._memo.get(target_vertex)
+        if cached is not None:
+            return cached
+        sample = self._extract(target_vertex)
+        self._memo.put(target_vertex, sample)
+        return sample
+
+    # ------------------------------------------------------------------ #
+    def _extract(self, target_vertex: int) -> SubgraphSample:
+        rng = np.random.default_rng((self.seed, target_vertex))
+        local_of = {target_vertex: 0}
+        order: List[int] = [target_vertex]
+        edges: List[Tuple[int, int]] = []
+        frontier = [target_vertex]
+        for _ in range(self.num_hops):
+            next_frontier: List[int] = []
+            for v in frontier:
+                neighbors = self.graph.in_neighbors(v)
+                if len(neighbors) > self.fanout:
+                    idx = rng.choice(len(neighbors), size=self.fanout, replace=False)
+                    idx.sort()
+                    neighbors = neighbors[idx]
+                v_local = local_of[v]
+                for u in neighbors:
+                    u = int(u)
+                    u_local = local_of.get(u)
+                    if u_local is None:
+                        u_local = len(order)
+                        local_of[u] = u_local
+                        order.append(u)
+                        next_frontier.append(u)
+                    edges.append((u_local, v_local))
+            frontier = next_frontier
+            if not frontier:
+                break
+        num_local = len(order)
+        csr = CSRMatrix.from_edges(edges, num_local)
+        features = self.graph.features[np.asarray(order, dtype=np.int64)]
+        graph = Graph(csr, features, name=f"{self.graph.name}[v{target_vertex}]")
+        return SubgraphSample(target_vertex=target_vertex,
+                              vertices=tuple(order), graph=graph)

@@ -1,0 +1,218 @@
+"""Serving-level metrics: latency percentiles, throughput, SLO accounting.
+
+The per-request records produced by the fleet's event loop are aggregated into
+a :class:`ServingReport`, the serving-side analogue of
+:class:`~repro.core.stats.SimulationReport`: tail-latency percentiles,
+sustained throughput, per-chip utilisation, queue pressure and SLO-violation
+counts, plus table helpers for the CLI / benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .cache import CacheStats
+
+__all__ = ["percentile", "RequestRecord", "ChipStats", "ServingReport"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (linear interpolation); 0.0 for an empty input."""
+    if not 0 <= q <= 100:
+        raise ValueError("q must be in [0, 100]")
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return 0.0
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Lifecycle timestamps of one completed request.
+
+    Cache hits never touch a chip: their ``chip_id``/``batch_id`` are -1 and
+    dispatch/start coincide with completion.
+    """
+
+    request_id: int
+    target_vertex: int
+    arrival_time_s: float
+    dispatch_time_s: float
+    service_start_s: float
+    completion_time_s: float
+    cache_hit: bool = False
+    chip_id: int = -1
+    batch_id: int = -1
+
+    @property
+    def latency_s(self) -> float:
+        return self.completion_time_s - self.arrival_time_s
+
+    @property
+    def batching_wait_s(self) -> float:
+        """Time spent waiting for the batch to form."""
+        return self.dispatch_time_s - self.arrival_time_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        """Time the formed batch waited in a chip queue."""
+        return self.service_start_s - self.dispatch_time_s
+
+
+@dataclass
+class ChipStats:
+    """Aggregate accounting of one simulated accelerator instance."""
+
+    chip_id: int
+    busy_s: float = 0.0
+    batches_served: int = 0
+    requests_served: int = 0
+    vertices_simulated: int = 0
+    feature_lookups: int = 0
+    feature_hits: int = 0
+
+    @property
+    def feature_reuse_rate(self) -> float:
+        """Fraction of batch vertices already resident in the chip's feature cache."""
+        return self.feature_hits / self.feature_lookups if self.feature_lookups else 0.0
+
+    def utilization(self, makespan_s: float) -> float:
+        """Busy fraction of the chip over the whole serving window."""
+        return min(1.0, self.busy_s / makespan_s) if makespan_s > 0 else 0.0
+
+
+@dataclass
+class ServingReport:
+    """Everything the serving evaluation reports for one traffic run."""
+
+    model_name: str
+    dataset_name: str
+    num_chips: int
+    batch_policy: str
+    dispatch_policy: str
+    rate_rps: float
+    slo_s: float
+    records: List[RequestRecord] = field(default_factory=list)
+    chips: List[ChipStats] = field(default_factory=list)
+    cache: CacheStats = field(default_factory=CacheStats)
+    avg_in_flight: float = 0.0
+    max_queue_depth: int = 0
+    _latencies: np.ndarray = field(default=None, init=False, repr=False,
+                                   compare=False)
+
+    # ------------------------------------------------------------------ #
+    # Derived latency / throughput metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def completed(self) -> int:
+        return len(self.records)
+
+    @property
+    def latencies_s(self) -> np.ndarray:
+        """Per-request latencies; computed once per records length (summary(),
+        the percentile properties and the SLO counters all re-read this)."""
+        if self._latencies is None or self._latencies.size != len(self.records):
+            self._latencies = np.asarray([r.latency_s for r in self.records],
+                                         dtype=np.float64)
+        return self._latencies
+
+    @property
+    def makespan_s(self) -> float:
+        """First arrival to last completion."""
+        if not self.records:
+            return 0.0
+        start = min(r.arrival_time_s for r in self.records)
+        end = max(r.completion_time_s for r in self.records)
+        return end - start
+
+    @property
+    def throughput_rps(self) -> float:
+        span = self.makespan_s
+        return self.completed / span if span > 0 else 0.0
+
+    @property
+    def p50_latency_s(self) -> float:
+        return percentile(self.latencies_s, 50)
+
+    @property
+    def p95_latency_s(self) -> float:
+        return percentile(self.latencies_s, 95)
+
+    @property
+    def p99_latency_s(self) -> float:
+        return percentile(self.latencies_s, 99)
+
+    @property
+    def mean_latency_s(self) -> float:
+        lats = self.latencies_s
+        return float(lats.mean()) if lats.size else 0.0
+
+    @property
+    def max_latency_s(self) -> float:
+        lats = self.latencies_s
+        return float(lats.max()) if lats.size else 0.0
+
+    # ------------------------------------------------------------------ #
+    # SLO accounting
+    # ------------------------------------------------------------------ #
+    @property
+    def slo_violations(self) -> int:
+        return int(np.count_nonzero(self.latencies_s > self.slo_s))
+
+    @property
+    def slo_violation_rate(self) -> float:
+        return self.slo_violations / self.completed if self.completed else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Tables
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, object]:
+        """One-row overview (latencies in milliseconds of simulated time)."""
+        return {
+            "model": self.model_name,
+            "dataset": self.dataset_name,
+            "chips": self.num_chips,
+            "batching": self.batch_policy,
+            "dispatch": self.dispatch_policy,
+            "completed": self.completed,
+            "throughput_rps": round(self.throughput_rps, 1),
+            "p50_ms": round(self.p50_latency_s * 1e3, 4),
+            "p95_ms": round(self.p95_latency_s * 1e3, 4),
+            "p99_ms": round(self.p99_latency_s * 1e3, 4),
+            "slo_violation_pct": round(100.0 * self.slo_violation_rate, 2),
+            "cache_hit_rate_pct": round(100.0 * self.cache.hit_rate, 2),
+        }
+
+    def per_chip_table(self) -> List[Dict[str, object]]:
+        """One row per chip: load share, busy time and utilisation."""
+        span = self.makespan_s
+        return [
+            {
+                "chip": c.chip_id,
+                "batches": c.batches_served,
+                "requests": c.requests_served,
+                "vertices": c.vertices_simulated,
+                "busy_ms": round(c.busy_s * 1e3, 4),
+                "utilization_pct": round(100.0 * c.utilization(span), 2),
+                "feature_reuse_pct": round(100.0 * c.feature_reuse_rate, 2),
+            }
+            for c in self.chips
+        ]
+
+    def latency_breakdown(self) -> Dict[str, float]:
+        """Mean per-request time split: batching wait, queue wait, service."""
+        misses = [r for r in self.records if not r.cache_hit]
+        if not misses:
+            return {"batching_wait_ms": 0.0, "queue_wait_ms": 0.0, "service_ms": 0.0}
+        batching = float(np.mean([r.batching_wait_s for r in misses]))
+        queue = float(np.mean([r.queue_wait_s for r in misses]))
+        service = float(np.mean([r.completion_time_s - r.service_start_s
+                                 for r in misses]))
+        return {
+            "batching_wait_ms": round(batching * 1e3, 4),
+            "queue_wait_ms": round(queue * 1e3, 4),
+            "service_ms": round(service * 1e3, 4),
+        }

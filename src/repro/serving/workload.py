@@ -1,0 +1,204 @@
+"""Request traffic generators for the serving simulation.
+
+A serving workload is a stream of per-target-vertex inference requests.  Three
+arrival processes are provided:
+
+* ``poisson`` -- memoryless arrivals at a fixed mean rate, the standard
+  open-loop load model;
+* ``bursty``  -- a two-state Markov-modulated Poisson process that alternates
+  between an ON phase (``burst_factor`` times the mean rate) and a quiet OFF
+  phase, calibrated so the long-run rate still equals ``rate_rps``;
+* ``trace``   -- replay of an explicit timestamp list (e.g. captured from a
+  production front-end log).
+
+Target vertices are drawn with a Zipf-like popularity skew: real recommendation
+and social-graph traffic concentrates on hub entities, which is exactly what
+makes the result cache in :mod:`repro.serving.cache` earn its keep.
+All generators are deterministic under ``seed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ARRIVAL_PROCESSES",
+    "Request",
+    "WorkloadConfig",
+    "RequestGenerator",
+    "poisson_arrival_times",
+    "bursty_arrival_times",
+    "trace_arrival_times",
+]
+
+#: Arrival-process names accepted by the CLI and :class:`WorkloadConfig`.
+ARRIVAL_PROCESSES = ("poisson", "bursty", "trace")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request: embed ``target_vertex`` arriving at a given time."""
+
+    request_id: int
+    target_vertex: int
+    arrival_time_s: float
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Shape of the request stream.
+
+    ``popularity_skew`` is the Zipf exponent of the target-vertex distribution
+    (0 = uniform).  ``burst_factor`` and ``on_fraction`` only matter for the
+    bursty process; the OFF-phase rate is derived so the long-run mean rate
+    stays ``rate_rps``, which requires ``burst_factor < 1 / on_fraction``.
+    """
+
+    num_requests: int = 1000
+    rate_rps: float = 10_000.0
+    arrival: str = "poisson"
+    popularity_skew: float = 0.8
+    burst_factor: float = 5.0
+    on_fraction: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 0:
+            raise ValueError("num_requests must be >= 0")
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ValueError(
+                f"arrival must be one of {ARRIVAL_PROCESSES}, got {self.arrival!r}")
+        if self.popularity_skew < 0:
+            raise ValueError("popularity_skew must be >= 0")
+        if not 0 < self.on_fraction < 1:
+            raise ValueError("on_fraction must be in (0, 1)")
+        if self.arrival == "bursty" and self.burst_factor * self.on_fraction >= 1.0:
+            raise ValueError("burst_factor must be < 1 / on_fraction to keep the "
+                             "long-run rate equal to rate_rps")
+
+
+def poisson_arrival_times(num_requests: int, rate_rps: float, seed: int = 0) -> np.ndarray:
+    """Cumulative arrival times of a Poisson process with mean rate ``rate_rps``."""
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_rps, size=num_requests)
+    return np.cumsum(gaps)
+
+
+def bursty_arrival_times(
+    num_requests: int,
+    rate_rps: float,
+    seed: int = 0,
+    burst_factor: float = 5.0,
+    on_fraction: float = 0.1,
+    num_cycles: int = 10,
+) -> np.ndarray:
+    """Arrival times of a two-state (ON/OFF) Markov-modulated Poisson process.
+
+    The ON phase runs at ``burst_factor * rate_rps``; the OFF-phase rate is
+    chosen so the time-averaged rate equals ``rate_rps``.  Phase durations are
+    exponential with means sized so roughly ``num_cycles`` ON/OFF cycles fit
+    into the expected stream duration.
+    """
+    if burst_factor * on_fraction >= 1.0:
+        raise ValueError("burst_factor must be < 1 / on_fraction")
+    rng = np.random.default_rng(seed)
+    on_rate = rate_rps * burst_factor
+    off_rate = rate_rps * (1.0 - burst_factor * on_fraction) / (1.0 - on_fraction)
+    expected_duration = num_requests / rate_rps
+    cycle_s = expected_duration / max(1, num_cycles)
+    mean_on_s = cycle_s * on_fraction
+    mean_off_s = cycle_s * (1.0 - on_fraction)
+
+    times: List[float] = []
+    now = 0.0
+    on_phase = True
+    while len(times) < num_requests:
+        phase_len = rng.exponential(mean_on_s if on_phase else mean_off_s)
+        rate = on_rate if on_phase else off_rate
+        t = now
+        while len(times) < num_requests:
+            t += rng.exponential(1.0 / rate)
+            if t > now + phase_len:
+                break
+            times.append(t)
+        now += phase_len
+        on_phase = not on_phase
+    return np.asarray(times[:num_requests])
+
+
+def trace_arrival_times(trace: Sequence[float], num_requests: Optional[int] = None) -> np.ndarray:
+    """Validate and normalise an explicit timestamp trace for replay.
+
+    Timestamps are sorted, shifted so the first arrival is at t=0, and
+    truncated to ``num_requests`` when given.
+    """
+    times = np.sort(np.asarray(list(trace), dtype=np.float64))
+    if times.size and times[0] < 0:
+        raise ValueError("trace timestamps must be non-negative")
+    if times.size:
+        times = times - times[0]
+    if num_requests is not None:
+        times = times[:num_requests]
+    return times
+
+
+class RequestGenerator:
+    """Deterministic (seeded) generator of one serving request stream."""
+
+    def __init__(self, num_vertices: int, config: WorkloadConfig):
+        if num_vertices <= 0:
+            raise ValueError("num_vertices must be positive")
+        self.num_vertices = int(num_vertices)
+        self.config = config
+
+    # ------------------------------------------------------------------ #
+    def arrival_times(self, trace: Optional[Sequence[float]] = None) -> np.ndarray:
+        """Arrival timestamps according to the configured process."""
+        cfg = self.config
+        if cfg.arrival == "trace":
+            if trace is None:
+                raise ValueError("arrival='trace' requires an explicit trace")
+            times = trace_arrival_times(trace, cfg.num_requests)
+            if times.size < cfg.num_requests:
+                raise ValueError(
+                    f"trace has {times.size} timestamps but num_requests is "
+                    f"{cfg.num_requests}")
+            return times
+        if cfg.arrival == "bursty":
+            return bursty_arrival_times(cfg.num_requests, cfg.rate_rps, seed=cfg.seed,
+                                        burst_factor=cfg.burst_factor,
+                                        on_fraction=cfg.on_fraction)
+        return poisson_arrival_times(cfg.num_requests, cfg.rate_rps, seed=cfg.seed)
+
+    def target_vertices(self) -> np.ndarray:
+        """Per-request target vertices drawn from the skewed popularity law.
+
+        The popularity ranking is a seeded permutation of the vertex ids so the
+        hot set is not simply the lowest ids (which would alias with the
+        locality dispatch partitioning).
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + 1)
+        if cfg.popularity_skew == 0:
+            return rng.integers(0, self.num_vertices, size=cfg.num_requests)
+        ranks = np.arange(1, self.num_vertices + 1, dtype=np.float64)
+        weights = ranks ** -cfg.popularity_skew
+        weights /= weights.sum()
+        rank_draws = rng.choice(self.num_vertices, size=cfg.num_requests, p=weights)
+        rank_to_vertex = rng.permutation(self.num_vertices)
+        return rank_to_vertex[rank_draws]
+
+    def generate(self, trace: Optional[Sequence[float]] = None) -> List[Request]:
+        """Materialise the request stream, sorted by arrival time."""
+        times = self.arrival_times(trace)
+        targets = self.target_vertices()
+        return [
+            Request(request_id=i, target_vertex=int(targets[i]),
+                    arrival_time_s=float(times[i]))
+            for i in range(self.config.num_requests)
+        ]

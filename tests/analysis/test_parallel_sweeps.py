@@ -1,0 +1,75 @@
+"""Parallel sweep execution and workload memoisation."""
+
+from repro.analysis import (
+    SimJob,
+    explore,
+    run_simulation_jobs,
+    sparsity_elimination_sweep,
+    stacked_optimization_ablation,
+    WorkloadMix,
+)
+from repro.core import HyGCNConfig
+from repro.graphs import load_dataset
+from repro.models import build_model, clear_workloads_cache, workloads_for
+
+DATASETS = ("IB",)
+
+
+class TestParallelJobs:
+    def test_parallel_matches_sequential(self):
+        sequential = sparsity_elimination_sweep(datasets=DATASETS, parallel=False)
+        parallel = sparsity_elimination_sweep(datasets=DATASETS, parallel=True)
+        assert sequential == parallel
+
+    def test_job_order_preserved(self):
+        jobs = [SimJob("IB", "GCN", HyGCNConfig(), seed=0),
+                SimJob("IB", "GIN", HyGCNConfig(), seed=0)]
+        reports = run_simulation_jobs(jobs, parallel=True)
+        assert [r.model_name for r in reports] == ["GCN", "GINConv"]
+
+    def test_ablation_parallel_matches_sequential(self):
+        sequential = stacked_optimization_ablation(dataset="IB", parallel=False)
+        parallel = stacked_optimization_ablation(dataset="IB", parallel=True)
+        assert sequential == parallel
+
+    def test_dse_explore_parallel_matches_sequential(self):
+        mix = WorkloadMix(name="quick", entries=(("GCN", "IB"),))
+        configs = [HyGCNConfig(), HyGCNConfig(num_simd_cores=16)]
+        sequential = explore(configs, mix, parallel=False)
+        parallel = explore(configs, mix, parallel=True)
+        assert [p.total_cycles for p in sequential] \
+            == [p.total_cycles for p in parallel]
+        assert [p.power_w for p in sequential] == [p.power_w for p in parallel]
+
+    def test_single_job_runs_inline(self):
+        jobs = [SimJob("IB", "GCN", HyGCNConfig(), seed=0)]
+        reports = run_simulation_jobs(jobs, parallel=True)
+        assert len(reports) == 1 and reports[0].total_cycles > 0
+
+
+class TestWorkloadMemoisation:
+    def test_same_pair_returns_cached_flattening(self):
+        clear_workloads_cache()
+        graph = load_dataset("IB", seed=0)
+        model = build_model("GCN", input_length=graph.feature_length)
+        first = workloads_for(model, graph)
+        second = workloads_for(model, graph)
+        assert first is not second          # fresh list per call
+        assert [a is b for a, b in zip(first, second)] == [True] * len(first)
+
+    def test_distinct_pairs_not_conflated(self):
+        clear_workloads_cache()
+        graph = load_dataset("IB", seed=0)
+        gcn = build_model("GCN", input_length=graph.feature_length)
+        gin = build_model("GIN", input_length=graph.feature_length)
+        assert workloads_for(gcn, graph)[0].aggregation.reducer == "gcn_norm"
+        assert workloads_for(gin, graph)[0].aggregation.reducer == "gin_sum"
+
+    def test_caller_list_mutation_does_not_corrupt_cache(self):
+        clear_workloads_cache()
+        graph = load_dataset("IB", seed=0)
+        model = build_model("GCN", input_length=graph.feature_length)
+        workloads = workloads_for(model, graph)
+        expected = len(workloads)
+        workloads.clear()
+        assert len(workloads_for(model, graph)) == expected

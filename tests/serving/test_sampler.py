@@ -1,0 +1,79 @@
+"""k-hop subgraph extraction: structure, fan-out caps, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, load_dataset
+from repro.serving import SubgraphSampler
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("IB", seed=0)
+
+
+class TestSubgraphSampler:
+    def test_target_is_local_vertex_zero(self, graph):
+        sampler = SubgraphSampler(graph, num_hops=2, fanout=4)
+        sample = sampler.extract(17)
+        assert sample.target_vertex == 17
+        assert sample.vertices[0] == 17
+        assert sample.graph.num_vertices == len(sample.vertices)
+
+    def test_fanout_caps_subgraph_in_degrees(self, graph):
+        fanout = 3
+        sampler = SubgraphSampler(graph, num_hops=2, fanout=fanout)
+        sample = sampler.extract(0)
+        in_degrees = sample.graph.csc.in_degrees()
+        assert int(in_degrees.max()) <= fanout
+
+    def test_size_bounded_by_fanout_expansion(self, graph):
+        hops, fanout = 2, 4
+        sampler = SubgraphSampler(graph, num_hops=hops, fanout=fanout)
+        bound = sum(fanout ** h for h in range(hops + 1))  # 1 + f + f^2
+        for target in (0, 5, 100):
+            assert sampler.extract(target).num_vertices <= bound
+
+    def test_features_sliced_from_base_graph(self, graph):
+        sampler = SubgraphSampler(graph, num_hops=1, fanout=4)
+        sample = sampler.extract(42)
+        assert sample.graph.feature_length == graph.feature_length
+        for local, global_id in enumerate(sample.vertices):
+            assert np.array_equal(sample.graph.features[local],
+                                  graph.features[global_id])
+
+    def test_deterministic_per_target_regardless_of_order(self, graph):
+        first = SubgraphSampler(graph, num_hops=2, fanout=4, seed=1)
+        second = SubgraphSampler(graph, num_hops=2, fanout=4, seed=1)
+        a = first.extract(9)
+        second.extract(3)       # different extraction history
+        b = second.extract(9)
+        assert a.vertices == b.vertices
+        assert a.graph.num_edges == b.graph.num_edges
+
+    def test_different_seed_can_change_sampling(self, graph):
+        # pick a hub so the fanout cap actually bites
+        hub = int(np.argmax(graph.csc.in_degrees()))
+        a = SubgraphSampler(graph, num_hops=1, fanout=2, seed=0).extract(hub)
+        b = SubgraphSampler(graph, num_hops=1, fanout=2, seed=99).extract(hub)
+        assert a.vertices != b.vertices
+
+    def test_memoisation_returns_same_object(self, graph):
+        sampler = SubgraphSampler(graph, num_hops=2, fanout=4)
+        assert sampler.extract(7) is sampler.extract(7)
+
+    def test_zero_hops_is_single_vertex(self, graph):
+        sample = SubgraphSampler(graph, num_hops=0, fanout=4).extract(11)
+        assert sample.num_vertices == 1
+        assert sample.num_edges == 0
+
+    def test_out_of_range_target_rejected(self, graph):
+        sampler = SubgraphSampler(graph)
+        with pytest.raises(ValueError):
+            sampler.extract(graph.num_vertices)
+
+    def test_invalid_parameters_rejected(self, graph):
+        with pytest.raises(ValueError):
+            SubgraphSampler(graph, num_hops=-1)
+        with pytest.raises(ValueError):
+            SubgraphSampler(graph, fanout=0)

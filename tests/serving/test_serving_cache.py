@@ -1,0 +1,66 @@
+"""LRU cache semantics and hit-rate accounting."""
+
+import pytest
+
+from repro.serving import LRUCache
+
+
+class TestLRUCache:
+    def test_hit_and_miss_accounting(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_math(self):
+        cache = LRUCache(8)
+        for key in range(4):
+            cache.put(key, key)
+        hits = sum(1 for key in range(8) if cache.get(key) is not None)
+        assert hits == 4
+        assert cache.stats.lookups == 8
+        assert cache.stats.hit_rate == pytest.approx(4 / 8)
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a"; "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # refresh, not insert
+        cache.put("c", 3)       # evicts "b"
+        assert cache.get("a") == 10
+        assert "b" not in cache
+        assert cache.stats.insertions == 3
+
+    def test_zero_capacity_disables_cache(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert len(cache) == 0
+        assert cache.get("a") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.insertions == 0
+
+    def test_contains_does_not_touch_stats(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert "a" in cache and "b" not in cache
+        assert cache.stats.lookups == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        assert LRUCache(2).stats.hit_rate == 0.0

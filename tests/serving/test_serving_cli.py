@@ -1,0 +1,70 @@
+"""Smoke tests for ``python -m repro serve`` and the serving example."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+
+SERVE_FAST = ["serve", "--dataset", "IB", "--model", "gcn",
+              "--requests", "64", "--chips", "2"]
+
+
+class TestServeCommand:
+    def test_serve_prints_slo_report(self, capsys):
+        assert main(SERVE_FAST) == 0
+        out = capsys.readouterr().out
+        for needle in ("p50_ms", "p95_ms", "p99_ms", "throughput_rps",
+                       "per-chip utilization", "cache_hit_rate_pct",
+                       "slo_violation", "utilization_pct"):
+            assert needle in out
+
+    def test_serve_accepts_lowercase_dataset_and_model(self, capsys):
+        assert main(["serve", "--dataset", "ib", "--model", "gcn",
+                     "--requests", "32", "--chips", "2"]) == 0
+        assert "GCN on IB" in capsys.readouterr().out
+
+    def test_dispatch_policies_report_different_utilization(self, capsys):
+        outputs = {}
+        for dispatch in ("round-robin", "least-loaded"):
+            assert main(SERVE_FAST + ["--dispatch", dispatch,
+                                      "--requests", "128"]) == 0
+            out = capsys.readouterr().out
+            table = out.split("per-chip utilization")[1].split("traffic summary")[0]
+            outputs[dispatch] = table
+        assert outputs["round-robin"] != outputs["least-loaded"]
+
+    def test_batch_policies_selectable(self, capsys):
+        for policy in ("size", "timeout", "slo"):
+            assert main(SERVE_FAST + ["--batch-policy", policy]) == 0
+            assert policy in capsys.readouterr().out
+
+    def test_trace_replay_from_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("".join(f"{i * 1e-5}\n" for i in range(64)))
+        assert main(SERVE_FAST + ["--arrival", "trace",
+                                  "--trace-file", str(trace)]) == 0
+        assert "throughput_rps" in capsys.readouterr().out
+
+    def test_trace_without_file_fails(self, capsys):
+        assert main(SERVE_FAST + ["--arrival", "trace"]) == 2
+        assert "--trace-file" in capsys.readouterr().err
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(SERVE_FAST + ["--dispatch", "random"])
+
+
+def test_online_serving_example_runs(capsys):
+    path = Path(__file__).resolve().parent.parent.parent \
+        / "examples" / "online_serving.py"
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[path.stem] = module
+    spec.loader.exec_module(module)
+    module.main(num_requests=96)
+    out = capsys.readouterr().out
+    assert "dispatch-policy comparison" in out
+    assert "result-cache effect" in out

@@ -1,0 +1,111 @@
+"""Request-traffic generators: determinism, rates, skew, trace replay."""
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    Request,
+    RequestGenerator,
+    WorkloadConfig,
+    bursty_arrival_times,
+    poisson_arrival_times,
+    trace_arrival_times,
+)
+
+
+class TestArrivalProcesses:
+    def test_poisson_deterministic_under_seed(self):
+        a = poisson_arrival_times(200, 1000.0, seed=7)
+        b = poisson_arrival_times(200, 1000.0, seed=7)
+        c = poisson_arrival_times(200, 1000.0, seed=8)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_poisson_rate_and_monotonicity(self):
+        times = poisson_arrival_times(5000, 1000.0, seed=0)
+        assert np.all(np.diff(times) >= 0)
+        mean_gap = float(np.mean(np.diff(times)))
+        assert mean_gap == pytest.approx(1e-3, rel=0.1)
+
+    def test_bursty_deterministic_and_sorted(self):
+        a = bursty_arrival_times(500, 1000.0, seed=3)
+        b = bursty_arrival_times(500, 1000.0, seed=3)
+        assert np.array_equal(a, b)
+        assert np.all(np.diff(a) >= 0)
+
+    def test_bursty_is_burstier_than_poisson(self):
+        poisson = poisson_arrival_times(3000, 1000.0, seed=0)
+        bursty = bursty_arrival_times(3000, 1000.0, seed=0)
+        cv_poisson = np.std(np.diff(poisson)) / np.mean(np.diff(poisson))
+        cv_bursty = np.std(np.diff(bursty)) / np.mean(np.diff(bursty))
+        assert cv_bursty > cv_poisson
+
+    def test_bursty_rejects_inconsistent_burst_factor(self):
+        with pytest.raises(ValueError):
+            bursty_arrival_times(10, 100.0, burst_factor=20.0, on_fraction=0.1)
+
+    def test_trace_replay_sorts_and_normalises(self):
+        times = trace_arrival_times([5.0, 3.0, 4.0])
+        assert times.tolist() == [0.0, 1.0, 2.0]
+
+    def test_trace_rejects_negative_timestamps(self):
+        with pytest.raises(ValueError):
+            trace_arrival_times([-1.0, 2.0])
+
+
+class TestRequestGenerator:
+    def test_generation_deterministic_under_seed(self):
+        cfg = WorkloadConfig(num_requests=100, rate_rps=1e4, seed=5)
+        first = RequestGenerator(500, cfg).generate()
+        second = RequestGenerator(500, cfg).generate()
+        assert first == second
+        assert all(isinstance(r, Request) for r in first)
+
+    def test_different_seeds_differ(self):
+        base = WorkloadConfig(num_requests=100, rate_rps=1e4, seed=5)
+        other = WorkloadConfig(num_requests=100, rate_rps=1e4, seed=6)
+        assert RequestGenerator(500, base).generate() \
+            != RequestGenerator(500, other).generate()
+
+    def test_targets_in_range_and_sorted_arrivals(self):
+        cfg = WorkloadConfig(num_requests=300, rate_rps=1e4, seed=0)
+        requests = RequestGenerator(128, cfg).generate()
+        assert all(0 <= r.target_vertex < 128 for r in requests)
+        arrivals = [r.arrival_time_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert [r.request_id for r in requests] == list(range(300))
+
+    def test_popularity_skew_concentrates_traffic(self):
+        skewed = WorkloadConfig(num_requests=2000, rate_rps=1e4,
+                                popularity_skew=1.2, seed=0)
+        uniform = WorkloadConfig(num_requests=2000, rate_rps=1e4,
+                                 popularity_skew=0.0, seed=0)
+        def top_share(cfg):
+            targets = RequestGenerator(1000, cfg).target_vertices()
+            _, counts = np.unique(targets, return_counts=True)
+            counts.sort()
+            return counts[-10:].sum() / len(targets)
+        assert top_share(skewed) > 2 * top_share(uniform)
+
+    def test_trace_arrival_requires_trace(self):
+        cfg = WorkloadConfig(num_requests=10, rate_rps=1e4, arrival="trace")
+        generator = RequestGenerator(64, cfg)
+        with pytest.raises(ValueError):
+            generator.generate()
+        requests = generator.generate(trace=list(np.linspace(0.0, 1.0, 10)))
+        assert len(requests) == 10
+
+    def test_short_trace_rejected(self):
+        cfg = WorkloadConfig(num_requests=10, rate_rps=1e4, arrival="trace")
+        with pytest.raises(ValueError):
+            RequestGenerator(64, cfg).generate(trace=[0.0, 1.0])
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_requests=-1)
+        with pytest.raises(ValueError):
+            WorkloadConfig(rate_rps=0.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(arrival="uniform")
+        with pytest.raises(ValueError):
+            WorkloadConfig(arrival="bursty", burst_factor=100.0, on_fraction=0.5)
