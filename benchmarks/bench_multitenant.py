@@ -1,0 +1,78 @@
+"""Multi-tenant serving benchmark: WFQ weight sweep and isolation cost.
+
+Not a paper figure -- this exercises the tenancy layer the way
+``bench_serving.py`` exercises the single-tenant fleet: one table showing how
+deficit-round-robin service shares track the configured weights under
+saturation, and one quantifying the cross-tenant p99 inflation against
+run-alone baselines.  The assertions pin the fairness contract (shares within
+10% of weights when every tenant is backlogged) and request conservation.
+"""
+
+from repro.analysis import print_table
+from repro.serving import FleetConfig, TenantConfig, run_multi_tenant
+
+NUM_REQUESTS = 200
+NUM_CHIPS = 2
+WEIGHT_PAIRS = ((1.0, 1.0), (2.0, 1.0), (4.0, 1.0))
+
+
+def _tenant(name, weight, **overrides):
+    """A deliberately cheap, saturating tenant (all arrivals at ~t=0)."""
+    spec = dict(name=name, model="GCN", dataset="IB", weight=weight,
+                num_requests=NUM_REQUESTS, rate_rps=1e9, num_hops=1,
+                fanout=4, batch_policy="size", max_batch_size=16,
+                cache_size=0)
+    spec.update(overrides)
+    return TenantConfig(**spec)
+
+
+def _run_pair(w_a, w_b, include_solo=False):
+    tenants = [_tenant("alpha", w_a), _tenant("beta", w_b)]
+    return run_multi_tenant(tenants, FleetConfig(num_chips=NUM_CHIPS),
+                            include_isolation_baseline=include_solo)
+
+
+def test_wfq_weight_sweep(benchmark):
+    reports = benchmark.pedantic(
+        lambda: {w: _run_pair(*w) for w in WEIGHT_PAIRS},
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for (w_a, w_b), report in reports.items():
+        share_a = report.service_share("alpha")
+        rows.append({
+            "weights": f"{w_a:g}:{w_b:g}",
+            "alpha_weight_share_pct": round(100 * report.weight_share("alpha"), 2),
+            "alpha_service_share_pct": round(100 * share_a, 2),
+            "beta_service_share_pct": round(100 * report.service_share("beta"), 2),
+            "alpha_p99_us": round(
+                report.reports["alpha"].p99_latency_s * 1e6, 2),
+            "beta_p99_us": round(report.reports["beta"].p99_latency_s * 1e6, 2),
+        })
+        # every request completes exactly once, under every weighting
+        assert report.completed == 2 * NUM_REQUESTS
+        for rep in report.reports.values():
+            assert rep.completed == NUM_REQUESTS
+        # saturated equal demand: contended shares track the weights
+        want = report.weight_share("alpha")
+        assert abs(share_a - want) <= 0.1 * max(want, 1e-9)
+    print_table(rows, title="multi-tenant: WFQ weight sweep (saturated)")
+    # heavier weight -> monotonically larger service share
+    shares = [reports[w].service_share("alpha") for w in WEIGHT_PAIRS]
+    assert shares == sorted(shares)
+
+
+def test_isolation_baseline(benchmark):
+    report = benchmark.pedantic(
+        lambda: _run_pair(2.0, 1.0, include_solo=True),
+        rounds=1, iterations=1,
+    )
+    print_table(report.isolation_table(),
+                title="multi-tenant: shared fleet vs. running alone")
+    for name in report.tenants:
+        inflation = report.p99_inflation(name)
+        assert inflation is not None and inflation > 0
+        # sharing a saturated fleet cannot beat running alone at the median
+        shared = report.reports[name]
+        solo = report.solo[name]
+        assert shared.p50_latency_s >= 0.5 * solo.p50_latency_s

@@ -12,13 +12,22 @@ The package is organised as:
 * :mod:`repro.analysis` -- comparison tables and parameter sweeps used by the
   benchmark harness;
 * :mod:`repro.serving` -- online inference serving on a fleet of simulated
-  accelerators (request traffic, batching, dispatch, caching, SLO reporting).
+  accelerators (request traffic, batching, dispatch, caching, SLO reporting,
+  and weighted-fair multi-tenant sharing of one fleet).
 """
 
 from .core import HyGCNConfig, HyGCNSimulator, PipelineMode, SimulationReport
 from .graphs import Graph, load_dataset
 from .models import build_model
-from .serving import FleetConfig, ServingReport, run_serving
+from .serving import (
+    FleetConfig,
+    MultiTenantReport,
+    ServingReport,
+    TenantConfig,
+    load_tenant_specs,
+    run_multi_tenant,
+    run_serving,
+)
 
 __version__ = "1.0.0"
 
@@ -31,7 +40,11 @@ __all__ = [
     "load_dataset",
     "build_model",
     "FleetConfig",
+    "MultiTenantReport",
     "ServingReport",
+    "TenantConfig",
+    "load_tenant_specs",
+    "run_multi_tenant",
     "run_serving",
     "__version__",
 ]

@@ -6,7 +6,9 @@ Four commands cover the common workflows without writing a script:
   print the report (optionally comparing against the CPU/GPU baselines);
 * ``serve``    -- replay request traffic against a fleet of simulated HyGCN
   chips with batching, dispatch and caching, and print the latency /
-  throughput / SLO report;
+  throughput / SLO report; with ``--tenants spec.json`` the fleet is shared
+  by several tenants behind a weighted-fair-queueing scheduler and the
+  report adds fairness and cross-tenant isolation tables;
 * ``sweep``    -- run one of the named ablation/scalability sweeps;
 * ``info``     -- print the dataset registry (Table 4), the model zoo
   (Table 5) and the default accelerator configuration (Table 6/7 view).
@@ -38,6 +40,8 @@ from .serving import (
     BATCHING_POLICIES,
     DISPATCH_POLICIES,
     FleetConfig,
+    load_tenant_specs,
+    run_multi_tenant,
     run_serving,
 )
 
@@ -106,6 +110,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="result-cache entries (0 disables the cache)")
     serve.add_argument("--slo-ms", type=float, default=None,
                        help="latency SLO in milliseconds (default: adaptive)")
+    serve.add_argument("--tenants", default=None, metavar="SPEC.JSON",
+                       help="multi-tenant mode: JSON spec binding each tenant "
+                            "to a model, dataset, arrival process, WFQ weight "
+                            "and SLO (per-stream flags above are then ignored; "
+                            "--chips/--utilization/--seed still apply)")
+    serve.add_argument("--no-isolation", action="store_true",
+                       help="multi-tenant mode: skip the run-alone baselines "
+                            "(faster, but no cross-tenant p99 inflation)")
     serve.add_argument("--seed", type=int, default=0)
 
     sweep = sub.add_parser("sweep", help="run an ablation / scalability sweep")
@@ -151,7 +163,44 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve_tenants(args: argparse.Namespace) -> int:
+    """Multi-tenant serving: shared fleet, WFQ scheduling, isolation report."""
+    try:
+        tenants = load_tenant_specs(args.tenants)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load tenant spec {args.tenants!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        fleet = FleetConfig(num_chips=args.chips, seed=args.seed)
+        report = run_multi_tenant(
+            tenants, fleet, utilization_target=args.utilization,
+            include_isolation_baseline=not args.no_isolation)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    names = ", ".join(f"{t.name} (w={t.weight:g})" for t in tenants)
+    print_table(report.summary_table(),
+                title=f"multi-tenant serving on {args.chips} chips "
+                      f"({report.scheduler}): {names}")
+    print_table(report.fairness_table(),
+                title="WFQ fairness: configured vs. measured service shares")
+    if not args.no_isolation:
+        print_table(report.isolation_table(),
+                    title="isolation: shared fleet vs. running alone")
+    print_table(report.per_chip_table(), title="per-chip utilization")
+    print_table([{
+        "completed": report.completed,
+        "throughput_rps": round(report.throughput_rps, 1),
+        "avg_in_flight_requests": round(report.avg_in_flight, 2),
+        "max_backlog_batches": report.max_backlog_batches,
+    }], title="traffic summary")
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
+    if args.tenants is not None:
+        return _run_serve_tenants(args)
     trace = None
     if args.arrival == "trace":
         if args.trace_file is None:

@@ -7,6 +7,10 @@ batches (:mod:`repro.serving.batcher`), short-circuited by a result cache
 (:mod:`repro.serving.cache`) and dispatched across simulated chips whose
 service times drive a discrete-event clock (:mod:`repro.serving.fleet`);
 latency/throughput/SLO metrics land in :mod:`repro.serving.stats`.
+:mod:`repro.serving.tenancy` layers multi-tenancy on top: several tenants
+(model + dataset + traffic + SLO) share one fleet behind a weighted-fair
+deficit-round-robin scheduler, with fairness and cross-tenant isolation
+metrics in the report.
 """
 
 from .batcher import (
@@ -19,16 +23,38 @@ from .batcher import (
     build_batcher,
 )
 from .cache import CacheStats, LRUCache
-from .fleet import DISPATCH_POLICIES, Chip, FleetConfig, ServingSimulator, run_serving
+from .fleet import (
+    DISPATCH_POLICIES,
+    Chip,
+    FleetConfig,
+    ServingSimulator,
+    WFQScheduler,
+    run_serving,
+)
 from .sampler import SubgraphSample, SubgraphSampler
-from .stats import ChipStats, RequestRecord, ServingReport, percentile
+from .stats import (
+    ChipStats,
+    MultiTenantReport,
+    RequestRecord,
+    ServingReport,
+    percentile,
+)
+from .tenancy import (
+    MultiTenantSimulator,
+    TenantConfig,
+    TenantRuntime,
+    load_tenant_specs,
+    run_multi_tenant,
+)
 from .workload import (
     ARRIVAL_PROCESSES,
     Request,
     RequestGenerator,
     WorkloadConfig,
     bursty_arrival_times,
+    merge_tenant_streams,
     poisson_arrival_times,
+    split_tenant_stream,
     trace_arrival_times,
 )
 
@@ -43,6 +69,8 @@ __all__ = [
     "ChipStats",
     "FleetConfig",
     "LRUCache",
+    "MultiTenantReport",
+    "MultiTenantSimulator",
     "Request",
     "RequestGenerator",
     "RequestRecord",
@@ -52,12 +80,19 @@ __all__ = [
     "SLOAwareBatcher",
     "SubgraphSample",
     "SubgraphSampler",
+    "TenantConfig",
+    "TenantRuntime",
     "TimeoutBatcher",
+    "WFQScheduler",
     "WorkloadConfig",
     "build_batcher",
     "bursty_arrival_times",
+    "load_tenant_specs",
+    "merge_tenant_streams",
     "percentile",
     "poisson_arrival_times",
+    "run_multi_tenant",
     "run_serving",
+    "split_tenant_stream",
     "trace_arrival_times",
 ]

@@ -44,11 +44,17 @@ _EPS = 1e-12
 
 @dataclass
 class Batch:
-    """A group of requests fused into one accelerator dispatch."""
+    """A group of requests fused into one accelerator dispatch.
+
+    Batches never mix tenants: multi-tenant serving runs one batcher per
+    tenant, so ``tenant`` is simply stamped from the owning batcher (empty in
+    single-tenant serving).
+    """
 
     batch_id: int
     requests: List[Request]
     created_time_s: float
+    tenant: str = ""
 
     @property
     def size(self) -> int:
@@ -65,6 +71,7 @@ class Batcher:
 
     max_batch_size: int = 32
     policy: str = "size"
+    tenant: str = ""
     _pending: List[Request] = field(default_factory=list, repr=False)
     _next_batch_id: int = field(default=0, repr=False)
 
@@ -89,7 +96,7 @@ class Batcher:
         if not self._pending:
             return None
         batch = Batch(batch_id=self._next_batch_id, requests=self._pending,
-                      created_time_s=now)
+                      created_time_s=now, tenant=self.tenant)
         self._next_batch_id += 1
         self._pending = []
         return batch
@@ -115,15 +122,18 @@ class Batcher:
 class SizeCappedBatcher(Batcher):
     """Flush only on the size cap (the event loop flushes leftovers at EOS)."""
 
-    def __init__(self, max_batch_size: int = 32):
-        super().__init__(max_batch_size=max_batch_size, policy="size")
+    def __init__(self, max_batch_size: int = 32, tenant: str = ""):
+        super().__init__(max_batch_size=max_batch_size, policy="size",
+                         tenant=tenant)
 
 
 class TimeoutBatcher(Batcher):
     """Flush on the size cap or when the oldest request ages past ``timeout_s``."""
 
-    def __init__(self, max_batch_size: int = 32, timeout_s: float = 5e-4):
-        super().__init__(max_batch_size=max_batch_size, policy="timeout")
+    def __init__(self, max_batch_size: int = 32, timeout_s: float = 5e-4,
+                 tenant: str = ""):
+        super().__init__(max_batch_size=max_batch_size, policy="timeout",
+                         tenant=tenant)
         if timeout_s <= 0:
             raise ValueError("timeout_s must be positive")
         self.timeout_s = float(timeout_s)
@@ -143,8 +153,10 @@ class SLOAwareBatcher(Batcher):
     """
 
     def __init__(self, max_batch_size: int = 32, slo_s: float = 2e-3,
-                 safety_factor: float = 1.5, ewma_alpha: float = 0.3):
-        super().__init__(max_batch_size=max_batch_size, policy="slo")
+                 safety_factor: float = 1.5, ewma_alpha: float = 0.3,
+                 tenant: str = ""):
+        super().__init__(max_batch_size=max_batch_size, policy="slo",
+                         tenant=tenant)
         if slo_s <= 0:
             raise ValueError("slo_s must be positive")
         if not 0 < ewma_alpha <= 1:
@@ -175,13 +187,15 @@ class SLOAwareBatcher(Batcher):
 
 
 def build_batcher(policy: str, max_batch_size: int = 32, timeout_s: float = 5e-4,
-                  slo_s: float = 2e-3) -> Batcher:
+                  slo_s: float = 2e-3, tenant: str = "") -> Batcher:
     """Construct the batcher named by ``policy`` (see :data:`BATCHING_POLICIES`)."""
     if policy == "size":
-        return SizeCappedBatcher(max_batch_size=max_batch_size)
+        return SizeCappedBatcher(max_batch_size=max_batch_size, tenant=tenant)
     if policy == "timeout":
-        return TimeoutBatcher(max_batch_size=max_batch_size, timeout_s=timeout_s)
+        return TimeoutBatcher(max_batch_size=max_batch_size, timeout_s=timeout_s,
+                              tenant=tenant)
     if policy == "slo":
-        return SLOAwareBatcher(max_batch_size=max_batch_size, slo_s=slo_s)
+        return SLOAwareBatcher(max_batch_size=max_batch_size, slo_s=slo_s,
+                               tenant=tenant)
     raise ValueError(f"unknown batching policy {policy!r}; "
                      f"choose from {BATCHING_POLICIES}")

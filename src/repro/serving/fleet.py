@@ -23,6 +23,13 @@ Dispatch policies:
 * ``least-loaded`` -- pick the chip with the fewest outstanding requests;
 * ``locality``     -- route by the batch's majority vertex partition, trading
   load balance for feature-cache reuse.
+
+This module also hosts :class:`WFQScheduler`, the weighted-fair-queueing
+stage that multi-tenant serving (:mod:`repro.serving.tenancy`) inserts
+between per-tenant batch formation and the chips: deficit round-robin over
+per-tenant backlog queues, with each batch's cost being its estimated fused
+service time, so chip-time (not batch count) is what gets shared in
+proportion to tenant weights.
 """
 
 from __future__ import annotations
@@ -50,6 +57,7 @@ __all__ = [
     "FleetConfig",
     "Chip",
     "ServingSimulator",
+    "WFQScheduler",
     "run_serving",
 ]
 
@@ -177,6 +185,157 @@ def _build_dispatch(policy: str, num_vertices: int, num_chips: int):
                      f"choose from {DISPATCH_POLICIES}")
 
 
+# --------------------------------------------------------------------------- #
+# Shared service-time model (single- and multi-tenant paths)
+# --------------------------------------------------------------------------- #
+def fused_batch_service_time_s(chip: Chip, sampler, model, batch: Batch,
+                               dataset_name: str, reuse_discount: float,
+                               cache_key=None, account: bool = True) -> float:
+    """Simulated execution time of the fused subgraph batch on ``chip``.
+
+    Requests for the same target within a batch share one subgraph; the
+    chip's feature-cache hit fraction discounts the simulated time by up to
+    ``reuse_discount`` (warm features skip their DRAM stream).  ``cache_key``
+    maps a global vertex id to the feature-cache key -- multi-tenant serving
+    passes ``lambda v: (tenant, v)`` so numerically-aliasing vertex ids from
+    different tenants' graphs never share cache entries.
+    """
+    targets = list(dict.fromkeys(r.target_vertex for r in batch.requests))
+    samples = [sampler.extract(t) for t in targets]
+    if len(samples) == 1:
+        fused = samples[0].graph
+    else:
+        prefix = f"{batch.tenant}-" if batch.tenant else ""
+        fused = merge_graphs([s.graph for s in samples],
+                             name=f"{prefix}batch{batch.batch_id}")
+        # fused batches are unique per dispatch; keeping them out of the
+        # workload memo stops it pinning their merged feature matrices
+        fused.memoize_workloads = False
+    report = chip.simulator.run_model(model, fused, dataset_name=dataset_name)
+    vertices: Set[int] = set()
+    for sample in samples:
+        vertices.update(sample.vertices)
+    key = cache_key if cache_key is not None else (lambda v: v)
+    hits = sum(1 for v in vertices if chip.feature_cache.get(key(v)) is not None)
+    for v in vertices:
+        chip.feature_cache.put(key(v), True)
+    reuse_fraction = hits / len(vertices) if vertices else 0.0
+    service_s = report.execution_time_s * (1.0 - reuse_discount * reuse_fraction)
+    if account:
+        chip.stats.vertices_simulated += fused.num_vertices
+        chip.stats.feature_lookups += len(vertices)
+        chip.stats.feature_hits += hits
+    return service_s
+
+
+def probe_batch_service_time_s(hw: HyGCNConfig, sampler, model,
+                               dataset_name: str, max_batch_size: int,
+                               num_vertices: int, seed: int) -> float:
+    """Service time of one full batch of distinct uniformly-drawn targets.
+
+    The probe calibrates arrival rates and resolves the adaptive timeout /
+    SLO defaults; it runs on a throwaway cold chip so it never perturbs the
+    fleet's caches or accounting.
+    """
+    rng = np.random.default_rng(seed)
+    num = min(max_batch_size, num_vertices)
+    targets = rng.choice(num_vertices, size=num, replace=False)
+    probe = Batch(batch_id=-1, requests=[
+        Request(request_id=-1 - i, target_vertex=int(t), arrival_time_s=0.0)
+        for i, t in enumerate(targets)], created_time_s=0.0)
+    probe_chip = Chip(-1, hw, feature_cache_size=0)
+    return fused_batch_service_time_s(probe_chip, sampler, model, probe,
+                                      dataset_name=dataset_name,
+                                      reuse_discount=0.0, account=False)
+
+
+class WFQScheduler:
+    """Weighted fair queueing over per-tenant batch queues (deficit round-robin).
+
+    Each tenant owns a FIFO of ``(batch, cost_s)`` entries, where ``cost_s``
+    is the caller's estimate of the batch's fused service time.  The scheduler
+    visits tenants in a fixed rotation; on arriving at a tenant it credits the
+    tenant's *deficit counter* with ``quantum_s * weight`` once, then releases
+    head batches while their cost fits the deficit.  A tenant whose queue
+    drains forfeits its remaining deficit (the textbook DRR rule that stops an
+    idle tenant hoarding credit), so over any contended interval each tenant's
+    released service time converges to its weight share regardless of how its
+    batch sizes compare to the other tenants'.
+
+    The scheduler is release-order only: it does not know about chips.  The
+    multi-tenant event loop calls :meth:`next_batch` once per free chip and
+    stops pulling when the fleet is saturated, which keeps the DRR state
+    consistent no matter how many chips drain it.
+    """
+
+    def __init__(self, weights: Dict[str, float], quantum_s: float):
+        if not weights:
+            raise ValueError("WFQScheduler needs at least one tenant")
+        if any(w <= 0 for w in weights.values()):
+            raise ValueError("tenant weights must be positive")
+        if quantum_s <= 0:
+            raise ValueError("quantum_s must be positive")
+        self._order = list(weights)
+        self._weights = dict(weights)
+        self._quantum_s = float(quantum_s)
+        self._queues: Dict[str, Deque[Tuple[Batch, float]]] = {
+            name: deque() for name in self._order}
+        self._deficit_s: Dict[str, float] = {name: 0.0 for name in self._order}
+        self._cursor = 0
+        self._credited = False  # has the tenant under the cursor been credited
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_batches(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def backlog(self, tenant: str) -> int:
+        """Number of formed-but-undispatched batches queued for ``tenant``."""
+        return len(self._queues[tenant])
+
+    def enqueue(self, tenant: str, batch: Batch, cost_s: float) -> None:
+        """Admit a formed batch into ``tenant``'s dispatch queue."""
+        if tenant not in self._queues:
+            raise KeyError(f"unknown tenant {tenant!r}")
+        self._queues[tenant].append((batch, max(float(cost_s), 1e-12)))
+
+    def next_batch(self) -> Optional[Tuple[str, Batch, float]]:
+        """Release the next ``(tenant, batch, cost_s)`` in DRR order.
+
+        Returns ``None`` when every queue is empty.  Each call releases at
+        most one batch; the cursor only advances off a tenant once its head
+        batch no longer fits the deficit (or its queue drains), so a burst of
+        calls services tenants in contiguous weight-proportional runs.
+        """
+        if self.pending_batches == 0:
+            return None
+        # Each full rotation credits every non-empty queue, so the loop is
+        # bounded by max_cost / (quantum * min_weight) rotations.
+        while True:
+            name = self._order[self._cursor]
+            queue = self._queues[name]
+            if not queue:
+                self._deficit_s[name] = 0.0
+                self._advance()
+                continue
+            if not self._credited:
+                self._deficit_s[name] += self._quantum_s * self._weights[name]
+                self._credited = True
+            batch, cost_s = queue[0]
+            if cost_s <= self._deficit_s[name]:
+                queue.popleft()
+                self._deficit_s[name] -= cost_s
+                if not queue:
+                    self._deficit_s[name] = 0.0
+                    self._advance()
+                return name, batch, cost_s
+            self._advance()
+
+    def _advance(self) -> None:
+        self._cursor = (self._cursor + 1) % len(self._order)
+        self._credited = False
+
+
 class ServingSimulator:
     """Discrete-event simulation of online inference over a chip fleet."""
 
@@ -208,15 +367,9 @@ class ServingSimulator:
         """
         if self._probe_service_s is None:
             cfg = self.config
-            rng = np.random.default_rng(cfg.seed)
-            num = min(cfg.max_batch_size, self.graph.num_vertices)
-            targets = rng.choice(self.graph.num_vertices, size=num, replace=False)
-            probe = Batch(batch_id=-1, requests=[
-                Request(request_id=-1 - i, target_vertex=int(t), arrival_time_s=0.0)
-                for i, t in enumerate(targets)], created_time_s=0.0)
-            probe_chip = Chip(-1, cfg.hw, feature_cache_size=0)
-            self._probe_service_s = self.batch_service_time_s(
-                probe_chip, probe, account=False)
+            self._probe_service_s = probe_batch_service_time_s(
+                cfg.hw, self.sampler, self.model, self.dataset_name,
+                cfg.max_batch_size, self.graph.num_vertices, cfg.seed)
         return self._probe_service_s
 
     @property
@@ -238,48 +391,23 @@ class ServingSimulator:
     # ------------------------------------------------------------------ #
     def batch_service_time_s(self, chip: Chip, batch: Batch,
                              account: bool = True) -> float:
-        """Simulated execution time of the fused subgraph batch on ``chip``.
-
-        Requests for the same target within a batch share one subgraph; the
-        chip's feature-cache hit fraction discounts the simulated time by up
-        to ``reuse_discount`` (warm features skip their DRAM stream).
-        """
-        targets = list(dict.fromkeys(r.target_vertex for r in batch.requests))
-        samples = [self.sampler.extract(t) for t in targets]
-        if len(samples) == 1:
-            fused = samples[0].graph
-        else:
-            fused = merge_graphs([s.graph for s in samples],
-                                 name=f"batch{batch.batch_id}")
-            # fused batches are unique per dispatch; keeping them out of the
-            # workload memo stops it pinning their merged feature matrices
-            fused.memoize_workloads = False
-        report = chip.simulator.run_model(self.model, fused,
-                                          dataset_name=self.dataset_name)
-        vertices: Set[int] = set()
-        for sample in samples:
-            vertices.update(sample.vertices)
-        hits = sum(1 for v in vertices if chip.feature_cache.get(v) is not None)
-        for v in vertices:
-            chip.feature_cache.put(v, True)
-        reuse_fraction = hits / len(vertices) if vertices else 0.0
-        service_s = report.execution_time_s * \
-            (1.0 - self.config.reuse_discount * reuse_fraction)
-        if account:
-            chip.stats.vertices_simulated += fused.num_vertices
-            chip.stats.feature_lookups += len(vertices)
-            chip.stats.feature_hits += hits
-        return service_s
+        """Simulated execution time of the fused subgraph batch on ``chip``
+        (see :func:`fused_batch_service_time_s`)."""
+        return fused_batch_service_time_s(
+            chip, self.sampler, self.model, batch,
+            dataset_name=self.dataset_name,
+            reuse_discount=self.config.reuse_discount, account=account)
 
     def calibrate_rate(self, utilization_target: float = 0.7) -> float:
         """Arrival rate that loads the fleet to ``utilization_target``.
 
         A probe batch of ``max_batch_size`` distinct uniformly-drawn targets is
         simulated once; the fleet's aggregate request throughput at full
-        utilisation is ``num_chips * max_batch_size / service_time``.
+        utilisation is ``num_chips * max_batch_size / service_time``.  Targets
+        above 1 deliberately overload the fleet (a queueing-study regime).
         """
-        if not 0 < utilization_target <= 1:
-            raise ValueError("utilization_target must be in (0, 1]")
+        if not 0 < utilization_target:
+            raise ValueError("utilization_target must be positive")
         cfg = self.config
         batch_size = min(cfg.max_batch_size, self.graph.num_vertices)
         capacity_rps = cfg.num_chips * batch_size \

@@ -5,18 +5,27 @@ a :class:`ServingReport`, the serving-side analogue of
 :class:`~repro.core.stats.SimulationReport`: tail-latency percentiles,
 sustained throughput, per-chip utilisation, queue pressure and SLO-violation
 counts, plus table helpers for the CLI / benchmark harness.
+
+For multi-tenant runs (:mod:`repro.serving.tenancy`) the records carry a
+``tenant`` tag and roll up into a :class:`MultiTenantReport`: one
+:class:`ServingReport` slice per tenant plus the isolation metrics the fleet
+owes its tenants -- weighted-fair-queueing service shares (measured while all
+tenants were contending) against the configured weights, per-tenant SLO
+violation rates, and cross-tenant p99 inflation versus each tenant running
+alone on the same fleet.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from .cache import CacheStats
 
-__all__ = ["percentile", "RequestRecord", "ChipStats", "ServingReport"]
+__all__ = ["percentile", "chip_utilization_rows", "RequestRecord",
+           "ChipStats", "ServingReport", "MultiTenantReport"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -34,7 +43,8 @@ class RequestRecord:
     """Lifecycle timestamps of one completed request.
 
     Cache hits never touch a chip: their ``chip_id``/``batch_id`` are -1 and
-    dispatch/start coincide with completion.
+    dispatch/start coincide with completion.  ``tenant`` is empty for
+    single-tenant serving.
     """
 
     request_id: int
@@ -46,6 +56,7 @@ class RequestRecord:
     cache_hit: bool = False
     chip_id: int = -1
     batch_id: int = -1
+    tenant: str = ""
 
     @property
     def latency_s(self) -> float:
@@ -82,6 +93,27 @@ class ChipStats:
     def utilization(self, makespan_s: float) -> float:
         """Busy fraction of the chip over the whole serving window."""
         return min(1.0, self.busy_s / makespan_s) if makespan_s > 0 else 0.0
+
+
+def chip_utilization_rows(chips: Sequence["ChipStats"],
+                          span_s: float) -> List[Dict[str, object]]:
+    """One table row per chip: load share, busy time, utilisation, reuse.
+
+    Shared by the single-tenant and multi-tenant reports so the two views
+    cannot drift apart.
+    """
+    return [
+        {
+            "chip": c.chip_id,
+            "batches": c.batches_served,
+            "requests": c.requests_served,
+            "vertices": c.vertices_simulated,
+            "busy_ms": round(c.busy_s * 1e3, 4),
+            "utilization_pct": round(100.0 * c.utilization(span_s), 2),
+            "feature_reuse_pct": round(100.0 * c.feature_reuse_rate, 2),
+        }
+        for c in chips
+    ]
 
 
 @dataclass
@@ -188,19 +220,7 @@ class ServingReport:
 
     def per_chip_table(self) -> List[Dict[str, object]]:
         """One row per chip: load share, busy time and utilisation."""
-        span = self.makespan_s
-        return [
-            {
-                "chip": c.chip_id,
-                "batches": c.batches_served,
-                "requests": c.requests_served,
-                "vertices": c.vertices_simulated,
-                "busy_ms": round(c.busy_s * 1e3, 4),
-                "utilization_pct": round(100.0 * c.utilization(span), 2),
-                "feature_reuse_pct": round(100.0 * c.feature_reuse_rate, 2),
-            }
-            for c in self.chips
-        ]
+        return chip_utilization_rows(self.chips, self.makespan_s)
 
     def latency_breakdown(self) -> Dict[str, float]:
         """Mean per-request time split: batching wait, queue wait, service."""
@@ -216,3 +236,146 @@ class ServingReport:
             "queue_wait_ms": round(queue * 1e3, 4),
             "service_ms": round(service * 1e3, 4),
         }
+
+
+@dataclass
+class MultiTenantReport:
+    """Per-tenant slices plus the fairness / isolation metrics of one run.
+
+    ``reports`` maps each tenant to a :class:`ServingReport` restricted to its
+    own requests (so all the latency / SLO machinery applies per tenant).
+
+    Fairness accounting distinguishes two views of chip time:
+
+    * ``busy_s``           -- total simulated chip-seconds each tenant received;
+    * ``contended_busy_s`` -- chip-seconds received from batches dispatched
+      while *every* tenant still had work outstanding.  WFQ only promises
+      weight-proportional service during contention (an idle tenant's unused
+      share is redistributed), so fairness is judged on this view.
+
+    ``solo`` holds the same tenants' reports from isolation baseline runs
+    (each tenant alone on an identical fleet, identical traffic), which feed
+    the cross-tenant p99-inflation metric.
+    """
+
+    num_chips: int
+    tenants: List[str]
+    weights: Dict[str, float]
+    reports: Dict[str, "ServingReport"]
+    busy_s: Dict[str, float] = field(default_factory=dict)
+    contended_busy_s: Dict[str, float] = field(default_factory=dict)
+    chips: List[ChipStats] = field(default_factory=list)
+    solo: Dict[str, "ServingReport"] = field(default_factory=dict)
+    scheduler: str = "wfq-drr"
+    avg_in_flight: float = 0.0
+    max_backlog_batches: int = 0
+
+    # ------------------------------------------------------------------ #
+    # Aggregates over all tenants
+    # ------------------------------------------------------------------ #
+    @property
+    def completed(self) -> int:
+        return sum(r.completed for r in self.reports.values())
+
+    @property
+    def makespan_s(self) -> float:
+        """First arrival to last completion across every tenant."""
+        records = [r for rep in self.reports.values() for r in rep.records]
+        if not records:
+            return 0.0
+        return max(r.completion_time_s for r in records) \
+            - min(r.arrival_time_s for r in records)
+
+    @property
+    def throughput_rps(self) -> float:
+        span = self.makespan_s
+        return self.completed / span if span > 0 else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Fairness: configured weight shares vs. measured service shares
+    # ------------------------------------------------------------------ #
+    def weight_share(self, tenant: str) -> float:
+        total = sum(self.weights.values())
+        return self.weights[tenant] / total if total > 0 else 0.0
+
+    def service_share(self, tenant: str, contended: bool = True) -> float:
+        """Fraction of (contended) chip-seconds this tenant received."""
+        pool = self.contended_busy_s if contended else self.busy_s
+        total = sum(pool.values())
+        return pool.get(tenant, 0.0) / total if total > 0 else 0.0
+
+    def fairness_table(self) -> List[Dict[str, object]]:
+        """One row per tenant: configured vs. measured service share."""
+        rows = []
+        for name in self.tenants:
+            want = self.weight_share(name)
+            got = self.service_share(name, contended=True)
+            rows.append({
+                "tenant": name,
+                "weight": self.weights[name],
+                "weight_share_pct": round(100.0 * want, 2),
+                "contended_share_pct": round(100.0 * got, 2),
+                "total_share_pct": round(
+                    100.0 * self.service_share(name, contended=False), 2),
+                "share_error_pct": round(100.0 * abs(got - want), 2),
+            })
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Isolation: shared-fleet tails vs. running-alone tails
+    # ------------------------------------------------------------------ #
+    def p99_inflation(self, tenant: str) -> Optional[float]:
+        """Shared-fleet p99 over run-alone p99 (``None`` without a baseline)."""
+        solo = self.solo.get(tenant)
+        if solo is None or solo.p99_latency_s <= 0:
+            return None
+        return self.reports[tenant].p99_latency_s / solo.p99_latency_s
+
+    def isolation_table(self) -> List[Dict[str, object]]:
+        """One row per tenant: shared vs. solo tail latency and SLO rates."""
+        rows = []
+        for name in self.tenants:
+            shared = self.reports[name]
+            solo = self.solo.get(name)
+            inflation = self.p99_inflation(name)
+            rows.append({
+                "tenant": name,
+                "shared_p99_ms": round(shared.p99_latency_s * 1e3, 4),
+                "solo_p99_ms": round(solo.p99_latency_s * 1e3, 4)
+                if solo else None,
+                "p99_inflation_x": round(inflation, 3)
+                if inflation is not None else None,
+                "shared_slo_violation_pct": round(
+                    100.0 * shared.slo_violation_rate, 2),
+                "solo_slo_violation_pct": round(
+                    100.0 * solo.slo_violation_rate, 2) if solo else None,
+            })
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Tables
+    # ------------------------------------------------------------------ #
+    def summary_table(self) -> List[Dict[str, object]]:
+        """One row per tenant: traffic, latency percentiles, SLO, cache."""
+        rows = []
+        for name in self.tenants:
+            rep = self.reports[name]
+            rows.append({
+                "tenant": name,
+                "model": rep.model_name,
+                "dataset": rep.dataset_name,
+                "weight": self.weights[name],
+                "rate_rps": round(rep.rate_rps, 1),
+                "completed": rep.completed,
+                "p50_ms": round(rep.p50_latency_s * 1e3, 4),
+                "p95_ms": round(rep.p95_latency_s * 1e3, 4),
+                "p99_ms": round(rep.p99_latency_s * 1e3, 4),
+                "slo_ms": round(rep.slo_s * 1e3, 4),
+                "slo_violation_pct": round(100.0 * rep.slo_violation_rate, 2),
+                "cache_hit_rate_pct": round(100.0 * rep.cache.hit_rate, 2),
+            })
+        return rows
+
+    def per_chip_table(self) -> List[Dict[str, object]]:
+        """Fleet-level chip accounting over the whole multi-tenant run."""
+        return chip_utilization_rows(self.chips, self.makespan_s)

@@ -1,0 +1,579 @@
+"""Multi-tenant serving: several models/datasets share one accelerator fleet.
+
+This module turns the single-stream fleet of :mod:`repro.serving.fleet` into
+a shared deployment.  Each :class:`TenantConfig` binds a model from the model
+zoo, a dataset/graph, an arrival process and a latency SLO; all tenants'
+request streams are merged onto one simulated clock and compete for the same
+chips.  Three mechanisms keep the sharing honest:
+
+* **per-tenant batch formation** -- every tenant owns its own batcher
+  (:mod:`repro.serving.batcher`) and result cache, so batches never mix
+  graphs and one tenant's batching policy cannot delay another's flushes;
+* **weighted fair queueing** -- formed batches are admitted into per-tenant
+  dispatch queues drained by the deficit-round-robin
+  :class:`~repro.serving.fleet.WFQScheduler`, with batch cost = estimated
+  fused-batch service time (an EWMA per tenant, seeded by a probe batch), so
+  chip *time* is shared in proportion to the configured weights;
+* **isolation metrics** -- the run rolls up into a
+  :class:`~repro.serving.stats.MultiTenantReport` with per-tenant latency
+  percentiles and SLO-violation rates, measured contended service shares vs.
+  weights, and cross-tenant p99 inflation against each tenant running alone
+  on an identical fleet.
+
+Key entry points: :func:`run_multi_tenant` (spec list -> report),
+:func:`load_tenant_specs` (JSON file -> specs, used by
+``python -m repro serve --tenants``) and :class:`MultiTenantSimulator` for
+programmatic control.  Everything is deterministic under the fleet seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..graphs.datasets import DATASETS, load_dataset
+from ..models.model_zoo import MODEL_NAMES, build_model
+from .batcher import BATCHING_POLICIES, Batch, build_batcher
+from .cache import LRUCache
+from .fleet import (
+    _ARRIVAL,
+    _COMPLETION,
+    _FLUSH,
+    _SLO_SERVICE_MULTIPLE,
+    _TIMEOUT_SERVICE_MULTIPLE,
+    Chip,
+    FleetConfig,
+    WFQScheduler,
+    fused_batch_service_time_s,
+    probe_batch_service_time_s,
+)
+from .sampler import SubgraphSampler
+from .stats import MultiTenantReport, RequestRecord, ServingReport
+from .workload import (
+    Request,
+    RequestGenerator,
+    WorkloadConfig,
+    merge_tenant_streams,
+)
+
+__all__ = [
+    "TenantConfig",
+    "TenantRuntime",
+    "MultiTenantSimulator",
+    "load_tenant_specs",
+    "run_multi_tenant",
+]
+
+#: EWMA weight for the per-tenant batch-cost estimate the WFQ stage uses.
+_COST_EWMA_ALPHA = 0.3
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's binding of model, graph, traffic, SLO and fair share.
+
+    ``weight`` is the tenant's WFQ share: under contention a tenant receives
+    ``weight / sum(weights)`` of the fleet's chip-seconds.  ``rate_rps=None``
+    spreads the tenant's requests over a window shared with the other
+    calibrated tenants, sized so the fleet runs at the run's utilisation
+    target (see :meth:`MultiTenantSimulator.calibrate_rates`); ``slo_s=None``
+    and
+    ``batch_timeout_s=None`` derive adaptive values from a probe batch, like
+    the single-tenant fleet does.  ``seed=None`` derives a per-tenant seed
+    from the fleet seed, keeping whole multi-tenant runs reproducible.
+    """
+
+    name: str
+    model: str = "GCN"
+    dataset: str = "CR"
+    weight: float = 1.0
+    num_requests: int = 500
+    rate_rps: Optional[float] = None
+    arrival: str = "poisson"
+    popularity_skew: float = 0.8
+    burst_factor: float = 5.0
+    on_fraction: float = 0.1
+    num_hops: int = 2
+    fanout: int = 8
+    batch_policy: str = "timeout"
+    max_batch_size: int = 32
+    batch_timeout_s: Optional[float] = None
+    slo_s: Optional[float] = None
+    cache_size: int = 4096
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        object.__setattr__(self, "model", str(self.model).upper())
+        object.__setattr__(self, "dataset", str(self.dataset).upper())
+        if self.model not in MODEL_NAMES:
+            raise ValueError(f"model must be one of {MODEL_NAMES}, "
+                             f"got {self.model!r}")
+        if self.dataset not in DATASETS:
+            raise ValueError(f"dataset must be one of {sorted(DATASETS)}, "
+                             f"got {self.dataset!r}")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
+        if self.num_requests < 0:
+            raise ValueError("num_requests must be >= 0")
+        if self.rate_rps is not None and self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive when set")
+        if self.arrival not in ("poisson", "bursty"):
+            raise ValueError(
+                "per-tenant arrival must be 'poisson' or 'bursty' (trace "
+                "replay is single-tenant only, use `serve --arrival trace`)")
+        if self.batch_policy not in BATCHING_POLICIES:
+            raise ValueError(f"batch_policy must be one of {BATCHING_POLICIES}, "
+                             f"got {self.batch_policy!r}")
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.num_hops < 0:
+            raise ValueError("num_hops must be >= 0")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        if self.batch_timeout_s is not None and self.batch_timeout_s <= 0:
+            raise ValueError("batch_timeout_s must be positive when set")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValueError("slo_s must be positive when set")
+        if self.cache_size < 0:
+            raise ValueError("cache_size must be >= 0")
+
+
+def load_tenant_specs(source: Union[str, Sequence[Mapping], Mapping]
+                      ) -> List[TenantConfig]:
+    """Parse tenant specs from a JSON file path, a list of dicts, or a dict.
+
+    The JSON shape is either a bare list of tenant objects or
+    ``{"tenants": [...]}``; object keys mirror :class:`TenantConfig` fields
+    (``slo_s`` in seconds).  Unknown keys are rejected so a typo in a spec
+    fails loudly instead of silently falling back to a default.
+    """
+    if isinstance(source, str):
+        with open(source) as handle:
+            data = json.load(handle)
+    else:
+        data = source
+    if isinstance(data, Mapping):
+        if "tenants" not in data:
+            raise ValueError("tenant spec object must have a 'tenants' list")
+        data = data["tenants"]
+    if not isinstance(data, Sequence) or isinstance(data, (str, bytes)):
+        raise ValueError("tenant spec must be a list of tenant objects")
+    known = {f.name for f in fields(TenantConfig)}
+    specs: List[TenantConfig] = []
+    for i, entry in enumerate(data):
+        if not isinstance(entry, Mapping):
+            raise ValueError(f"tenant #{i} is not an object")
+        unknown = set(entry) - known
+        if unknown:
+            raise ValueError(f"tenant #{i} has unknown keys {sorted(unknown)}; "
+                             f"valid keys are {sorted(known)}")
+        try:
+            specs.append(TenantConfig(**entry))
+        except TypeError as exc:  # e.g. a string where a number belongs
+            raise ValueError(f"tenant #{i} is malformed: {exc}") from exc
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"tenant names must be unique, got {names}")
+    if not specs:
+        raise ValueError("tenant spec must name at least one tenant")
+    return specs
+
+
+class TenantRuntime:
+    """Everything one tenant owns at run time: graph, model, sampler, batcher,
+    result cache, probe-calibrated time scales and fairness accounting."""
+
+    def __init__(self, config: TenantConfig, fleet: FleetConfig, index: int):
+        self.config = config
+        self.name = config.name
+        self.seed = config.seed if config.seed is not None \
+            else fleet.seed + 101 * (index + 1)
+        self.graph = load_dataset(config.dataset, seed=self.seed)
+        self.model = build_model(config.model,
+                                 input_length=self.graph.feature_length)
+        self.sampler = SubgraphSampler(self.graph, num_hops=config.num_hops,
+                                       fanout=config.fanout, seed=self.seed)
+        self.result_cache = LRUCache(config.cache_size)
+        self.probe_service_s = self._probe(fleet)
+        self.slo_s = config.slo_s if config.slo_s is not None \
+            else _SLO_SERVICE_MULTIPLE * self.probe_service_s
+        timeout_s = config.batch_timeout_s if config.batch_timeout_s is not None \
+            else _TIMEOUT_SERVICE_MULTIPLE * self.probe_service_s
+        self.batcher = build_batcher(config.batch_policy,
+                                     max_batch_size=config.max_batch_size,
+                                     timeout_s=timeout_s, slo_s=self.slo_s,
+                                     tenant=self.name)
+        self.probe_batch_size = min(config.max_batch_size,
+                                    self.graph.num_vertices)
+        # WFQ batch-cost model: EWMA of service seconds per distinct target.
+        self.cost_per_target_s = self.probe_service_s / self.probe_batch_size
+        # Accounting
+        self.busy_s = 0.0
+        self.contended_busy_s = 0.0
+        self.arrivals_left = 0
+        self.queued_batches = 0  # scheduler-backlog view, kept by the sim
+        self.scheduled_flush: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    def _probe(self, fleet: FleetConfig) -> float:
+        """Service time of one full batch of distinct uniform targets."""
+        return probe_batch_service_time_s(
+            fleet.hw, self.sampler, self.model, self.config.dataset,
+            self.config.max_batch_size, self.graph.num_vertices, self.seed)
+
+    def estimate_cost_s(self, batch: Batch) -> float:
+        """Estimated fused service time: EWMA cost per distinct target."""
+        distinct = len({r.target_vertex for r in batch.requests})
+        return self.cost_per_target_s * distinct
+
+    def observe_cost(self, batch: Batch, service_s: float) -> None:
+        """Fold an observed batch service time back into the cost model."""
+        distinct = len({r.target_vertex for r in batch.requests})
+        if distinct == 0:
+            return
+        observed = service_s / distinct
+        a = _COST_EWMA_ALPHA
+        self.cost_per_target_s = a * observed + (1 - a) * self.cost_per_target_s
+
+    @property
+    def demanding(self) -> bool:
+        """True while the tenant still has work that wants chip time."""
+        return (self.arrivals_left > 0 or self.batcher.pending_count > 0
+                or self.queued_batches > 0)
+
+
+class MultiTenantSimulator:
+    """Discrete-event simulation of tenants sharing one chip fleet via WFQ.
+
+    The event loop mirrors :class:`~repro.serving.fleet.ServingSimulator` --
+    arrivals, per-tenant flush deadlines, chip completions -- but inserts the
+    deficit-round-robin :class:`~repro.serving.fleet.WFQScheduler` between
+    batch formation and the chips: chips hold no private queues, and every
+    time a chip frees up it pulls the next batch in fair-share order.
+    """
+
+    def __init__(self, tenants: Sequence[TenantConfig],
+                 fleet: Optional[FleetConfig] = None):
+        if not tenants:
+            raise ValueError("need at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"tenant names must be unique, got {names}")
+        self.fleet = fleet or FleetConfig()
+        self.runtimes: Dict[str, TenantRuntime] = {
+            t.name: TenantRuntime(t, self.fleet, i)
+            for i, t in enumerate(tenants)}
+        self.tenant_names = names
+        self.chips = [Chip(i, self.fleet.hw, self.fleet.feature_cache_size)
+                      for i in range(self.fleet.num_chips)]
+        quantum_s = 0.5 * min(rt.probe_service_s
+                              for rt in self.runtimes.values())
+        self.scheduler = WFQScheduler(
+            {t.name: t.weight for t in tenants}, quantum_s=max(quantum_s, 1e-12))
+
+    # ------------------------------------------------------------------ #
+    # Traffic
+    # ------------------------------------------------------------------ #
+    def calibrate_rates(self, utilization_target: float = 0.7
+                        ) -> Dict[str, float]:
+        """Resolve every tenant's arrival rate (explicit or calibrated).
+
+        Calibrated tenants (``rate_rps=None``) all spread their requests over
+        one shared arrival window, sized so the fleet's aggregate offered
+        chip-time (each calibrated tenant's request count times its
+        probe-measured per-request cost, on top of whatever load the
+        explicit-rate tenants already offer) equals ``utilization_target`` of
+        fleet capacity.  Sharing one window keeps the calibrated tenants
+        contending for the whole run -- weights decide who wins that
+        contention, not who arrives when.  Raises when the explicit-rate
+        tenants alone already offer the whole target (the calibrated tenants
+        would have no budget left).
+        """
+        if not 0 < utilization_target:
+            raise ValueError("utilization_target must be positive")
+
+        def cost_per_request_s(rt: TenantRuntime) -> float:
+            return rt.probe_service_s / rt.probe_batch_size
+
+        rates: Dict[str, float] = {
+            name: rt.config.rate_rps for name, rt in self.runtimes.items()
+            if rt.config.rate_rps is not None}
+        calibrated = [rt for rt in self.runtimes.values()
+                      if rt.config.rate_rps is None]
+        if not calibrated:
+            return rates
+        # chip-seconds per second the explicit-rate tenants already claim
+        explicit_load = sum(rates[rt.name] * cost_per_request_s(rt)
+                            for rt in self.runtimes.values()
+                            if rt.config.rate_rps is not None)
+        budget = utilization_target * self.fleet.num_chips - explicit_load
+        if budget <= 0:
+            raise ValueError(
+                f"explicit-rate tenants already offer "
+                f"{explicit_load / self.fleet.num_chips:.2f}x fleet capacity, "
+                f">= the utilization target {utilization_target:g}; raise the "
+                f"target or give every tenant an explicit rate_rps")
+        demand_s = sum(rt.config.num_requests * cost_per_request_s(rt)
+                       for rt in calibrated)
+        window_s = demand_s / budget
+        for rt in calibrated:
+            rates[rt.name] = max(rt.config.num_requests, 1) \
+                / max(window_s, 1e-12)
+        return rates
+
+    def tenant_streams(self, rates: Mapping[str, float]
+                       ) -> Dict[str, List[Request]]:
+        """Generate each tenant's (untagged) request stream at its rate."""
+        streams: Dict[str, List[Request]] = {}
+        for name, rt in self.runtimes.items():
+            cfg = rt.config
+            workload = WorkloadConfig(
+                num_requests=cfg.num_requests, rate_rps=rates[name],
+                arrival=cfg.arrival, popularity_skew=cfg.popularity_skew,
+                burst_factor=cfg.burst_factor, on_fraction=cfg.on_fraction,
+                seed=rt.seed)
+            streams[name] = RequestGenerator(rt.graph.num_vertices,
+                                             workload).generate()
+        return streams
+
+    # ------------------------------------------------------------------ #
+    # Service-time model (per tenant, shared chips)
+    # ------------------------------------------------------------------ #
+    def _service_time_s(self, chip: Chip, rt: TenantRuntime,
+                        batch: Batch) -> float:
+        """Fused-batch execution time on ``chip`` for ``rt``'s model/graph.
+
+        The shared single-tenant model, except the chip's feature cache is
+        keyed by ``(tenant, vertex)``: vertex ids from different tenants'
+        graphs alias numerically but never share features.
+        """
+        return fused_batch_service_time_s(
+            chip, rt.sampler, rt.model, batch,
+            dataset_name=rt.config.dataset,
+            reuse_discount=self.fleet.reuse_discount,
+            cache_key=lambda v: (rt.name, v))
+
+    # ------------------------------------------------------------------ #
+    # Event loop
+    # ------------------------------------------------------------------ #
+    def run(self, requests: Sequence[Request],
+            rates: Optional[Mapping[str, float]] = None) -> MultiTenantReport:
+        """Serve a merged, tenant-tagged stream and return the shared report."""
+        fleet = self.fleet
+        rates = dict(rates or {})
+        records: List[RequestRecord] = []
+        report = MultiTenantReport(
+            num_chips=fleet.num_chips,
+            tenants=list(self.tenant_names),
+            weights={n: self.runtimes[n].config.weight
+                     for n in self.tenant_names},
+            reports={},
+        )
+        for rt in self.runtimes.values():
+            rt.arrivals_left = 0
+        for request in requests:
+            if request.tenant not in self.runtimes:
+                raise ValueError(f"request tagged with unknown tenant "
+                                 f"{request.tenant!r}")
+            self.runtimes[request.tenant].arrivals_left += 1
+
+        events: List[Tuple[float, int, int, object]] = []
+        seq = 0
+        for request in requests:
+            heapq.heappush(events, (request.arrival_time_s, seq, _ARRIVAL,
+                                    request))
+            seq += 1
+
+        admit_meta: Dict[Tuple[str, int], float] = {}   # batch -> admit time
+        start_meta: Dict[Tuple[str, int], float] = {}   # batch -> start time
+        in_flight = 0
+        last_t = requests[0].arrival_time_s if requests else 0.0
+        in_flight_area = 0.0
+        chip_batch: Dict[int, Tuple[TenantRuntime, Batch]] = {}
+
+        def schedule_flush(rt: TenantRuntime, now: float) -> None:
+            nonlocal seq
+            deadline = rt.batcher.next_deadline(now)
+            if deadline is not None and deadline != rt.scheduled_flush:
+                heapq.heappush(events, (max(deadline, now), seq, _FLUSH,
+                                        rt.name))
+                seq += 1
+                rt.scheduled_flush = deadline
+
+        def admit(rt: TenantRuntime, batch: Batch, now: float) -> None:
+            """Per-tenant admission: the batch joins the WFQ dispatch queue."""
+            self.scheduler.enqueue(rt.name, batch, rt.estimate_cost_s(batch))
+            rt.queued_batches += 1
+            admit_meta[(rt.name, batch.batch_id)] = now
+            report.max_backlog_batches = max(report.max_backlog_batches,
+                                             self.scheduler.pending_batches)
+
+        def idle_chip() -> Optional[Chip]:
+            for chip in self.chips:
+                if not chip.busy:
+                    return chip
+            return None
+
+        def pump(now: float) -> None:
+            """Release WFQ batches onto free chips until one side runs dry."""
+            nonlocal seq
+            while self.scheduler.pending_batches:
+                chip = idle_chip()
+                if chip is None:
+                    return
+                contended = all(rt.demanding for rt in self.runtimes.values())
+                released = self.scheduler.next_batch()
+                if released is None:  # pragma: no cover - guarded above
+                    return
+                name, batch, _cost = released
+                rt = self.runtimes[name]
+                rt.queued_batches -= 1
+                chip.current = batch
+                chip_batch[chip.chip_id] = (rt, batch)
+                start_meta[(name, batch.batch_id)] = now
+                service_s = self._service_time_s(chip, rt, batch)
+                rt.observe_cost(batch, service_s)
+                rt.batcher.observe_service_time(service_s)
+                chip.stats.busy_s += service_s
+                rt.busy_s += service_s
+                if contended:
+                    rt.contended_busy_s += service_s
+                heapq.heappush(events, (now + service_s, seq, _COMPLETION,
+                                        chip))
+                seq += 1
+                # a fresh service observation may tighten an SLO-aware
+                # flush deadline for this tenant's pending requests
+                schedule_flush(rt, now)
+
+        def complete(chip: Chip, now: float) -> None:
+            nonlocal in_flight
+            rt, batch = chip_batch.pop(chip.chip_id)
+            chip.current = None
+            chip.stats.batches_served += 1
+            chip.stats.requests_served += batch.size
+            admitted = admit_meta.pop((rt.name, batch.batch_id))
+            started = start_meta.pop((rt.name, batch.batch_id))
+            for request in batch.requests:
+                records.append(RequestRecord(
+                    request_id=request.request_id,
+                    target_vertex=request.target_vertex,
+                    arrival_time_s=request.arrival_time_s,
+                    dispatch_time_s=admitted,
+                    service_start_s=started,
+                    completion_time_s=now,
+                    cache_hit=False,
+                    chip_id=chip.chip_id,
+                    batch_id=batch.batch_id,
+                    tenant=rt.name,
+                ))
+                rt.result_cache.put(request.target_vertex, now)
+                in_flight -= 1
+            pump(now)
+
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            in_flight_area += in_flight * (now - last_t)
+            last_t = now
+            if kind == _ARRIVAL:
+                request: Request = payload
+                rt = self.runtimes[request.tenant]
+                rt.arrivals_left -= 1
+                if rt.result_cache.get(request.target_vertex) is not None:
+                    done = now + fleet.cache_hit_latency_s
+                    records.append(RequestRecord(
+                        request_id=request.request_id,
+                        target_vertex=request.target_vertex,
+                        arrival_time_s=request.arrival_time_s,
+                        dispatch_time_s=done,
+                        service_start_s=done,
+                        completion_time_s=done,
+                        cache_hit=True,
+                        tenant=rt.name,
+                    ))
+                else:
+                    in_flight += 1
+                    batch = rt.batcher.add(request, now)
+                    if batch is not None:
+                        admit(rt, batch, now)
+                        pump(now)
+                    else:
+                        schedule_flush(rt, now)
+                if rt.arrivals_left == 0 and rt.batcher.pending_count \
+                        and rt.batcher.next_deadline(now) is None:
+                    # end of this tenant's stream under a pure size cap
+                    leftover = rt.batcher.flush(now)
+                    if leftover is not None:
+                        admit(rt, leftover, now)
+                        pump(now)
+            elif kind == _FLUSH:
+                rt = self.runtimes[payload]
+                rt.scheduled_flush = None
+                batch = rt.batcher.flush_due(now)
+                if batch is not None:
+                    admit(rt, batch, now)
+                    pump(now)
+                schedule_flush(rt, now)
+            else:  # _COMPLETION
+                complete(payload, now)
+
+        # ------------------------------------------------------------------
+        # Roll the tagged records up into per-tenant report slices
+        # ------------------------------------------------------------------
+        span = (last_t - requests[0].arrival_time_s) if requests else 0.0
+        report.avg_in_flight = in_flight_area / span if span > 0 else 0.0
+        report.chips = [chip.stats for chip in self.chips]
+        for name in self.tenant_names:
+            rt = self.runtimes[name]
+            slice_report = ServingReport(
+                model_name=rt.config.model,
+                dataset_name=rt.config.dataset,
+                num_chips=fleet.num_chips,
+                batch_policy=rt.config.batch_policy,
+                dispatch_policy="wfq-drr",
+                rate_rps=rates.get(name, 0.0),
+                slo_s=rt.slo_s,
+            )
+            slice_report.records = [r for r in records if r.tenant == name]
+            slice_report.cache = rt.result_cache.stats
+            report.reports[name] = slice_report
+            report.busy_s[name] = rt.busy_s
+            report.contended_busy_s[name] = rt.contended_busy_s
+        return report
+
+
+def run_multi_tenant(
+    tenants: Sequence[TenantConfig],
+    fleet: Optional[FleetConfig] = None,
+    utilization_target: float = 0.7,
+    include_isolation_baseline: bool = True,
+) -> MultiTenantReport:
+    """End-to-end multi-tenant run: specs -> shared fleet -> report.
+
+    Rates are resolved once (explicit or calibrated to each tenant's weight
+    share of fleet capacity) and reused for the shared run *and* the optional
+    isolation baselines, so every tenant sees byte-identical traffic alone
+    and shared -- which is what makes the p99-inflation metric meaningful.
+    Baselines re-simulate each tenant alone on an identical fresh fleet; skip
+    them (``include_isolation_baseline=False``) when only fairness matters.
+    """
+    fleet = fleet or FleetConfig()
+    shared = MultiTenantSimulator(tenants, fleet)
+    rates = shared.calibrate_rates(utilization_target)
+    streams = shared.tenant_streams(rates)
+    report = shared.run(merge_tenant_streams(streams), rates)
+    if include_isolation_baseline:
+        for tenant in tenants:
+            # pin the seed the shared run derived for this tenant, so the
+            # solo baseline sees the identical graph, sampler, probe and SLO
+            pinned = replace(tenant,
+                             seed=shared.runtimes[tenant.name].seed)
+            solo_sim = MultiTenantSimulator([pinned], fleet)
+            solo_stream = merge_tenant_streams(
+                {tenant.name: streams[tenant.name]})
+            solo = solo_sim.run(solo_stream, {tenant.name: rates[tenant.name]})
+            report.solo[tenant.name] = solo.reports[tenant.name]
+    return report

@@ -15,12 +15,17 @@ Target vertices are drawn with a Zipf-like popularity skew: real recommendation
 and social-graph traffic concentrates on hub entities, which is exactly what
 makes the result cache in :mod:`repro.serving.cache` earn its keep.
 All generators are deterministic under ``seed``.
+
+For multi-tenant serving (:mod:`repro.serving.tenancy`) each tenant generates
+its own stream against its own graph; :func:`merge_tenant_streams` interleaves
+the per-tenant streams into one time-sorted sequence with globally unique
+request ids and a ``tenant`` tag on every request.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -32,6 +37,8 @@ __all__ = [
     "poisson_arrival_times",
     "bursty_arrival_times",
     "trace_arrival_times",
+    "merge_tenant_streams",
+    "split_tenant_stream",
 ]
 
 #: Arrival-process names accepted by the CLI and :class:`WorkloadConfig`.
@@ -40,11 +47,17 @@ ARRIVAL_PROCESSES = ("poisson", "bursty", "trace")
 
 @dataclass(frozen=True)
 class Request:
-    """One inference request: embed ``target_vertex`` arriving at a given time."""
+    """One inference request: embed ``target_vertex`` arriving at a given time.
+
+    ``tenant`` is empty for single-tenant serving; multi-tenant streams tag
+    every request with the owning tenant's name (``target_vertex`` is then an
+    id in *that tenant's* graph).
+    """
 
     request_id: int
     target_vertex: int
     arrival_time_s: float
+    tenant: str = ""
 
 
 @dataclass(frozen=True)
@@ -202,3 +215,29 @@ class RequestGenerator:
                     arrival_time_s=float(times[i]))
             for i in range(self.config.num_requests)
         ]
+
+
+def merge_tenant_streams(
+        streams: Mapping[str, Sequence[Request]]) -> List[Request]:
+    """Interleave per-tenant request streams into one time-sorted stream.
+
+    Every request is re-tagged with its tenant's name and re-numbered so
+    request ids are globally unique across tenants.  Ties in arrival time
+    break by tenant name then original id, keeping the merge deterministic
+    regardless of dict insertion order.
+    """
+    tagged: List[Request] = []
+    for name, stream in streams.items():
+        if not name:
+            raise ValueError("tenant names must be non-empty")
+        tagged.extend(replace(r, tenant=name) for r in stream)
+    tagged.sort(key=lambda r: (r.arrival_time_s, r.tenant, r.request_id))
+    return [replace(r, request_id=i) for i, r in enumerate(tagged)]
+
+
+def split_tenant_stream(requests: Sequence[Request]) -> Dict[str, List[Request]]:
+    """Group a merged stream back into per-tenant lists (arrival order kept)."""
+    by_tenant: Dict[str, List[Request]] = {}
+    for r in requests:
+        by_tenant.setdefault(r.tenant, []).append(r)
+    return by_tenant

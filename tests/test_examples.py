@@ -22,7 +22,17 @@ def load_example(name: str):
 def test_examples_directory_contents():
     names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart.py", "citation_classification.py",
-            "recommendation_inference.py", "design_space_exploration.py"} <= names
+            "recommendation_inference.py", "design_space_exploration.py",
+            "online_serving.py", "multi_tenant_serving.py"} <= names
+    assert (EXAMPLES_DIR / "tenants.json").exists()
+
+
+def test_multi_tenant_example_runs(capsys):
+    module = load_example("multi_tenant_serving.py")
+    module.main(num_requests=48)
+    out = capsys.readouterr().out
+    assert "WFQ fairness" in out
+    assert "cross-tenant isolation" in out
 
 
 def test_quickstart_runs(capsys):

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Docs honesty checks: markdown links resolve, CLI docs cover the CLI.
+
+Run from anywhere: ``python tools/check_docs.py``.  No dependencies beyond
+the repo's own (numpy, via importing the package).  Two checks:
+
+1. every intra-repo markdown link in README.md and docs/**.md points at a
+   file that exists (external http(s)/mailto links are skipped, anchors are
+   stripped);
+2. ``python -m repro --help`` and every subcommand's ``--help`` exit 0, and
+   every subcommand is mentioned in docs/cli.md — so the CLI page cannot
+   silently drift from the argparse surface.
+
+Exit code 0 when everything passes, 1 with a per-failure listing otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: [text](target) — excluding images; target captured up to the first ')'.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
+#: ``` fenced blocks, whose content is illustrative, not linkable.
+_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def markdown_files() -> list:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").rglob("*.md")))
+    return [f for f in files if f.exists()]
+
+
+def check_links() -> list:
+    """Return a list of 'file: broken link' failure strings."""
+    failures = []
+    for md in markdown_files():
+        text = _FENCE_RE.sub("", md.read_text())
+        for target in _LINK_RE.findall(text):
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:  # pure in-page anchor
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                failures.append(f"{md.relative_to(REPO_ROOT)}: broken link "
+                                f"-> {target}")
+    return failures
+
+
+def cli_subcommands() -> list:
+    """The CLI's subcommand names, read from the argparse parser itself."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.__main__ import _build_parser  # noqa: E402
+    parser = _build_parser()
+    for action in parser._subparsers._group_actions:
+        return sorted(action.choices)
+    return []
+
+
+def check_cli_help(subcommands: list) -> list:
+    """Run --help for the CLI and every subcommand; collect failures."""
+    failures = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    invocations = [[]] + [[name] for name in subcommands]
+    for extra in invocations:
+        cmd = [sys.executable, "-m", "repro", *extra, "--help"]
+        proc = subprocess.run(cmd, capture_output=True, text=True, env=env,
+                              cwd=REPO_ROOT)
+        if proc.returncode != 0:
+            failures.append(f"{' '.join(cmd)} exited {proc.returncode}: "
+                            f"{proc.stderr.strip()[:200]}")
+    return failures
+
+
+def check_cli_docs(subcommands: list) -> list:
+    """Every subcommand must be documented in docs/cli.md."""
+    cli_md = REPO_ROOT / "docs" / "cli.md"
+    if not cli_md.exists():
+        return ["docs/cli.md is missing"]
+    text = cli_md.read_text()
+    return [f"docs/cli.md does not mention subcommand {name!r}"
+            for name in subcommands if f"repro {name}" not in text]
+
+
+def main() -> int:
+    failures = check_links()
+    subcommands = cli_subcommands()
+    if not subcommands:
+        failures.append("could not enumerate CLI subcommands")
+    failures += check_cli_help(subcommands)
+    failures += check_cli_docs(subcommands)
+    if failures:
+        print(f"docs check: {len(failures)} failure(s)")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    checked = len(markdown_files())
+    print(f"docs check: OK ({checked} markdown files, "
+          f"{len(subcommands)} CLI subcommands)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
