@@ -1,0 +1,157 @@
+"""Control-plane benchmark: elasticity vs. fixed fleets on a burst-ramp.
+
+Three tables, all on identical seeded traffic (the rate is calibrated once
+against a single chip and shared):
+
+1. fixed fleets at ``min`` and ``max`` size vs. the three autoscaling
+   policies -- SLO-violation rate against provisioned chip-seconds (the
+   cost/benefit trade the control plane exists to win);
+2. admission control and degradation at 2x overload -- shed / degraded /
+   p99-of-admitted;
+3. the threshold autoscaler's fleet-size timeline, printed as text.
+
+The stream length is already smoke-sized (the whole file runs in ~2 s) and
+cannot shrink further: the SLO-violation assertions need the backlog to grow
+past ten batch-services deep, which takes a few hundred requests.  CI runs
+this file on every PR (the ``bench-smoke`` job) to catch benchmark bit-rot.
+"""
+
+import dataclasses
+
+from repro.analysis import print_table
+from repro.graphs.datasets import load_dataset
+from repro.models.model_zoo import build_model
+from repro.serving import (
+    AUTOSCALE_POLICIES,
+    ControlConfig,
+    FleetConfig,
+    ServingSimulator,
+    run_serving,
+)
+
+DATASET = "IB"
+MODEL = "GCN"
+NUM_REQUESTS = 800
+MIN_CHIPS, MAX_CHIPS = 1, 6
+
+#: Cache-free so offered load translates directly into queueing pressure.
+BASE = FleetConfig(num_chips=MIN_CHIPS, num_hops=1, fanout=4,
+                   max_batch_size=16, cache_size=0, reuse_discount=0.0)
+
+
+def _one_chip_rate(multiple: float) -> float:
+    graph = load_dataset(DATASET, seed=0)
+    model = build_model(MODEL, input_length=graph.feature_length)
+    sim = ServingSimulator(graph, model, BASE, dataset_name=DATASET)
+    return sim.calibrate_rate(multiple)
+
+
+def _ramp(rate, num_chips=MIN_CHIPS, control=None):
+    return run_serving(dataset=DATASET, model_name=MODEL,
+                       num_requests=NUM_REQUESTS, rate_rps=rate,
+                       arrival="ramp", peak_factor=6.0,
+                       config=dataclasses.replace(BASE, num_chips=num_chips),
+                       control=control, seed=0)
+
+
+def _row(label, report):
+    control = report.control
+    return {
+        "fleet": label,
+        "completed": report.completed,
+        "p99_us": round(report.p99_latency_s * 1e6, 2),
+        "slo_violation_pct": round(100 * report.slo_violation_rate, 2),
+        "chip_seconds_us": round(report.chip_seconds_s * 1e6, 2),
+        "peak_chips": control.peak_chips if control else report.num_chips,
+        "scale_ups": control.scale_ups if control else 0,
+        "scale_downs": control.scale_downs if control else 0,
+    }
+
+
+def test_autoscaling_policies_vs_fixed_fleets(benchmark):
+    rate = _one_chip_rate(1.5)
+
+    def sweep():
+        reports = {
+            f"fixed-{MIN_CHIPS}": _ramp(rate, num_chips=MIN_CHIPS),
+            f"fixed-{MAX_CHIPS}": _ramp(rate, num_chips=MAX_CHIPS),
+        }
+        for policy in AUTOSCALE_POLICIES:
+            control = ControlConfig(autoscale=policy, min_chips=MIN_CHIPS,
+                                    max_chips=MAX_CHIPS)
+            reports[policy] = _ramp(rate, control=control)
+        return reports
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table([_row(name, rep) for name, rep in reports.items()],
+                title="autoscaling on a 6x burst-ramp: violations vs. "
+                      "chip-seconds")
+    fixed_min = reports[f"fixed-{MIN_CHIPS}"]
+    fixed_max = reports[f"fixed-{MAX_CHIPS}"]
+    assert fixed_min.slo_violation_rate > fixed_max.slo_violation_rate
+    threshold = reports["threshold"]
+    # the headline trade: fewer violations than min, fewer chip-seconds
+    # than max
+    assert threshold.slo_violation_rate < fixed_min.slo_violation_rate
+    assert threshold.chip_seconds_s < fixed_max.chip_seconds_s
+    for policy in AUTOSCALE_POLICIES:
+        assert reports[policy].control.scale_ups >= 1
+    print("\nthreshold autoscaler fleet-size timeline")
+    print(threshold.control.timeline_text())
+
+
+def test_admission_and_degradation_at_overload(benchmark):
+    config = dataclasses.replace(BASE, num_chips=2)
+    graph = load_dataset(DATASET, seed=0)
+    model = build_model(MODEL, input_length=graph.feature_length)
+    rate = ServingSimulator(graph, model, config,
+                            dataset_name=DATASET).calibrate_rate(2.0)
+
+    # an auto-sized bucket polices sustained overload coarsely; a generous
+    # explicit contract leaves the SLO-budget gate (the degradable one) as
+    # the binding constraint -- show both regimes
+    generous = 4 * rate
+
+    def sweep():
+        common = dict(dataset=DATASET, model_name=MODEL,
+                      num_requests=NUM_REQUESTS, rate_rps=rate,
+                      arrival="poisson", config=config, seed=0)
+        return {
+            "open-door": run_serving(**common),
+            "auto bucket": run_serving(
+                control=ControlConfig(admission=True), **common),
+            "generous contract": run_serving(
+                control=ControlConfig(admission=True,
+                                      admission_rate_rps=generous), **common),
+            "generous + degrade": run_serving(
+                control=ControlConfig(admission=True,
+                                      admission_rate_rps=generous,
+                                      degrade=True), **common),
+            "degrade-only": run_serving(
+                control=ControlConfig(degrade=True), **common),
+        }
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for label, report in reports.items():
+        acct = report.control.admission[""] if report.control else None
+        rows.append({
+            "gate": label,
+            "completed": report.completed,
+            "shed_rate_limited": acct.shed_rate_limited if acct else 0,
+            "shed_overload": acct.shed_overload if acct else 0,
+            "degraded": acct.degraded_total if acct else 0,
+            "p99_over_slo": round(report.p99_latency_s / report.slo_s, 3),
+            "slo_violation_pct": round(100 * report.slo_violation_rate, 2),
+        })
+    print_table(rows, title="admission control at 2x overload "
+                            "(p99 of admitted requests)")
+    assert reports["open-door"].p99_latency_s > reports["open-door"].slo_s
+    for gated in ("auto bucket", "generous contract", "generous + degrade"):
+        assert reports[gated].p99_latency_s <= reports[gated].slo_s
+        assert reports[gated].control.admission[""].shed > 0
+    both = reports["generous + degrade"].control.admission[""]
+    shed_only = reports["generous contract"].control.admission[""]
+    assert both.degraded_total > 0
+    assert both.shed < shed_only.shed
+    assert reports["degrade-only"].completed == NUM_REQUESTS

@@ -6,7 +6,11 @@ three dispatch policies and one comparing the three batching policies, on the
 same seeded request stream.  The assertions pin the invariants the serving
 simulation must uphold (request conservation, bounded utilisation, policies
 actually behaving differently).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the stream for the CI smoke job.
 """
+
+import os
 
 from repro.analysis import print_table
 from repro.serving import (
@@ -18,7 +22,7 @@ from repro.serving import (
 
 DATASET = "IB"
 MODEL = "GCN"
-NUM_REQUESTS = 512
+NUM_REQUESTS = 256 if os.environ.get("REPRO_BENCH_SMOKE") else 512
 NUM_CHIPS = 4
 
 

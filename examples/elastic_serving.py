@@ -1,0 +1,120 @@
+"""Elastic serving: autoscaling, admission control and graceful degradation.
+
+This script walks through the control plane in four steps:
+
+1. build a burst-ramp request stream whose mean rate overloads one chip,
+2. compare a fixed minimum fleet, a fixed maximum fleet, and the threshold
+   autoscaler on identical traffic (SLO violations vs. chip-seconds),
+3. print the autoscaler's fleet-size timeline as text,
+4. show what admission control and the degradation ladder do at 2x overload.
+
+Run it with ``python examples/elastic_serving.py``.
+"""
+
+import dataclasses
+
+from repro.analysis import print_table
+from repro.graphs.datasets import load_dataset
+from repro.models.model_zoo import build_model
+from repro.serving import (
+    ControlConfig,
+    FleetConfig,
+    ServingSimulator,
+    run_serving,
+)
+
+DATASET = "IB"
+MODEL = "GCN"
+
+#: Small cache-free fleet: offered load translates directly into queueing.
+BASE = FleetConfig(num_chips=1, num_hops=1, fanout=4, max_batch_size=16,
+                   cache_size=0, reuse_discount=0.0)
+
+
+def one_chip_rate(multiple: float) -> float:
+    """``multiple`` times the measured capacity of a single chip."""
+    graph = load_dataset(DATASET, seed=0)
+    model = build_model(MODEL, input_length=graph.feature_length)
+    sim = ServingSimulator(graph, model, BASE, dataset_name=DATASET)
+    return sim.calibrate_rate(multiple)
+
+
+def serve_ramp(rate: float, num_chips: int = 1, control: ControlConfig = None,
+               num_requests: int = 800):
+    """One burst-ramp run; only the fleet shape / control plane vary."""
+    config = dataclasses.replace(BASE, num_chips=num_chips)
+    return run_serving(dataset=DATASET, model_name=MODEL,
+                       num_requests=num_requests, rate_rps=rate,
+                       arrival="ramp", peak_factor=6.0,
+                       config=config, control=control, seed=0)
+
+
+def main(num_requests: int = 800) -> None:
+    # 1 + 2. Identical ramp traffic against three fleet strategies.
+    rate = one_chip_rate(1.5)
+    fixed_min = serve_ramp(rate, num_chips=1, num_requests=num_requests)
+    fixed_max = serve_ramp(rate, num_chips=6, num_requests=num_requests)
+    control = ControlConfig(autoscale="threshold", min_chips=1, max_chips=6)
+    elastic = serve_ramp(rate, control=control, num_requests=num_requests)
+
+    rows = []
+    for label, report in (("fixed-1", fixed_min), ("fixed-6", fixed_max),
+                          ("threshold autoscaler", elastic)):
+        stats = report.control
+        rows.append({
+            "fleet": label,
+            "slo_violation_pct": round(100 * report.slo_violation_rate, 1),
+            "chip_seconds_us": round(report.chip_seconds_s * 1e6, 2),
+            "peak_chips": stats.peak_chips if stats else report.num_chips,
+        })
+    print_table(rows, title="burst-ramp: SLO violations vs. chip-seconds "
+                            "(identical traffic)")
+    print(f"the autoscaler cut violations "
+          f"{fixed_min.slo_violation_rate / max(elastic.slo_violation_rate, 1e-9):.1f}x "
+          f"vs. fixed-1 while holding "
+          f"{fixed_max.chip_seconds_s / elastic.control.chip_seconds_s:.1f}x "
+          f"fewer chip-seconds than fixed-6\n")
+
+    # 3. The scaling timeline, replayable from the report.
+    print("threshold autoscaler fleet-size timeline "
+          "(# active, ~ warming, - draining)")
+    print(elastic.control.timeline_text())
+    print()
+
+    # 4. Admission control and degradation at 2x overload on a fixed fleet.
+    config2 = dataclasses.replace(BASE, num_chips=2)
+    graph = load_dataset(DATASET, seed=0)
+    model = build_model(MODEL, input_length=graph.feature_length)
+    rate2 = ServingSimulator(graph, model, config2,
+                             dataset_name=DATASET).calibrate_rate(2.0)
+    # the auto-sized bucket polices sustained overload coarsely; a generous
+    # explicit contract leaves the SLO-budget gate -- the degradable one --
+    # as the binding constraint
+    gates = {
+        "open-door": None,
+        "auto bucket": ControlConfig(admission=True),
+        "generous + degrade": ControlConfig(
+            admission=True, admission_rate_rps=4 * rate2, degrade=True),
+        "degrade-only": ControlConfig(degrade=True),
+    }
+    rows = []
+    for label, gate in gates.items():
+        report = run_serving(dataset=DATASET, model_name=MODEL,
+                             num_requests=num_requests, rate_rps=rate2,
+                             arrival="poisson", config=config2,
+                             control=gate, seed=0)
+        acct = report.control.admission[""] if report.control else None
+        rows.append({
+            "gate": label,
+            "completed": report.completed,
+            "shed": acct.shed if acct else 0,
+            "degraded": acct.degraded_total if acct else 0,
+            "p99_over_slo": round(report.p99_latency_s / report.slo_s, 2),
+        })
+    print_table(rows, title="2x overload: what each gate does to the tail")
+    print("admitted requests stay inside the SLO; degraded answers are "
+          "tagged, never cached")
+
+
+if __name__ == "__main__":
+    main()

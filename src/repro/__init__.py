@@ -13,13 +13,15 @@ The package is organised as:
   benchmark harness;
 * :mod:`repro.serving` -- online inference serving on a fleet of simulated
   accelerators (request traffic, batching, dispatch, caching, SLO reporting,
-  and weighted-fair multi-tenant sharing of one fleet).
+  weighted-fair multi-tenant sharing of one fleet, and an elastic control
+  plane: autoscaling, admission control, graceful degradation).
 """
 
 from .core import HyGCNConfig, HyGCNSimulator, PipelineMode, SimulationReport
 from .graphs import Graph, load_dataset
 from .models import build_model
 from .serving import (
+    ControlConfig,
     FleetConfig,
     MultiTenantReport,
     ServingReport,
@@ -39,6 +41,7 @@ __all__ = [
     "Graph",
     "load_dataset",
     "build_model",
+    "ControlConfig",
     "FleetConfig",
     "MultiTenantReport",
     "ServingReport",

@@ -8,7 +8,9 @@ Four commands cover the common workflows without writing a script:
   chips with batching, dispatch and caching, and print the latency /
   throughput / SLO report; with ``--tenants spec.json`` the fleet is shared
   by several tenants behind a weighted-fair-queueing scheduler and the
-  report adds fairness and cross-tenant isolation tables;
+  report adds fairness and cross-tenant isolation tables; ``--autoscale`` /
+  ``--admission`` / ``--degrade`` arm the elastic control plane, and
+  ``--json`` emits the full machine-readable report;
 * ``sweep``    -- run one of the named ablation/scalability sweeps;
 * ``info``     -- print the dataset registry (Table 4), the model zoo
   (Table 5) and the default accelerator configuration (Table 6/7 view).
@@ -17,6 +19,7 @@ Four commands cover the common workflows without writing a script:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -37,8 +40,10 @@ from .hw import AreaPowerModel
 from .models import MODEL_NAMES, build_model, model_table
 from .serving import (
     ARRIVAL_PROCESSES,
+    AUTOSCALE_POLICIES,
     BATCHING_POLICIES,
     DISPATCH_POLICIES,
+    ControlConfig,
     FleetConfig,
     load_tenant_specs,
     run_multi_tenant,
@@ -118,6 +123,39 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-isolation", action="store_true",
                        help="multi-tenant mode: skip the run-alone baselines "
                             "(faster, but no cross-tenant p99 inflation)")
+    control = serve.add_argument_group(
+        "elastic control plane",
+        "autoscaling / admission control / graceful degradation for "
+        "single- and multi-tenant serving alike (see docs/control.md). "
+        "--autoscale, --admission/--admission-rate and --degrade arm the "
+        "control plane; the remaining flags tune an armed plane and error "
+        "without one")
+    control.add_argument("--autoscale", choices=AUTOSCALE_POLICIES,
+                         default=None,
+                         help="grow/shrink the fleet under this policy")
+    control.add_argument("--min-chips", type=int, default=1,
+                         help="autoscaler floor (default 1)")
+    control.add_argument("--max-chips", type=int, default=None,
+                         help="autoscaler ceiling (default: 2x --chips)")
+    control.add_argument("--control-interval-ms", type=float, default=None,
+                         help="control-loop observation interval "
+                              "(default: adaptive, ~2 probe-batch times)")
+    control.add_argument("--warmup-ms", type=float, default=None,
+                         help="per-added-chip warm-up during which it serves "
+                              "nothing (default: adaptive)")
+    control.add_argument("--admission", action="store_true",
+                         help="token-bucket rate policing + shedding of "
+                              "requests whose delay estimate blows the SLO")
+    control.add_argument("--admission-rate", type=float, default=None,
+                         help="token-bucket refill rate in req/s (default: "
+                              "auto-sized to the largest fleet the run can "
+                              "hold, with burst headroom)")
+    control.add_argument("--degrade", action="store_true",
+                         help="serve over-budget requests at reduced "
+                              "sampling fidelity instead of shedding them")
+    serve.add_argument("--json", default=None, metavar="PATH",
+                       help="also serialize the full report as JSON to PATH "
+                            "('-' writes JSON to stdout instead of tables)")
     serve.add_argument("--seed", type=int, default=0)
 
     sweep = sub.add_parser("sweep", help="run an ablation / scalability sweep")
@@ -163,6 +201,66 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _control_config_from_args(args: argparse.Namespace
+                              ) -> Optional[ControlConfig]:
+    """Build a ControlConfig when an arming flag is set.
+
+    Raises ValueError (-> `error: ...`, exit 2) when tuning flags are given
+    without an arming flag, instead of silently dropping them.
+    """
+    if args.autoscale is None and not args.admission \
+            and args.admission_rate is None and not args.degrade:
+        tuning = [flag for flag, given in (
+            ("--min-chips", args.min_chips != 1),
+            ("--max-chips", args.max_chips is not None),
+            ("--control-interval-ms", args.control_interval_ms is not None),
+            ("--warmup-ms", args.warmup_ms is not None),
+        ) if given]
+        if tuning:
+            raise ValueError(
+                f"{', '.join(tuning)} tune the control plane but nothing "
+                f"arms it; add --autoscale, --admission/--admission-rate "
+                f"or --degrade")
+        return None
+    max_chips = args.max_chips if args.max_chips is not None \
+        else max(2 * args.chips, args.min_chips)
+    return ControlConfig(
+        autoscale=args.autoscale,
+        min_chips=args.min_chips,
+        max_chips=max_chips,
+        control_interval_s=None if args.control_interval_ms is None
+        else args.control_interval_ms * 1e-3,
+        warmup_s=None if args.warmup_ms is None else args.warmup_ms * 1e-3,
+        admission=args.admission or args.admission_rate is not None,
+        admission_rate_rps=args.admission_rate,
+        degrade=args.degrade,
+    )
+
+
+def _emit_json(report, args: argparse.Namespace) -> None:
+    """Write the report's to_dict() to --json PATH ('-' = stdout)."""
+    payload = report.to_dict()
+    if args.json == "-":
+        json.dump(payload, sys.stdout, indent=2, default=float)
+        sys.stdout.write("\n")
+    else:
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, default=float)
+
+
+def _print_control_tables(control) -> None:
+    print_table([control.summary()], title="control plane: summary")
+    if control.samples:
+        print_table(control.scaling_table(),
+                    title="control plane: scaling timeline")
+        print("fleet-size timeline")
+        print(control.timeline_text())
+        print()
+    if control.admission:
+        print_table(control.admission_table(),
+                    title="control plane: admission / degradation")
+
+
 def _run_serve_tenants(args: argparse.Namespace) -> int:
     """Multi-tenant serving: shared fleet, WFQ scheduling, isolation report."""
     try:
@@ -172,13 +270,18 @@ def _run_serve_tenants(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     try:
+        control = _control_config_from_args(args)
         fleet = FleetConfig(num_chips=args.chips, seed=args.seed)
         report = run_multi_tenant(
             tenants, fleet, utilization_target=args.utilization,
-            include_isolation_baseline=not args.no_isolation)
+            include_isolation_baseline=not args.no_isolation,
+            control=control)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.json == "-":
+        _emit_json(report, args)
+        return 0
     names = ", ".join(f"{t.name} (w={t.weight:g})" for t in tenants)
     print_table(report.summary_table(),
                 title=f"multi-tenant serving on {args.chips} chips "
@@ -189,12 +292,16 @@ def _run_serve_tenants(args: argparse.Namespace) -> int:
         print_table(report.isolation_table(),
                     title="isolation: shared fleet vs. running alone")
     print_table(report.per_chip_table(), title="per-chip utilization")
+    if report.control is not None:
+        _print_control_tables(report.control)
     print_table([{
         "completed": report.completed,
         "throughput_rps": round(report.throughput_rps, 1),
         "avg_in_flight_requests": round(report.avg_in_flight, 2),
         "max_backlog_batches": report.max_backlog_batches,
     }], title="traffic summary")
+    if args.json is not None:
+        _emit_json(report, args)
     return 0
 
 
@@ -214,6 +321,7 @@ def _run_serve(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
     try:
+        control = _control_config_from_args(args)
         config = FleetConfig(
             num_chips=args.chips,
             dispatch=args.dispatch,
@@ -238,10 +346,14 @@ def _run_serve(args: argparse.Namespace) -> int:
             trace=trace,
             utilization_target=args.utilization,
             seed=args.seed,
+            control=control,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.json == "-":
+        _emit_json(report, args)
+        return 0
     title = (f"serving: {args.model} on {args.dataset}, {args.chips} chips, "
              f"{args.batch_policy} batching, {args.dispatch} dispatch")
     print_table([report.summary()], title=title)
@@ -256,6 +368,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         **report.latency_breakdown(),
     }], title="latency profile (simulated time)")
     print_table(report.per_chip_table(), title="per-chip utilization")
+    if report.control is not None:
+        _print_control_tables(report.control)
     print_table([{
         "arrival_rate_rps": round(report.rate_rps, 1),
         "throughput_rps": round(report.throughput_rps, 1),
@@ -263,6 +377,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         "avg_in_flight_requests": round(report.avg_in_flight, 2),
         "max_queue_depth": report.max_queue_depth,
     }], title="traffic summary")
+    if args.json is not None:
+        _emit_json(report, args)
     return 0
 
 

@@ -23,17 +23,35 @@ from .batcher import (
     build_batcher,
 )
 from .cache import CacheStats, LRUCache
+from .control import (
+    AUTOSCALE_POLICIES,
+    AutoscalePolicy,
+    ControlConfig,
+    ControlObservation,
+    ControlPlane,
+    DegradeLevel,
+    EWMAPolicy,
+    PIDPolicy,
+    TenantBinding,
+    ThresholdPolicy,
+    TokenBucket,
+    build_autoscale_policy,
+    default_degradation_ladder,
+)
 from .fleet import (
     DISPATCH_POLICIES,
     Chip,
     FleetConfig,
     ServingSimulator,
     WFQScheduler,
+    clear_probe_cache,
     run_serving,
 )
 from .sampler import SubgraphSample, SubgraphSampler
 from .stats import (
+    AdmissionStats,
     ChipStats,
+    ControlStats,
     MultiTenantReport,
     RequestRecord,
     ServingReport,
@@ -54,23 +72,34 @@ from .workload import (
     bursty_arrival_times,
     merge_tenant_streams,
     poisson_arrival_times,
+    ramp_arrival_times,
     split_tenant_stream,
     trace_arrival_times,
 )
 
 __all__ = [
     "ARRIVAL_PROCESSES",
+    "AUTOSCALE_POLICIES",
     "BATCHING_POLICIES",
     "DISPATCH_POLICIES",
+    "AdmissionStats",
+    "AutoscalePolicy",
     "Batch",
     "Batcher",
     "CacheStats",
     "Chip",
     "ChipStats",
+    "ControlConfig",
+    "ControlObservation",
+    "ControlPlane",
+    "ControlStats",
+    "DegradeLevel",
+    "EWMAPolicy",
     "FleetConfig",
     "LRUCache",
     "MultiTenantReport",
     "MultiTenantSimulator",
+    "PIDPolicy",
     "Request",
     "RequestGenerator",
     "RequestRecord",
@@ -80,17 +109,24 @@ __all__ = [
     "SLOAwareBatcher",
     "SubgraphSample",
     "SubgraphSampler",
+    "TenantBinding",
     "TenantConfig",
     "TenantRuntime",
+    "ThresholdPolicy",
     "TimeoutBatcher",
+    "TokenBucket",
     "WFQScheduler",
     "WorkloadConfig",
+    "build_autoscale_policy",
     "build_batcher",
     "bursty_arrival_times",
+    "clear_probe_cache",
+    "default_degradation_ladder",
     "load_tenant_specs",
     "merge_tenant_streams",
     "percentile",
     "poisson_arrival_times",
+    "ramp_arrival_times",
     "run_multi_tenant",
     "run_serving",
     "split_tenant_stream",

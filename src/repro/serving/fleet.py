@@ -30,6 +30,12 @@ between per-tenant batch formation and the chips: deficit round-robin over
 per-tenant backlog queues, with each batch's cost being its estimated fused
 service time, so chip-time (not batch count) is what gets shared in
 proportion to tenant weights.
+
+With a :class:`~repro.serving.control.ControlConfig` armed the fleet becomes
+*elastic*: chips move through a warming -> active -> draining -> retired
+lifecycle under the control plane's autoscaling decisions, arrivals pass an
+admission/degradation gate before batching, and the report carries the
+scaling timeline plus chip-seconds accounting.
 """
 
 from __future__ import annotations
@@ -38,7 +44,7 @@ import heapq
 from collections import deque
 
 import numpy as np
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.config import HyGCNConfig
@@ -48,6 +54,7 @@ from ..graphs.graph import Graph, merge_graphs
 from ..models.model_zoo import build_model
 from .batcher import BATCHING_POLICIES, Batch, build_batcher
 from .cache import LRUCache
+from .control import ControlConfig, ControlObservation, ControlPlane, TenantBinding
 from .sampler import SubgraphSampler
 from .stats import ChipStats, RequestRecord, ServingReport
 from .workload import Request, RequestGenerator, WorkloadConfig, trace_arrival_times
@@ -59,12 +66,16 @@ __all__ = [
     "ServingSimulator",
     "WFQScheduler",
     "run_serving",
+    "clear_probe_cache",
 ]
 
 #: Dispatch-policy names accepted by the CLI and :class:`FleetConfig`.
 DISPATCH_POLICIES = ("round-robin", "least-loaded", "locality")
 
-_ARRIVAL, _FLUSH, _COMPLETION = 0, 1, 2
+_ARRIVAL, _FLUSH, _COMPLETION, _CONTROL, _CHIP_READY = 0, 1, 2, 3, 4
+
+#: EWMA weight for the per-request cost estimate the control plane consumes.
+_COST_EWMA_ALPHA = 0.3
 
 #: Adaptive defaults, as multiples of the probe-batch service time: a batch
 #: may wait about two service times before a timeout flush, and the latency
@@ -124,7 +135,13 @@ class FleetConfig:
 
 
 class Chip:
-    """One simulated HyGCN instance: FIFO queue, busy state, feature cache."""
+    """One simulated HyGCN instance: FIFO queue, busy state, feature cache.
+
+    Elastic runs drive a chip through a lifecycle: ``warming`` (commissioned,
+    consuming chip-seconds, serving nothing) -> ``active`` (schedulable) ->
+    ``draining`` (finishes outstanding work, accepts no new batches) ->
+    ``retired``.  Fixed-fleet chips stay ``active`` for the whole run.
+    """
 
     def __init__(self, chip_id: int, hw: HyGCNConfig, feature_cache_size: int):
         self.chip_id = chip_id
@@ -133,10 +150,19 @@ class Chip:
         self.current: Optional[Batch] = None
         self.feature_cache = LRUCache(feature_cache_size)
         self.stats = ChipStats(chip_id=chip_id)
+        self.state = "active"
+        self.added_s = 0.0
+        self.ready_s = 0.0
+        self.retired_s: Optional[float] = None
 
     @property
     def busy(self) -> bool:
         return self.current is not None
+
+    @property
+    def schedulable(self) -> bool:
+        """True while the chip accepts new batches."""
+        return self.state == "active"
 
     @property
     def outstanding_requests(self) -> int:
@@ -199,9 +225,16 @@ def fused_batch_service_time_s(chip: Chip, sampler, model, batch: Batch,
     maps a global vertex id to the feature-cache key -- multi-tenant serving
     passes ``lambda v: (tenant, v)`` so numerically-aliasing vertex ids from
     different tenants' graphs never share cache entries.
+
+    Degraded requests (control-plane ladder) carry per-request hop/fanout
+    overrides; sharing requires both the target *and* the sampling shape to
+    match, so a degraded and a full-fidelity request for the same vertex fuse
+    two distinct subgraphs.
     """
-    targets = list(dict.fromkeys(r.target_vertex for r in batch.requests))
-    samples = [sampler.extract(t) for t in targets]
+    shapes = list(dict.fromkeys(
+        (r.target_vertex, r.degrade_hops, r.degrade_fanout)
+        for r in batch.requests))
+    samples = [sampler.extract(t, num_hops=h, fanout=f) for t, h, f in shapes]
     if len(samples) == 1:
         fused = samples[0].graph
     else:
@@ -228,6 +261,19 @@ def fused_batch_service_time_s(chip: Chip, sampler, model, batch: Batch,
     return service_s
 
 
+#: Probe-service memo, keyed on everything that determines the probe result:
+#: hardware config, model, dataset, batch shape, sampling shape and seed.
+#: Multi-tenant startup probes once per tenant and every scale-up event would
+#: otherwise re-run the probe for its adaptive warm-up; the memo makes those
+#: lookups free.  ``clear_probe_cache`` is the test hook.
+_PROBE_CACHE: Dict[Tuple, float] = {}
+
+
+def clear_probe_cache() -> None:
+    """Drop all memoised probe-batch service times (test isolation hook)."""
+    _PROBE_CACHE.clear()
+
+
 def probe_batch_service_time_s(hw: HyGCNConfig, sampler, model,
                                dataset_name: str, max_batch_size: int,
                                num_vertices: int, seed: int) -> float:
@@ -235,18 +281,112 @@ def probe_batch_service_time_s(hw: HyGCNConfig, sampler, model,
 
     The probe calibrates arrival rates and resolves the adaptive timeout /
     SLO defaults; it runs on a throwaway cold chip so it never perturbs the
-    fleet's caches or accounting.
+    fleet's caches or accounting.  Results are memoised on
+    (hw, model, dataset, batch shape, sampling shape, seed) -- the probe is
+    deterministic in exactly those inputs -- so repeated startups and
+    scale-up events pay for it once per configuration.
     """
-    rng = np.random.default_rng(seed)
     num = min(max_batch_size, num_vertices)
+    key = (repr(hw), getattr(model, "name", model.__class__.__name__),
+           dataset_name, num, num_vertices,
+           sampler.num_hops, sampler.fanout, seed)
+    cached = _PROBE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    rng = np.random.default_rng(seed)
     targets = rng.choice(num_vertices, size=num, replace=False)
     probe = Batch(batch_id=-1, requests=[
         Request(request_id=-1 - i, target_vertex=int(t), arrival_time_s=0.0)
         for i, t in enumerate(targets)], created_time_s=0.0)
     probe_chip = Chip(-1, hw, feature_cache_size=0)
-    return fused_batch_service_time_s(probe_chip, sampler, model, probe,
-                                      dataset_name=dataset_name,
-                                      reuse_discount=0.0, account=False)
+    service_s = fused_batch_service_time_s(probe_chip, sampler, model, probe,
+                                           dataset_name=dataset_name,
+                                           reuse_discount=0.0, account=False)
+    _PROBE_CACHE[key] = service_s
+    return service_s
+
+
+class FleetScaler:
+    """Executes the control plane's sizing decisions on a chip roster.
+
+    Shared by the single- and multi-tenant event loops so warm-up,
+    drain-before-remove and timeline accounting cannot drift between them.
+    The loops stay in charge of their own event heaps (``schedule_ready``
+    pushes the loop's ``_CHIP_READY`` event) and of which active chip a
+    scale-in should drain (``drain_victim`` -- single-tenant chips hold
+    private queues, multi-tenant chips pull from the shared WFQ stage).
+    """
+
+    def __init__(self, chips: List[Chip], control: ControlPlane,
+                 new_chip, schedule_ready, drain_victim):
+        self.chips = chips
+        self.control = control
+        self._new_chip = new_chip            # () -> Chip (not yet rostered)
+        self._schedule_ready = schedule_ready  # (chip) -> None
+        self._drain_victim = drain_victim    # (active chips) -> Chip
+
+    def counts(self) -> Tuple[int, int, int]:
+        """(active, warming, draining) sizes of the current roster."""
+        active = warming = draining = 0
+        for chip in self.chips:
+            if chip.state == "active":
+                active += 1
+            elif chip.state == "warming":
+                warming += 1
+            elif chip.state == "draining":
+                draining += 1
+        return active, warming, draining
+
+    def _record(self, now: float, action: str, chip: Chip) -> None:
+        active, warming, draining = self.counts()
+        self.control.record_event(now, action, chip.chip_id,
+                                  active, warming, draining)
+
+    def retire(self, chip: Chip, now: float) -> None:
+        chip.state = "retired"
+        chip.retired_s = now
+        self._record(now, "retire", chip)
+
+    def mark_ready(self, chip: Chip, now: float) -> bool:
+        """Flip a warming chip to active (False if it was retired meanwhile)."""
+        if chip.state != "warming":
+            return False
+        chip.state = "active"
+        self._record(now, "ready", chip)
+        return True
+
+    def scale_to(self, target: int, now: float) -> None:
+        """Add warming chips / drain victims until committed capacity
+        (active + warming) meets ``target``."""
+        committed = sum(1 for c in self.chips
+                        if c.state in ("active", "warming"))
+        while committed < target:
+            chip = self._new_chip()
+            chip.added_s = now
+            chip.ready_s = now + self.control.warmup_s
+            if self.control.warmup_s > 0:
+                chip.state = "warming"
+                self._schedule_ready(chip)
+            else:
+                chip.state = "active"
+            self.chips.append(chip)
+            self._record(now, "add", chip)
+            committed += 1
+        while committed > target:
+            warming_chips = [c for c in self.chips if c.state == "warming"]
+            if warming_chips:
+                # cancelling a warm-up is free: the chip never served
+                self.retire(max(warming_chips, key=lambda c: c.chip_id), now)
+            else:
+                actives = [c for c in self.chips if c.state == "active"]
+                if len(actives) <= 1:
+                    break  # never drain the last serving chip
+                victim = self._drain_victim(actives)
+                victim.state = "draining"
+                self._record(now, "drain", victim)
+                if not victim.busy and not victim.queue:
+                    self.retire(victim, now)
+            committed -= 1
 
 
 class WFQScheduler:
@@ -337,23 +477,46 @@ class WFQScheduler:
 
 
 class ServingSimulator:
-    """Discrete-event simulation of online inference over a chip fleet."""
+    """Discrete-event simulation of online inference over a chip fleet.
+
+    Passing a :class:`~repro.serving.control.ControlConfig` with any lever
+    armed makes the run *elastic*: the event loop consults a fresh
+    :class:`~repro.serving.control.ControlPlane` on every cache-missing
+    arrival (admission / degradation) and at every control interval
+    (autoscaling between ``min_chips`` and ``max_chips``, with warm-up and
+    drain-before-remove semantics).  The initial fleet size is
+    ``num_chips`` clamped into the autoscaler's band.
+    """
 
     def __init__(self, graph: Graph, model, config: Optional[FleetConfig] = None,
-                 dataset_name: Optional[str] = None):
+                 dataset_name: Optional[str] = None,
+                 control: Optional[ControlConfig] = None):
         self.config = config or FleetConfig()
         self.graph = graph
         self.model = model
         self.dataset_name = dataset_name or graph.name
         cfg = self.config
+        self.control_config = control if control is not None and control.active \
+            else None
         self.sampler = SubgraphSampler(graph, num_hops=cfg.num_hops,
                                        fanout=cfg.fanout, seed=cfg.seed)
+        initial_chips = cfg.num_chips
+        if self.control_config is not None \
+                and self.control_config.autoscale is not None:
+            # only the autoscaler's band constrains the fleet; admission/
+            # degrade-only control leaves the configured size untouched
+            initial_chips = max(self.control_config.min_chips,
+                                min(self.control_config.max_chips,
+                                    cfg.num_chips))
         self.chips = [Chip(i, cfg.hw, cfg.feature_cache_size)
-                      for i in range(cfg.num_chips)]
+                      for i in range(initial_chips)]
+        self._next_chip_id = initial_chips
         self.result_cache = LRUCache(cfg.cache_size)
         self._dispatch = _build_dispatch(cfg.dispatch, graph.num_vertices,
-                                         cfg.num_chips)
+                                         initial_chips)
         self._probe_service_s: Optional[float] = None
+        #: The control plane of the most recent :meth:`run` (None when fixed).
+        self.control: Optional[ControlPlane] = None
 
     # ------------------------------------------------------------------ #
     # Adaptive time scales
@@ -424,7 +587,7 @@ class ServingSimulator:
         report = ServingReport(
             model_name=getattr(self.model, "name", self.model.__class__.__name__),
             dataset_name=self.dataset_name,
-            num_chips=cfg.num_chips,
+            num_chips=len(self.chips),
             batch_policy=cfg.batch_policy,
             dispatch_policy=cfg.dispatch,
             rate_rps=rate_rps,
@@ -448,8 +611,57 @@ class ServingSimulator:
 
         # time-weighted in-flight integral for the avg queue-pressure metric
         in_flight = 0
-        last_t = requests[0].arrival_time_s
+        t0 = requests[0].arrival_time_s
+        last_t = t0
         in_flight_area = 0.0
+
+        # ---------------- control plane (elastic runs only) --------------- #
+        control: Optional[ControlPlane] = None
+        scaler: Optional[FleetScaler] = None
+        probe_batch = min(cfg.max_batch_size, self.graph.num_vertices)
+        cost_per_request_s = self.probe_service_time_s / probe_batch
+        backlog_cost_s = 0.0
+        request_cost_s: Dict[int, float] = {}
+        arrivals_interval = completions_interval = 0
+        violations_interval = shed_interval = 0
+        busy_snapshot_s = 0.0
+        for chip in self.chips:
+            chip.added_s = t0
+            chip.ready_s = t0
+        if self.control_config is not None:
+            control = ControlPlane(self.control_config)
+            control.bind(
+                [TenantBinding(name="", slo_s=self.slo_s, num_hops=cfg.num_hops,
+                               fanout=cfg.fanout)],
+                initial_chips=len(self.chips),
+                probe_service_s=self.probe_service_time_s,
+                capacity_per_chip_rps=probe_batch
+                / max(self.probe_service_time_s, 1e-12))
+            self.control = control
+            heapq.heappush(events, (t0 + control.control_interval_s, seq,
+                                    _CONTROL, None))
+            seq += 1
+
+            def new_chip() -> Chip:
+                chip = Chip(self._next_chip_id, cfg.hw,
+                            cfg.feature_cache_size)
+                self._next_chip_id += 1
+                return chip
+
+            def schedule_ready(chip: Chip) -> None:
+                nonlocal seq
+                heapq.heappush(events, (chip.ready_s, seq, _CHIP_READY, chip))
+                seq += 1
+
+            scaler = FleetScaler(
+                self.chips, control, new_chip, schedule_ready,
+                # drain the emptiest queue so the least work gets stranded
+                drain_victim=lambda actives: min(
+                    actives,
+                    key=lambda c: (c.outstanding_requests, -c.chip_id)))
+
+        def schedulable_chips() -> List[Chip]:
+            return [chip for chip in self.chips if chip.schedulable]
 
         def schedule_flush(now: float) -> None:
             nonlocal scheduled_flush, seq
@@ -461,7 +673,7 @@ class ServingSimulator:
 
         def dispatch(batch: Batch, now: float) -> None:
             nonlocal seq
-            chip = self._dispatch.select(self.chips, batch)
+            chip = self._dispatch.select(schedulable_chips(), batch)
             chip.queue.append((batch, now))
             dispatch_meta[batch.batch_id] = now
             depth = sum(b.size for b, _ in chip.queue)
@@ -470,12 +682,15 @@ class ServingSimulator:
                 start_service(chip, now)
 
         def start_service(chip: Chip, now: float) -> None:
-            nonlocal seq
+            nonlocal seq, cost_per_request_s
             batch, _ = chip.queue.popleft()
             chip.current = batch
             start_meta[batch.batch_id] = now
             service_s = self.batch_service_time_s(chip, batch)
             batcher.observe_service_time(service_s)
+            observed = service_s / batch.size
+            cost_per_request_s = _COST_EWMA_ALPHA * observed \
+                + (1 - _COST_EWMA_ALPHA) * cost_per_request_s
             chip.stats.busy_s += service_s
             heapq.heappush(events, (now + service_s, seq, _COMPLETION, chip))
             seq += 1
@@ -484,7 +699,8 @@ class ServingSimulator:
             schedule_flush(now)
 
         def complete(chip: Chip, now: float) -> None:
-            nonlocal in_flight
+            nonlocal in_flight, backlog_cost_s
+            nonlocal completions_interval, violations_interval
             batch = chip.current
             chip.current = None
             chip.stats.batches_served += 1
@@ -502,11 +718,55 @@ class ServingSimulator:
                     cache_hit=False,
                     chip_id=chip.chip_id,
                     batch_id=batch.batch_id,
+                    degrade_level=request.degrade_level,
                 ))
-                self.result_cache.put(request.target_vertex, now)
+                # degraded answers are lower fidelity: keep them out of the
+                # result cache so later hits never silently inherit the loss
+                if request.degrade_level == 0:
+                    self.result_cache.put(request.target_vertex, now)
                 in_flight -= 1
+                completions_interval += 1
+                if now - request.arrival_time_s > self.slo_s:
+                    violations_interval += 1
+                backlog_cost_s -= request_cost_s.pop(request.request_id, 0.0)
             if chip.queue:
                 start_service(chip, now)
+            elif chip.state == "draining":
+                scaler.retire(chip, now)
+
+        def control_tick(now: float) -> None:
+            nonlocal seq, busy_snapshot_s
+            nonlocal arrivals_interval, completions_interval
+            nonlocal violations_interval, shed_interval
+            active, warming, draining = scaler.counts()
+            busy_total_s = sum(c.stats.busy_s for c in self.chips)
+            interval_s = control.control_interval_s
+            utilization = (busy_total_s - busy_snapshot_s) \
+                / (interval_s * max(1, active))
+            obs = ControlObservation(
+                now_s=now,
+                interval_s=interval_s,
+                active_chips=active,
+                warming_chips=warming,
+                draining_chips=draining,
+                queue_depth=in_flight,
+                backlog_cost_s=backlog_cost_s,
+                arrivals=arrivals_interval,
+                completions=completions_interval,
+                violations=violations_interval,
+                shed=shed_interval,
+                utilization=min(1.0, utilization),
+                cost_per_request_s=cost_per_request_s,
+                slo_s=self.slo_s,
+            )
+            target = control.tick(obs)
+            scaler.scale_to(target, now)
+            busy_snapshot_s = busy_total_s
+            arrivals_interval = completions_interval = 0
+            violations_interval = shed_interval = 0
+            if arrivals_left > 0 or in_flight > 0:
+                heapq.heappush(events, (now + interval_s, seq, _CONTROL, None))
+                seq += 1
 
         while events:
             now, _, kind, payload = heapq.heappop(events)
@@ -514,6 +774,7 @@ class ServingSimulator:
             last_t = now
             if kind == _ARRIVAL:
                 arrivals_left -= 1
+                arrivals_interval += 1
                 request: Request = payload
                 if self.result_cache.get(request.target_vertex) is not None:
                     done = now + cfg.cache_hit_latency_s
@@ -527,12 +788,32 @@ class ServingSimulator:
                         cache_hit=True,
                     ))
                 else:
-                    in_flight += 1
-                    batch = batcher.add(request, now)
-                    if batch is not None:
-                        dispatch(batch, now)
-                    else:
-                        schedule_flush(now)
+                    admitted = True
+                    if control is not None:
+                        est_delay_s = backlog_cost_s \
+                            / max(1, len(schedulable_chips()))
+                        decision = control.admit("", now, est_delay_s,
+                                                 cost_per_request_s)
+                        admitted = decision.admitted
+                        if not admitted:
+                            shed_interval += 1
+                        elif decision.level > 0:
+                            request = replace(
+                                request,
+                                degrade_level=decision.level,
+                                degrade_hops=decision.num_hops,
+                                degrade_fanout=decision.fanout)
+                        if admitted:
+                            cost = cost_per_request_s * decision.cost_scale
+                            request_cost_s[request.request_id] = cost
+                            backlog_cost_s += cost
+                    if admitted:
+                        in_flight += 1
+                        batch = batcher.add(request, now)
+                        if batch is not None:
+                            dispatch(batch, now)
+                        else:
+                            schedule_flush(now)
                 if arrivals_left == 0 and batcher.pending_count \
                         and batcher.next_deadline(now) is None:
                     # end of stream under a pure size cap: flush the remainder
@@ -545,13 +826,19 @@ class ServingSimulator:
                 if batch is not None:
                     dispatch(batch, now)
                 schedule_flush(now)
-            else:  # _COMPLETION
+            elif kind == _COMPLETION:
                 complete(payload, now)
+            elif kind == _CONTROL:
+                control_tick(now)
+            else:  # _CHIP_READY
+                scaler.mark_ready(payload, now)
 
-        span = last_t - requests[0].arrival_time_s
+        span = last_t - t0
         report.avg_in_flight = in_flight_area / span if span > 0 else 0.0
         report.chips = [chip.stats for chip in self.chips]
         report.cache = self.result_cache.stats
+        if control is not None:
+            report.control = control.finalize(last_t, self.chips)
         return report
 
 
@@ -566,6 +853,8 @@ def run_serving(
     trace: Optional[Sequence[float]] = None,
     utilization_target: float = 0.7,
     seed: int = 0,
+    control: Optional[ControlConfig] = None,
+    peak_factor: float = 4.0,
 ) -> ServingReport:
     """End-to-end convenience: dataset -> traffic -> fleet -> report.
 
@@ -574,11 +863,18 @@ def run_serving(
     run exhibits realistic queueing on any dataset/model/hardware combination.
     For trace replay the timestamps fix the rate, so no calibration runs and
     the reported rate is the trace's own mean arrival rate.
+
+    ``control`` arms the elastic control plane (see
+    :mod:`repro.serving.control`); calibration still sizes the rate against
+    the *configured* ``num_chips``, so an autoscaled run is comparable to the
+    fixed fleet it elasticised.  ``peak_factor`` only matters for the ramp
+    arrival process.
     """
     config = config or FleetConfig()
     graph = load_dataset(dataset, seed=seed)
     model = build_model(model_name, input_length=graph.feature_length)
-    simulator = ServingSimulator(graph, model, config, dataset_name=dataset)
+    simulator = ServingSimulator(graph, model, config, dataset_name=dataset,
+                                 control=control)
     if arrival == "trace":
         if rate_rps is None:
             times = trace_arrival_times(trace or [], num_requests)
@@ -590,6 +886,6 @@ def run_serving(
         rate_rps = simulator.calibrate_rate(utilization_target)
     workload = WorkloadConfig(num_requests=num_requests, rate_rps=rate_rps,
                               arrival=arrival, popularity_skew=popularity_skew,
-                              seed=seed)
+                              peak_factor=peak_factor, seed=seed)
     requests = RequestGenerator(graph.num_vertices, workload).generate(trace)
     return simulator.run(requests, rate_rps=rate_rps)

@@ -18,7 +18,7 @@ hot vertices.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -64,30 +64,46 @@ class SubgraphSampler:
         self.seed = int(seed)
         self._memo = LRUCache(memo_size)
 
-    def extract(self, target_vertex: int) -> SubgraphSample:
-        """Return the (memoised) k-hop subgraph rooted at ``target_vertex``."""
+    def extract(self, target_vertex: int, num_hops: Optional[int] = None,
+                fanout: Optional[int] = None) -> SubgraphSample:
+        """Return the (memoised) k-hop subgraph rooted at ``target_vertex``.
+
+        ``num_hops``/``fanout`` override the sampler defaults for this call --
+        the control plane's degradation ladder uses them to serve overload
+        traffic from a shallower/narrower neighbourhood.  Overridden
+        extractions are memoised under their own ``(target, hops, fanout)``
+        key, so degraded and full-fidelity samples never alias.
+        """
         if not 0 <= target_vertex < self.graph.num_vertices:
             raise ValueError(f"target vertex {target_vertex} out of range")
-        cached = self._memo.get(target_vertex)
+        hops = self.num_hops if num_hops is None else int(num_hops)
+        fan = self.fanout if fanout is None else int(fanout)
+        if hops < 0:
+            raise ValueError("num_hops must be >= 0")
+        if fan < 1:
+            raise ValueError("fanout must be >= 1")
+        key = (target_vertex, hops, fan)
+        cached = self._memo.get(key)
         if cached is not None:
             return cached
-        sample = self._extract(target_vertex)
-        self._memo.put(target_vertex, sample)
+        sample = self._extract(target_vertex, hops, fan)
+        self._memo.put(key, sample)
         return sample
 
     # ------------------------------------------------------------------ #
-    def _extract(self, target_vertex: int) -> SubgraphSample:
+    def _extract(self, target_vertex: int, num_hops: int,
+                 fanout: int) -> SubgraphSample:
         rng = np.random.default_rng((self.seed, target_vertex))
         local_of = {target_vertex: 0}
         order: List[int] = [target_vertex]
         edges: List[Tuple[int, int]] = []
         frontier = [target_vertex]
-        for _ in range(self.num_hops):
+        for _ in range(num_hops):
             next_frontier: List[int] = []
             for v in frontier:
                 neighbors = self.graph.in_neighbors(v)
-                if len(neighbors) > self.fanout:
-                    idx = rng.choice(len(neighbors), size=self.fanout, replace=False)
+                if len(neighbors) > fanout:
+                    idx = rng.choice(len(neighbors), size=fanout, replace=False)
                     idx.sort()
                     neighbors = neighbors[idx]
                 v_local = local_of[v]

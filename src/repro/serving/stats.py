@@ -13,6 +13,17 @@ owes its tenants -- weighted-fair-queueing service shares (measured while all
 tenants were contending) against the configured weights, per-tenant SLO
 violation rates, and cross-tenant p99 inflation versus each tenant running
 alone on the same fleet.
+
+Elastic runs (:mod:`repro.serving.control`) additionally attach a
+:class:`ControlStats` block: the autoscaling timeline (every add / warm-up /
+drain / retire event plus a per-interval observation trace), the provisioned
+chip-seconds the run consumed (the cost side of the
+chip-seconds-vs-violations-avoided trade), and per-tenant admission
+accounting (admitted / shed / degraded-by-level breakdowns).
+
+Both report classes serialize to plain JSON-compatible dicts via
+``to_dict()``, which is what ``python -m repro serve --json`` emits so that
+benchmark harnesses never scrape the human-formatted tables.
 """
 
 from __future__ import annotations
@@ -25,7 +36,8 @@ import numpy as np
 from .cache import CacheStats
 
 __all__ = ["percentile", "chip_utilization_rows", "RequestRecord",
-           "ChipStats", "ServingReport", "MultiTenantReport"]
+           "ChipStats", "ServingReport", "MultiTenantReport",
+           "ScaleEvent", "ControlSample", "AdmissionStats", "ControlStats"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -57,6 +69,9 @@ class RequestRecord:
     chip_id: int = -1
     batch_id: int = -1
     tenant: str = ""
+    #: > 0 when the control plane served this request at reduced sampling
+    #: fidelity (see :mod:`repro.serving.control`); 0 is full fidelity.
+    degrade_level: int = 0
 
     @property
     def latency_s(self) -> float:
@@ -75,7 +90,13 @@ class RequestRecord:
 
 @dataclass
 class ChipStats:
-    """Aggregate accounting of one simulated accelerator instance."""
+    """Aggregate accounting of one simulated accelerator instance.
+
+    ``provisioned_s`` is filled by elastic runs: the chip-seconds this chip
+    was held (from commissioning through retirement or end of run, including
+    warm-up during which it served nothing).  ``None`` means the chip existed
+    for the whole run (every fixed-fleet chip).
+    """
 
     chip_id: int
     busy_s: float = 0.0
@@ -84,6 +105,7 @@ class ChipStats:
     vertices_simulated: int = 0
     feature_lookups: int = 0
     feature_hits: int = 0
+    provisioned_s: Optional[float] = None
 
     @property
     def feature_reuse_rate(self) -> float:
@@ -91,8 +113,22 @@ class ChipStats:
         return self.feature_hits / self.feature_lookups if self.feature_lookups else 0.0
 
     def utilization(self, makespan_s: float) -> float:
-        """Busy fraction of the chip over the whole serving window."""
-        return min(1.0, self.busy_s / makespan_s) if makespan_s > 0 else 0.0
+        """Busy fraction of the chip over its provisioned window (the whole
+        serving window for fixed-fleet chips)."""
+        span = self.provisioned_s if self.provisioned_s is not None else makespan_s
+        return min(1.0, self.busy_s / span) if span > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "chip_id": self.chip_id,
+            "busy_s": self.busy_s,
+            "batches_served": self.batches_served,
+            "requests_served": self.requests_served,
+            "vertices_simulated": self.vertices_simulated,
+            "feature_lookups": self.feature_lookups,
+            "feature_hits": self.feature_hits,
+            "provisioned_s": self.provisioned_s,
+        }
 
 
 def chip_utilization_rows(chips: Sequence["ChipStats"],
@@ -116,6 +152,258 @@ def chip_utilization_rows(chips: Sequence["ChipStats"],
     ]
 
 
+# --------------------------------------------------------------------------- #
+# Control-plane accounting (autoscaling, admission, degradation)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One fleet-shape change: a chip was added, warmed up, drained or retired.
+
+    ``active``/``warming``/``draining`` are the fleet composition *after* the
+    event, so the timeline is replayable without extra state.
+    """
+
+    time_s: float
+    action: str  # "add" | "ready" | "drain" | "retire"
+    chip_id: int
+    active: int
+    warming: int
+    draining: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "time_s": self.time_s,
+            "action": self.action,
+            "chip_id": self.chip_id,
+            "active": self.active,
+            "warming": self.warming,
+            "draining": self.draining,
+        }
+
+
+@dataclass(frozen=True)
+class ControlSample:
+    """One control-interval observation plus the policy's sizing decision."""
+
+    time_s: float
+    active: int
+    warming: int
+    draining: int
+    desired_chips: int
+    queue_depth: int
+    arrival_rate_rps: float
+    utilization: float
+    est_queue_delay_s: float
+    violations: int
+    shed: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "time_s": self.time_s,
+            "active": self.active,
+            "warming": self.warming,
+            "draining": self.draining,
+            "desired_chips": self.desired_chips,
+            "queue_depth": self.queue_depth,
+            "arrival_rate_rps": self.arrival_rate_rps,
+            "utilization": self.utilization,
+            "est_queue_delay_s": self.est_queue_delay_s,
+            "violations": self.violations,
+            "shed": self.shed,
+        }
+
+
+@dataclass
+class AdmissionStats:
+    """Per-tenant admission-control outcome counters.
+
+    ``offered`` counts requests that reached the admission gate (result-cache
+    hits are answered before the gate and never appear here).  ``admitted``
+    includes degraded admissions; ``degraded`` maps ladder level to count.
+    """
+
+    tenant: str = ""
+    offered: int = 0
+    admitted: int = 0
+    shed_rate_limited: int = 0
+    shed_overload: int = 0
+    degraded: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def shed(self) -> int:
+        return self.shed_rate_limited + self.shed_overload
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def degraded_total(self) -> int:
+        return sum(self.degraded.values())
+
+    @property
+    def degraded_rate(self) -> float:
+        return self.degraded_total / self.admitted if self.admitted else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "tenant": self.tenant,
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "shed_rate_limited": self.shed_rate_limited,
+            "shed_overload": self.shed_overload,
+            "shed": self.shed,
+            "shed_rate": self.shed_rate,
+            "degraded": {str(k): v for k, v in sorted(self.degraded.items())},
+            "degraded_total": self.degraded_total,
+        }
+
+
+@dataclass
+class ControlStats:
+    """Everything the elastic control plane did during one run.
+
+    The cost/benefit headline is ``chip_seconds_s`` (provisioned chip time,
+    including warm-up) against the SLO violations and sheds the run recorded:
+    an autoscaler earns its keep when it beats a fixed ``min_chips`` fleet on
+    violations while holding fewer chip-seconds than a fixed ``max_chips``
+    fleet.
+    """
+
+    policy: str
+    min_chips: int
+    max_chips: int
+    control_interval_s: float
+    warmup_s: float
+    initial_chips: int
+    final_chips: int = 0
+    chip_seconds_s: float = 0.0
+    warmup_chip_seconds_s: float = 0.0
+    timeline: List[ScaleEvent] = field(default_factory=list)
+    samples: List[ControlSample] = field(default_factory=list)
+    admission: Dict[str, AdmissionStats] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def scale_ups(self) -> int:
+        return sum(1 for e in self.timeline if e.action == "add")
+
+    @property
+    def scale_downs(self) -> int:
+        return sum(1 for e in self.timeline if e.action == "retire")
+
+    @property
+    def peak_chips(self) -> int:
+        peak = self.initial_chips
+        for e in self.timeline:
+            peak = max(peak, e.active + e.warming)
+        for s in self.samples:
+            peak = max(peak, s.active + s.warming)
+        return peak
+
+    @property
+    def total_offered(self) -> int:
+        return sum(a.offered for a in self.admission.values())
+
+    @property
+    def total_shed(self) -> int:
+        return sum(a.shed for a in self.admission.values())
+
+    @property
+    def total_degraded(self) -> int:
+        return sum(a.degraded_total for a in self.admission.values())
+
+    # ------------------------------------------------------------------ #
+    # Tables
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "chips_min_max": f"{self.min_chips}..{self.max_chips}",
+            "initial_chips": self.initial_chips,
+            "peak_chips": self.peak_chips,
+            "final_chips": self.final_chips,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "chip_seconds_ms": round(self.chip_seconds_s * 1e3, 4),
+            "warmup_chip_seconds_ms": round(self.warmup_chip_seconds_s * 1e3, 4),
+            "shed": self.total_shed,
+            "degraded": self.total_degraded,
+        }
+
+    def scaling_table(self) -> List[Dict[str, object]]:
+        """One row per control interval: observation plus sizing decision."""
+        return [
+            {
+                "t_ms": round(s.time_s * 1e3, 3),
+                "active": s.active,
+                "warming": s.warming,
+                "draining": s.draining,
+                "desired": s.desired_chips,
+                "queue_depth": s.queue_depth,
+                "arrival_rps": round(s.arrival_rate_rps, 1),
+                "util_pct": round(100.0 * s.utilization, 1),
+                "est_delay_ms": round(s.est_queue_delay_s * 1e3, 4),
+                "violations": s.violations,
+                "shed": s.shed,
+            }
+            for s in self.samples
+        ]
+
+    def admission_table(self) -> List[Dict[str, object]]:
+        """One row per tenant: offered / admitted / shed / degraded."""
+        rows = []
+        for name in sorted(self.admission):
+            a = self.admission[name]
+            rows.append({
+                "tenant": a.tenant or "-",
+                "offered": a.offered,
+                "admitted": a.admitted,
+                "shed_rate_limited": a.shed_rate_limited,
+                "shed_overload": a.shed_overload,
+                "shed_pct": round(100.0 * a.shed_rate, 2),
+                "degraded": a.degraded_total,
+                "degraded_pct": round(100.0 * a.degraded_rate, 2),
+            })
+        return rows
+
+    def timeline_text(self, width: int = 24) -> str:
+        """ASCII fleet-size timeline: one line per control interval.
+
+        ``#`` columns are active chips, ``~`` warming, ``-`` draining; the
+        trailing numbers are queue depth and estimated queue delay.  This is
+        the "plot" the docs and CLI show -- good enough to eyeball a ramp
+        without a plotting stack.
+        """
+        lines = []
+        for s in self.samples:
+            bar = "#" * s.active + "~" * s.warming + "-" * s.draining
+            lines.append(f"t={s.time_s * 1e3:9.3f}ms |{bar:<{width}}| "
+                         f"chips={s.active}+{s.warming} queue={s.queue_depth:4d} "
+                         f"delay={s.est_queue_delay_s * 1e3:8.3f}ms")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "min_chips": self.min_chips,
+            "max_chips": self.max_chips,
+            "control_interval_s": self.control_interval_s,
+            "warmup_s": self.warmup_s,
+            "initial_chips": self.initial_chips,
+            "final_chips": self.final_chips,
+            "peak_chips": self.peak_chips,
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "chip_seconds_s": self.chip_seconds_s,
+            "warmup_chip_seconds_s": self.warmup_chip_seconds_s,
+            "timeline": [e.as_dict() for e in self.timeline],
+            "samples": [s.as_dict() for s in self.samples],
+            "admission": {name: a.as_dict()
+                          for name, a in sorted(self.admission.items())},
+        }
+
+
 @dataclass
 class ServingReport:
     """Everything the serving evaluation reports for one traffic run."""
@@ -132,6 +420,7 @@ class ServingReport:
     cache: CacheStats = field(default_factory=CacheStats)
     avg_in_flight: float = 0.0
     max_queue_depth: int = 0
+    control: Optional[ControlStats] = None
     _latencies: np.ndarray = field(default=None, init=False, repr=False,
                                    compare=False)
 
@@ -199,6 +488,26 @@ class ServingReport:
         return self.slo_violations / self.completed if self.completed else 0.0
 
     # ------------------------------------------------------------------ #
+    # Degradation accounting (elastic runs)
+    # ------------------------------------------------------------------ #
+    @property
+    def degraded_requests(self) -> int:
+        """Completed requests served at reduced sampling fidelity."""
+        return sum(1 for r in self.records if r.degrade_level > 0)
+
+    @property
+    def degraded_rate(self) -> float:
+        return self.degraded_requests / self.completed if self.completed else 0.0
+
+    @property
+    def chip_seconds_s(self) -> float:
+        """Provisioned chip-seconds: control-plane accounting when present,
+        ``num_chips * makespan`` for a fixed fleet."""
+        if self.control is not None:
+            return self.control.chip_seconds_s
+        return self.num_chips * self.makespan_s
+
+    # ------------------------------------------------------------------ #
     # Tables
     # ------------------------------------------------------------------ #
     def summary(self) -> Dict[str, object]:
@@ -237,6 +546,62 @@ class ServingReport:
             "service_ms": round(service * 1e3, 4),
         }
 
+    # ------------------------------------------------------------------ #
+    # Machine-readable export
+    # ------------------------------------------------------------------ #
+    def to_dict(self, include_records: bool = True) -> Dict[str, object]:
+        """JSON-compatible dict of the full report (``serve --json``)."""
+        payload: Dict[str, object] = {
+            "kind": "serving_report",
+            "model": self.model_name,
+            "dataset": self.dataset_name,
+            "num_chips": self.num_chips,
+            "batch_policy": self.batch_policy,
+            "dispatch_policy": self.dispatch_policy,
+            "rate_rps": self.rate_rps,
+            "slo_s": self.slo_s,
+            "completed": self.completed,
+            "makespan_s": self.makespan_s,
+            "throughput_rps": self.throughput_rps,
+            "latency_s": {
+                "p50": self.p50_latency_s,
+                "p95": self.p95_latency_s,
+                "p99": self.p99_latency_s,
+                "mean": self.mean_latency_s,
+                "max": self.max_latency_s,
+            },
+            "latency_breakdown_ms": self.latency_breakdown(),
+            "slo_violations": self.slo_violations,
+            "slo_violation_rate": self.slo_violation_rate,
+            "degraded_requests": self.degraded_requests,
+            "degraded_rate": self.degraded_rate,
+            "chip_seconds_s": self.chip_seconds_s,
+            "avg_in_flight": self.avg_in_flight,
+            "max_queue_depth": self.max_queue_depth,
+            "cache": self.cache.as_dict(),
+            "chips": [c.as_dict() for c in self.chips],
+            "control": self.control.to_dict() if self.control else None,
+        }
+        if include_records:
+            payload["records"] = [
+                {
+                    "request_id": r.request_id,
+                    "target_vertex": r.target_vertex,
+                    "arrival_time_s": r.arrival_time_s,
+                    "dispatch_time_s": r.dispatch_time_s,
+                    "service_start_s": r.service_start_s,
+                    "completion_time_s": r.completion_time_s,
+                    "latency_s": r.latency_s,
+                    "cache_hit": r.cache_hit,
+                    "chip_id": r.chip_id,
+                    "batch_id": r.batch_id,
+                    "tenant": r.tenant,
+                    "degrade_level": r.degrade_level,
+                }
+                for r in self.records
+            ]
+        return payload
+
 
 @dataclass
 class MultiTenantReport:
@@ -269,6 +634,7 @@ class MultiTenantReport:
     scheduler: str = "wfq-drr"
     avg_in_flight: float = 0.0
     max_backlog_batches: int = 0
+    control: Optional[ControlStats] = None
 
     # ------------------------------------------------------------------ #
     # Aggregates over all tenants
@@ -379,3 +745,39 @@ class MultiTenantReport:
     def per_chip_table(self) -> List[Dict[str, object]]:
         """Fleet-level chip accounting over the whole multi-tenant run."""
         return chip_utilization_rows(self.chips, self.makespan_s)
+
+    @property
+    def chip_seconds_s(self) -> float:
+        """Provisioned chip-seconds (control-plane view when elastic)."""
+        if self.control is not None:
+            return self.control.chip_seconds_s
+        return self.num_chips * self.makespan_s
+
+    # ------------------------------------------------------------------ #
+    # Machine-readable export
+    # ------------------------------------------------------------------ #
+    def to_dict(self, include_records: bool = True) -> Dict[str, object]:
+        """JSON-compatible dict of the full report (``serve --json``)."""
+        return {
+            "kind": "multi_tenant_report",
+            "num_chips": self.num_chips,
+            "scheduler": self.scheduler,
+            "tenants": list(self.tenants),
+            "weights": dict(self.weights),
+            "completed": self.completed,
+            "makespan_s": self.makespan_s,
+            "throughput_rps": self.throughput_rps,
+            "chip_seconds_s": self.chip_seconds_s,
+            "avg_in_flight": self.avg_in_flight,
+            "max_backlog_batches": self.max_backlog_batches,
+            "busy_s": dict(self.busy_s),
+            "contended_busy_s": dict(self.contended_busy_s),
+            "fairness": self.fairness_table(),
+            "isolation": self.isolation_table(),
+            "chips": [c.as_dict() for c in self.chips],
+            "control": self.control.to_dict() if self.control else None,
+            "reports": {name: rep.to_dict(include_records=include_records)
+                        for name, rep in self.reports.items()},
+            "solo": {name: rep.to_dict(include_records=False)
+                     for name, rep in self.solo.items()},
+        }

@@ -24,12 +24,21 @@ Key entry points: :func:`run_multi_tenant` (spec list -> report),
 :func:`load_tenant_specs` (JSON file -> specs, used by
 ``python -m repro serve --tenants``) and :class:`MultiTenantSimulator` for
 programmatic control.  Everything is deterministic under the fleet seed.
+
+Arming a :class:`~repro.serving.control.ControlConfig` makes the shared
+fleet elastic: the control plane autoscales the chip pool (warm-up on the
+way up, drain-before-remove on the way down), polices each tenant with a
+token bucket sized to its weight share, and sheds or degrades requests
+whose queueing-delay estimate has already blown the tenant's SLO budget.
 """
 
 from __future__ import annotations
 
 import heapq
 import json
+
+import numpy as np
+
 from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -37,14 +46,18 @@ from ..graphs.datasets import DATASETS, load_dataset
 from ..models.model_zoo import MODEL_NAMES, build_model
 from .batcher import BATCHING_POLICIES, Batch, build_batcher
 from .cache import LRUCache
+from .control import ControlConfig, ControlObservation, ControlPlane, TenantBinding
 from .fleet import (
     _ARRIVAL,
+    _CHIP_READY,
     _COMPLETION,
+    _CONTROL,
     _FLUSH,
     _SLO_SERVICE_MULTIPLE,
     _TIMEOUT_SERVICE_MULTIPLE,
     Chip,
     FleetConfig,
+    FleetScaler,
     WFQScheduler,
     fused_batch_service_time_s,
     probe_batch_service_time_s,
@@ -95,6 +108,9 @@ class TenantConfig:
     popularity_skew: float = 0.8
     burst_factor: float = 5.0
     on_fraction: float = 0.1
+    peak_factor: float = 4.0
+    ramp_fraction: float = 0.25
+    peak_fraction: float = 0.2
     num_hops: int = 2
     fanout: int = 8
     batch_policy: str = "timeout"
@@ -121,10 +137,11 @@ class TenantConfig:
             raise ValueError("num_requests must be >= 0")
         if self.rate_rps is not None and self.rate_rps <= 0:
             raise ValueError("rate_rps must be positive when set")
-        if self.arrival not in ("poisson", "bursty"):
+        if self.arrival not in ("poisson", "bursty", "ramp"):
             raise ValueError(
-                "per-tenant arrival must be 'poisson' or 'bursty' (trace "
-                "replay is single-tenant only, use `serve --arrival trace`)")
+                "per-tenant arrival must be 'poisson', 'bursty' or 'ramp' "
+                "(trace replay is single-tenant only, use "
+                "`serve --arrival trace`)")
         if self.batch_policy not in BATCHING_POLICIES:
             raise ValueError(f"batch_policy must be one of {BATCHING_POLICIES}, "
                              f"got {self.batch_policy!r}")
@@ -211,6 +228,9 @@ class TenantRuntime:
                                     self.graph.num_vertices)
         # WFQ batch-cost model: EWMA of service seconds per distinct target.
         self.cost_per_target_s = self.probe_service_s / self.probe_batch_size
+        # Admission-control cost model: EWMA of service seconds per request
+        # (duplicates included -- backlog accounting is per request).
+        self.cost_per_request_s = self.probe_service_s / self.probe_batch_size
         # Accounting
         self.busy_s = 0.0
         self.contended_busy_s = 0.0
@@ -231,13 +251,15 @@ class TenantRuntime:
         return self.cost_per_target_s * distinct
 
     def observe_cost(self, batch: Batch, service_s: float) -> None:
-        """Fold an observed batch service time back into the cost model."""
+        """Fold an observed batch service time back into the cost models."""
         distinct = len({r.target_vertex for r in batch.requests})
         if distinct == 0:
             return
         observed = service_s / distinct
         a = _COST_EWMA_ALPHA
         self.cost_per_target_s = a * observed + (1 - a) * self.cost_per_target_s
+        self.cost_per_request_s = a * (service_s / batch.size) \
+            + (1 - a) * self.cost_per_request_s
 
     @property
     def demanding(self) -> bool:
@@ -257,23 +279,37 @@ class MultiTenantSimulator:
     """
 
     def __init__(self, tenants: Sequence[TenantConfig],
-                 fleet: Optional[FleetConfig] = None):
+                 fleet: Optional[FleetConfig] = None,
+                 control: Optional[ControlConfig] = None):
         if not tenants:
             raise ValueError("need at least one tenant")
         names = [t.name for t in tenants]
         if len(set(names)) != len(names):
             raise ValueError(f"tenant names must be unique, got {names}")
         self.fleet = fleet or FleetConfig()
+        self.control_config = control if control is not None and control.active \
+            else None
         self.runtimes: Dict[str, TenantRuntime] = {
             t.name: TenantRuntime(t, self.fleet, i)
             for i, t in enumerate(tenants)}
         self.tenant_names = names
+        initial_chips = self.fleet.num_chips
+        if self.control_config is not None \
+                and self.control_config.autoscale is not None:
+            # only the autoscaler's band constrains the fleet; admission/
+            # degrade-only control leaves the configured size untouched
+            initial_chips = max(self.control_config.min_chips,
+                                min(self.control_config.max_chips,
+                                    initial_chips))
         self.chips = [Chip(i, self.fleet.hw, self.fleet.feature_cache_size)
-                      for i in range(self.fleet.num_chips)]
+                      for i in range(initial_chips)]
+        self._next_chip_id = initial_chips
         quantum_s = 0.5 * min(rt.probe_service_s
                               for rt in self.runtimes.values())
         self.scheduler = WFQScheduler(
             {t.name: t.weight for t in tenants}, quantum_s=max(quantum_s, 1e-12))
+        #: The control plane of the most recent :meth:`run` (None when fixed).
+        self.control: Optional[ControlPlane] = None
 
     # ------------------------------------------------------------------ #
     # Traffic
@@ -335,7 +371,8 @@ class MultiTenantSimulator:
                 num_requests=cfg.num_requests, rate_rps=rates[name],
                 arrival=cfg.arrival, popularity_skew=cfg.popularity_skew,
                 burst_factor=cfg.burst_factor, on_fraction=cfg.on_fraction,
-                seed=rt.seed)
+                peak_factor=cfg.peak_factor, ramp_fraction=cfg.ramp_fraction,
+                peak_fraction=cfg.peak_fraction, seed=rt.seed)
             streams[name] = RequestGenerator(rt.graph.num_vertices,
                                              workload).generate()
         return streams
@@ -367,7 +404,7 @@ class MultiTenantSimulator:
         rates = dict(rates or {})
         records: List[RequestRecord] = []
         report = MultiTenantReport(
-            num_chips=fleet.num_chips,
+            num_chips=len(self.chips),
             tenants=list(self.tenant_names),
             weights={n: self.runtimes[n].config.weight
                      for n in self.tenant_names},
@@ -391,9 +428,65 @@ class MultiTenantSimulator:
         admit_meta: Dict[Tuple[str, int], float] = {}   # batch -> admit time
         start_meta: Dict[Tuple[str, int], float] = {}   # batch -> start time
         in_flight = 0
-        last_t = requests[0].arrival_time_s if requests else 0.0
+        t0 = requests[0].arrival_time_s if requests else 0.0
+        last_t = t0
         in_flight_area = 0.0
         chip_batch: Dict[int, Tuple[TenantRuntime, Batch]] = {}
+
+        # ---------------- control plane (elastic runs only) --------------- #
+        control: Optional[ControlPlane] = None
+        scaler: Optional[FleetScaler] = None
+        backlog_cost_s = 0.0
+        request_cost_s: Dict[int, float] = {}
+        arrivals_interval = completions_interval = 0
+        violations_interval = shed_interval = 0
+        busy_snapshot_s = 0.0
+        # fleet-wide per-request cost EWMA for the sizing policies
+        fleet_cost_per_request_s = float(np.mean(
+            [rt.cost_per_request_s for rt in self.runtimes.values()]))
+        for chip in self.chips:
+            chip.added_s = t0
+            chip.ready_s = t0
+        if self.control_config is not None and requests:
+            control = ControlPlane(self.control_config)
+            min_probe_s = min(rt.probe_service_s
+                              for rt in self.runtimes.values())
+            control.bind(
+                [TenantBinding(
+                    name=rt.name, slo_s=rt.slo_s,
+                    num_hops=rt.config.num_hops, fanout=rt.config.fanout,
+                    weight=rt.config.weight,
+                    capacity_per_chip_rps=rt.probe_batch_size
+                    / max(rt.probe_service_s, 1e-12))
+                 for rt in self.runtimes.values()],
+                initial_chips=len(self.chips),
+                probe_service_s=min_probe_s,
+                capacity_per_chip_rps=1.0
+                / max(fleet_cost_per_request_s, 1e-12))
+            self.control = control
+            heapq.heappush(events, (t0 + control.control_interval_s, seq,
+                                    _CONTROL, None))
+            seq += 1
+
+            def new_chip() -> Chip:
+                chip = Chip(self._next_chip_id, fleet.hw,
+                            fleet.feature_cache_size)
+                self._next_chip_id += 1
+                return chip
+
+            def schedule_ready(chip: Chip) -> None:
+                nonlocal seq
+                heapq.heappush(events, (chip.ready_s, seq, _CHIP_READY, chip))
+                seq += 1
+
+            def drain_victim(actives: List[Chip]) -> Chip:
+                # chips hold no private queues here (the WFQ stage does),
+                # so prefer an idle chip, newest first
+                idle = [c for c in actives if not c.busy]
+                return max(idle or actives, key=lambda c: c.chip_id)
+
+            scaler = FleetScaler(self.chips, control, new_chip,
+                                 schedule_ready, drain_victim)
 
         def schedule_flush(rt: TenantRuntime, now: float) -> None:
             nonlocal seq
@@ -414,13 +507,13 @@ class MultiTenantSimulator:
 
         def idle_chip() -> Optional[Chip]:
             for chip in self.chips:
-                if not chip.busy:
+                if chip.schedulable and not chip.busy:
                     return chip
             return None
 
         def pump(now: float) -> None:
             """Release WFQ batches onto free chips until one side runs dry."""
-            nonlocal seq
+            nonlocal seq, fleet_cost_per_request_s
             while self.scheduler.pending_batches:
                 chip = idle_chip()
                 if chip is None:
@@ -438,6 +531,9 @@ class MultiTenantSimulator:
                 service_s = self._service_time_s(chip, rt, batch)
                 rt.observe_cost(batch, service_s)
                 rt.batcher.observe_service_time(service_s)
+                a = _COST_EWMA_ALPHA
+                fleet_cost_per_request_s = a * (service_s / batch.size) \
+                    + (1 - a) * fleet_cost_per_request_s
                 chip.stats.busy_s += service_s
                 rt.busy_s += service_s
                 if contended:
@@ -450,7 +546,8 @@ class MultiTenantSimulator:
                 schedule_flush(rt, now)
 
         def complete(chip: Chip, now: float) -> None:
-            nonlocal in_flight
+            nonlocal in_flight, backlog_cost_s
+            nonlocal completions_interval, violations_interval
             rt, batch = chip_batch.pop(chip.chip_id)
             chip.current = None
             chip.stats.batches_served += 1
@@ -469,10 +566,56 @@ class MultiTenantSimulator:
                     chip_id=chip.chip_id,
                     batch_id=batch.batch_id,
                     tenant=rt.name,
+                    degrade_level=request.degrade_level,
                 ))
-                rt.result_cache.put(request.target_vertex, now)
+                # degraded answers are lower fidelity: never cache them
+                if request.degrade_level == 0:
+                    rt.result_cache.put(request.target_vertex, now)
                 in_flight -= 1
+                completions_interval += 1
+                if now - request.arrival_time_s > rt.slo_s:
+                    violations_interval += 1
+                backlog_cost_s -= request_cost_s.pop(request.request_id, 0.0)
+            if chip.state == "draining":
+                scaler.retire(chip, now)
             pump(now)
+
+        def control_tick(now: float) -> None:
+            nonlocal seq, busy_snapshot_s
+            nonlocal arrivals_interval, completions_interval
+            nonlocal violations_interval, shed_interval
+            active, warming, draining = scaler.counts()
+            busy_total_s = sum(c.stats.busy_s for c in self.chips)
+            interval_s = control.control_interval_s
+            utilization = (busy_total_s - busy_snapshot_s) \
+                / (interval_s * max(1, active))
+            # the tightest tenant SLO anchors the fleet-level delay signal
+            min_slo_s = min(rt.slo_s for rt in self.runtimes.values())
+            obs = ControlObservation(
+                now_s=now,
+                interval_s=interval_s,
+                active_chips=active,
+                warming_chips=warming,
+                draining_chips=draining,
+                queue_depth=in_flight,
+                backlog_cost_s=backlog_cost_s,
+                arrivals=arrivals_interval,
+                completions=completions_interval,
+                violations=violations_interval,
+                shed=shed_interval,
+                utilization=min(1.0, utilization),
+                cost_per_request_s=fleet_cost_per_request_s,
+                slo_s=min_slo_s,
+            )
+            target = control.tick(obs)
+            scaler.scale_to(target, now)
+            busy_snapshot_s = busy_total_s
+            arrivals_interval = completions_interval = 0
+            violations_interval = shed_interval = 0
+            if in_flight > 0 or any(rt.arrivals_left > 0
+                                    for rt in self.runtimes.values()):
+                heapq.heappush(events, (now + interval_s, seq, _CONTROL, None))
+                seq += 1
 
         while events:
             now, _, kind, payload = heapq.heappop(events)
@@ -482,6 +625,7 @@ class MultiTenantSimulator:
                 request: Request = payload
                 rt = self.runtimes[request.tenant]
                 rt.arrivals_left -= 1
+                arrivals_interval += 1
                 if rt.result_cache.get(request.target_vertex) is not None:
                     done = now + fleet.cache_hit_latency_s
                     records.append(RequestRecord(
@@ -495,13 +639,34 @@ class MultiTenantSimulator:
                         tenant=rt.name,
                     ))
                 else:
-                    in_flight += 1
-                    batch = rt.batcher.add(request, now)
-                    if batch is not None:
-                        admit(rt, batch, now)
-                        pump(now)
-                    else:
-                        schedule_flush(rt, now)
+                    admitted = True
+                    if control is not None:
+                        active_count = sum(1 for c in self.chips
+                                           if c.schedulable)
+                        est_delay_s = backlog_cost_s / max(1, active_count)
+                        decision = control.admit(rt.name, now, est_delay_s,
+                                                 rt.cost_per_request_s)
+                        admitted = decision.admitted
+                        if not admitted:
+                            shed_interval += 1
+                        elif decision.level > 0:
+                            request = replace(
+                                request,
+                                degrade_level=decision.level,
+                                degrade_hops=decision.num_hops,
+                                degrade_fanout=decision.fanout)
+                        if admitted:
+                            cost = rt.cost_per_request_s * decision.cost_scale
+                            request_cost_s[request.request_id] = cost
+                            backlog_cost_s += cost
+                    if admitted:
+                        in_flight += 1
+                        batch = rt.batcher.add(request, now)
+                        if batch is not None:
+                            admit(rt, batch, now)
+                            pump(now)
+                        else:
+                            schedule_flush(rt, now)
                 if rt.arrivals_left == 0 and rt.batcher.pending_count \
                         and rt.batcher.next_deadline(now) is None:
                     # end of this tenant's stream under a pure size cap
@@ -517,15 +682,22 @@ class MultiTenantSimulator:
                     admit(rt, batch, now)
                     pump(now)
                 schedule_flush(rt, now)
-            else:  # _COMPLETION
+            elif kind == _COMPLETION:
                 complete(payload, now)
+            elif kind == _CONTROL:
+                control_tick(now)
+            else:  # _CHIP_READY
+                if scaler.mark_ready(payload, now):
+                    pump(now)
 
         # ------------------------------------------------------------------
         # Roll the tagged records up into per-tenant report slices
         # ------------------------------------------------------------------
-        span = (last_t - requests[0].arrival_time_s) if requests else 0.0
+        span = (last_t - t0) if requests else 0.0
         report.avg_in_flight = in_flight_area / span if span > 0 else 0.0
         report.chips = [chip.stats for chip in self.chips]
+        if control is not None:
+            report.control = control.finalize(last_t, self.chips)
         for name in self.tenant_names:
             rt = self.runtimes[name]
             slice_report = ServingReport(
@@ -550,6 +722,7 @@ def run_multi_tenant(
     fleet: Optional[FleetConfig] = None,
     utilization_target: float = 0.7,
     include_isolation_baseline: bool = True,
+    control: Optional[ControlConfig] = None,
 ) -> MultiTenantReport:
     """End-to-end multi-tenant run: specs -> shared fleet -> report.
 
@@ -559,9 +732,13 @@ def run_multi_tenant(
     and shared -- which is what makes the p99-inflation metric meaningful.
     Baselines re-simulate each tenant alone on an identical fresh fleet; skip
     them (``include_isolation_baseline=False``) when only fairness matters.
+
+    ``control`` arms the elastic control plane for the *shared* run only: the
+    isolation baselines stay fixed-fleet, so p99 inflation keeps comparing
+    against the uncontrolled contract the tenant was promised.
     """
     fleet = fleet or FleetConfig()
-    shared = MultiTenantSimulator(tenants, fleet)
+    shared = MultiTenantSimulator(tenants, fleet, control=control)
     rates = shared.calibrate_rates(utilization_target)
     streams = shared.tenant_streams(rates)
     report = shared.run(merge_tenant_streams(streams), rates)

@@ -8,6 +8,11 @@ arrival processes are provided:
 * ``bursty``  -- a two-state Markov-modulated Poisson process that alternates
   between an ON phase (``burst_factor`` times the mean rate) and a quiet OFF
   phase, calibrated so the long-run rate still equals ``rate_rps``;
+* ``ramp``    -- a deterministic burst-ramp profile (quiet baseline, linear
+  climb to ``peak_factor`` times the baseline, peak plateau, ramp back down),
+  the canonical workload for exercising the elastic control plane in
+  :mod:`repro.serving.control`: the climb forces scale-up decisions and the
+  descent forces drain-before-remove scale-in;
 * ``trace``   -- replay of an explicit timestamp list (e.g. captured from a
   production front-end log).
 
@@ -36,13 +41,14 @@ __all__ = [
     "RequestGenerator",
     "poisson_arrival_times",
     "bursty_arrival_times",
+    "ramp_arrival_times",
     "trace_arrival_times",
     "merge_tenant_streams",
     "split_tenant_stream",
 ]
 
 #: Arrival-process names accepted by the CLI and :class:`WorkloadConfig`.
-ARRIVAL_PROCESSES = ("poisson", "bursty", "trace")
+ARRIVAL_PROCESSES = ("poisson", "bursty", "ramp", "trace")
 
 
 @dataclass(frozen=True)
@@ -52,12 +58,21 @@ class Request:
     ``tenant`` is empty for single-tenant serving; multi-tenant streams tag
     every request with the owning tenant's name (``target_vertex`` is then an
     id in *that tenant's* graph).
+
+    ``degrade_level``/``degrade_hops``/``degrade_fanout`` are stamped by the
+    control plane's degradation ladder (:mod:`repro.serving.control`) when an
+    overloaded fleet serves the request at reduced sampling fidelity instead
+    of shedding it; generators always emit full-fidelity requests
+    (``degrade_level == 0``, overrides ``None``).
     """
 
     request_id: int
     target_vertex: int
     arrival_time_s: float
     tenant: str = ""
+    degrade_level: int = 0
+    degrade_hops: Optional[int] = None
+    degrade_fanout: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -68,6 +83,10 @@ class WorkloadConfig:
     (0 = uniform).  ``burst_factor`` and ``on_fraction`` only matter for the
     bursty process; the OFF-phase rate is derived so the long-run mean rate
     stays ``rate_rps``, which requires ``burst_factor < 1 / on_fraction``.
+    ``peak_factor``, ``ramp_fraction`` and ``peak_fraction`` only matter for
+    the ramp process: the peak plateau runs at ``peak_factor`` times the quiet
+    baseline, with the baseline derived so the long-run mean stays
+    ``rate_rps``.
     """
 
     num_requests: int = 1000
@@ -76,6 +95,9 @@ class WorkloadConfig:
     popularity_skew: float = 0.8
     burst_factor: float = 5.0
     on_fraction: float = 0.1
+    peak_factor: float = 4.0
+    ramp_fraction: float = 0.25
+    peak_fraction: float = 0.2
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -93,6 +115,12 @@ class WorkloadConfig:
         if self.arrival == "bursty" and self.burst_factor * self.on_fraction >= 1.0:
             raise ValueError("burst_factor must be < 1 / on_fraction to keep the "
                              "long-run rate equal to rate_rps")
+        if self.peak_factor < 1:
+            raise ValueError("peak_factor must be >= 1")
+        if self.ramp_fraction <= 0 or self.peak_fraction <= 0 \
+                or 2 * self.ramp_fraction + self.peak_fraction >= 1.0:
+            raise ValueError("ramp_fraction and peak_fraction must be positive "
+                             "with 2*ramp_fraction + peak_fraction < 1")
 
 
 def poisson_arrival_times(num_requests: int, rate_rps: float, seed: int = 0) -> np.ndarray:
@@ -144,6 +172,72 @@ def bursty_arrival_times(
     return np.asarray(times[:num_requests])
 
 
+def ramp_arrival_times(
+    num_requests: int,
+    rate_rps: float,
+    seed: int = 0,
+    peak_factor: float = 4.0,
+    ramp_fraction: float = 0.25,
+    peak_fraction: float = 0.2,
+) -> np.ndarray:
+    """Arrival times of an inhomogeneous Poisson process with a burst-ramp.
+
+    The rate profile over the expected stream duration ``T`` is symmetric:
+    a quiet baseline plateau, a linear ramp up over ``ramp_fraction * T``, a
+    peak plateau of ``peak_fraction * T`` at ``peak_factor`` times the
+    baseline, a linear ramp down, and a quiet tail.  The baseline rate is
+    derived so the time-averaged rate equals ``rate_rps``.  Arrivals are
+    drawn by time-rescaling a unit-rate Poisson process through the inverse
+    integrated rate, so the stream is deterministic under ``seed``.
+    """
+    if peak_factor < 1:
+        raise ValueError("peak_factor must be >= 1")
+    if ramp_fraction <= 0 or peak_fraction <= 0 \
+            or 2 * ramp_fraction + peak_fraction >= 1.0:
+        raise ValueError("need 2*ramp_fraction + peak_fraction < 1 with both "
+                         "fractions positive")
+    if num_requests == 0:
+        return np.empty(0, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    duration_s = num_requests / rate_rps
+    quiet_fraction = (1.0 - 2 * ramp_fraction - peak_fraction) / 2.0
+    # mean(lambda) = lo * (2q + r*(1+pf) + p*pf) must equal rate_rps
+    mean_multiple = (2 * quiet_fraction + ramp_fraction * (1.0 + peak_factor)
+                     + peak_fraction * peak_factor)
+    rate_lo = rate_rps / mean_multiple
+    rate_hi = peak_factor * rate_lo
+    bounds = np.cumsum([0.0, quiet_fraction, ramp_fraction, peak_fraction,
+                        ramp_fraction, quiet_fraction]) * duration_s
+    grid = np.linspace(0.0, duration_s, 4096)
+    profile = np.piecewise(
+        grid,
+        [grid < bounds[1],
+         (grid >= bounds[1]) & (grid < bounds[2]),
+         (grid >= bounds[2]) & (grid < bounds[3]),
+         (grid >= bounds[3]) & (grid < bounds[4]),
+         grid >= bounds[4]],
+        [rate_lo,
+         lambda t: rate_lo + (rate_hi - rate_lo)
+         * (t - bounds[1]) / (bounds[2] - bounds[1]),
+         rate_hi,
+         lambda t: rate_hi - (rate_hi - rate_lo)
+         * (t - bounds[3]) / (bounds[4] - bounds[3]),
+         rate_lo])
+    # integrated rate on the grid; invert it to map unit-rate event counts
+    # back onto the clock (time-rescaling theorem)
+    steps = np.diff(grid)
+    integrated = np.concatenate(
+        [[0.0], np.cumsum(0.5 * (profile[1:] + profile[:-1]) * steps)])
+    unit_times = np.cumsum(rng.exponential(1.0, size=num_requests))
+    times = np.interp(unit_times, integrated, grid)
+    # events past the profile window continue at the baseline rate
+    overflow = unit_times > integrated[-1]
+    if overflow.any():
+        times[overflow] = duration_s \
+            + (unit_times[overflow] - integrated[-1]) / rate_lo
+    return times
+
+
 def trace_arrival_times(trace: Sequence[float], num_requests: Optional[int] = None) -> np.ndarray:
     """Validate and normalise an explicit timestamp trace for replay.
 
@@ -186,6 +280,11 @@ class RequestGenerator:
             return bursty_arrival_times(cfg.num_requests, cfg.rate_rps, seed=cfg.seed,
                                         burst_factor=cfg.burst_factor,
                                         on_fraction=cfg.on_fraction)
+        if cfg.arrival == "ramp":
+            return ramp_arrival_times(cfg.num_requests, cfg.rate_rps, seed=cfg.seed,
+                                      peak_factor=cfg.peak_factor,
+                                      ramp_fraction=cfg.ramp_fraction,
+                                      peak_fraction=cfg.peak_fraction)
         return poisson_arrival_times(cfg.num_requests, cfg.rate_rps, seed=cfg.seed)
 
     def target_vertices(self) -> np.ndarray:

@@ -1,0 +1,599 @@
+"""Tests for the elastic control plane: autoscaling, admission, degradation.
+
+The end-to-end assertions mirror the acceptance criteria of the subsystem:
+under a burst-ramp workload the threshold autoscaler beats a fixed
+``min_chips`` fleet on SLO violations while holding fewer chip-seconds than a
+fixed ``max_chips`` fleet; admission control keeps the p99 of *admitted*
+requests inside the SLO at 2x overload; and every elastic run is
+deterministic under a fixed seed.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.graphs.datasets import load_dataset
+from repro.models.model_zoo import build_model
+from repro.serving import (
+    ControlConfig,
+    ControlObservation,
+    EWMAPolicy,
+    FleetConfig,
+    PIDPolicy,
+    ServingSimulator,
+    ThresholdPolicy,
+    TokenBucket,
+    build_autoscale_policy,
+    clear_probe_cache,
+    default_degradation_ladder,
+    ramp_arrival_times,
+    run_serving,
+)
+from repro.serving import fleet as fleet_module
+from repro.serving.workload import WorkloadConfig
+
+#: A small, cache-free fleet so offered load translates directly into queueing.
+FC = FleetConfig(num_chips=1, num_hops=1, fanout=4, max_batch_size=16,
+                 cache_size=0, reuse_discount=0.0)
+DATASET = "IB"
+NUM_REQUESTS = 800
+
+
+def _observation(**overrides):
+    base = dict(now_s=1.0, interval_s=0.1, active_chips=2, warming_chips=0,
+                draining_chips=0, queue_depth=10, backlog_cost_s=0.0,
+                arrivals=50, completions=40, violations=0, shed=0,
+                utilization=0.5, cost_per_request_s=1e-3, slo_s=1.0)
+    base.update(overrides)
+    return ControlObservation(**base)
+
+
+@pytest.fixture(scope="module")
+def one_chip_rate():
+    """1.5x the 1-chip capacity -- shared by every fleet size under test."""
+    graph = load_dataset(DATASET, seed=0)
+    model = build_model("GCN", input_length=graph.feature_length)
+    sim = ServingSimulator(graph, model, FC, dataset_name=DATASET)
+    return sim.calibrate_rate(1.5)
+
+
+def elastic_run(rate, control=None, num_chips=1, arrival="ramp", seed=0):
+    config = dataclasses.replace(FC, num_chips=num_chips)
+    return run_serving(dataset=DATASET, num_requests=NUM_REQUESTS,
+                       rate_rps=rate, arrival=arrival, peak_factor=6.0,
+                       config=config, control=control, seed=seed)
+
+
+# --------------------------------------------------------------------------- #
+# Policy units (no simulation)
+# --------------------------------------------------------------------------- #
+class TestThresholdPolicy:
+    def test_scales_up_after_patience(self):
+        policy = ThresholdPolicy(up_delay_fraction=0.5, patience=2)
+        hot = _observation(backlog_cost_s=2.0, active_chips=2)  # delay 1.0
+        assert policy.desired_chips(hot, 2) == 2   # first strike
+        assert policy.desired_chips(hot, 2) == 3   # second strike fires
+
+    def test_scales_down_only_when_idle_and_cool(self):
+        policy = ThresholdPolicy(down_delay_fraction=0.1,
+                                 down_utilization=0.6, patience=1)
+        cool_busy = _observation(backlog_cost_s=0.0, utilization=0.9)
+        assert policy.desired_chips(cool_busy, 3) == 3  # busy: no scale-down
+        cool_idle = _observation(backlog_cost_s=0.0, utilization=0.2)
+        assert policy.desired_chips(cool_idle, 3) == 2
+
+    def test_dead_band_resets_counters(self):
+        policy = ThresholdPolicy(patience=2)
+        hot = _observation(backlog_cost_s=2.0, active_chips=2)
+        mid = _observation(backlog_cost_s=0.6, active_chips=2,
+                           utilization=0.9)  # delay 0.3: inside the band
+        assert policy.desired_chips(hot, 2) == 2
+        assert policy.desired_chips(mid, 2) == 2   # resets the streak
+        assert policy.desired_chips(hot, 2) == 2   # needs two again
+        assert policy.desired_chips(hot, 2) == 3
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(up_delay_fraction=0.1, down_delay_fraction=0.5)
+        with pytest.raises(ValueError):
+            ThresholdPolicy(patience=0)
+
+
+class TestPIDPolicy:
+    def test_positive_error_scales_up(self):
+        policy = PIDPolicy(setpoint_fraction=0.25, kp=2.0, ki=0.0, kd=0.0)
+        hot = _observation(backlog_cost_s=2.0, active_chips=2)  # delay frac 1.0
+        assert policy.desired_chips(hot, 2) > 2
+
+    def test_step_is_clamped(self):
+        policy = PIDPolicy(kp=100.0, max_step=2)
+        hot = _observation(backlog_cost_s=10.0, active_chips=1)
+        assert policy.desired_chips(hot, 4) == 6
+
+    def test_integral_windup_is_clamped(self):
+        policy = PIDPolicy(kp=0.0, ki=1.0, kd=0.0, integral_limit=2.0,
+                           max_step=10)
+        hot = _observation(backlog_cost_s=10.0, active_chips=1)
+        for _ in range(50):
+            policy.desired_chips(hot, 4)
+        # integral is capped, so the delta stays bounded at ki * limit
+        assert policy.desired_chips(hot, 4) <= 4 + 2
+
+
+class TestEWMAPolicy:
+    def test_sizes_fleet_to_predicted_demand(self):
+        policy = EWMAPolicy(alpha=1.0, target_utilization=0.5)
+        obs = _observation(arrivals=100, interval_s=0.1,
+                           cost_per_request_s=1e-3)  # 1000 rps * 1ms = 1 chip
+        assert policy.desired_chips(obs, 1) == 2  # 1 chip-load / 0.5 target
+
+    def test_smooths_rate_spikes(self):
+        policy = EWMAPolicy(alpha=0.1, target_utilization=1.0)
+        calm = _observation(arrivals=10, interval_s=0.1,
+                            cost_per_request_s=1e-3)
+        policy.desired_chips(calm, 1)
+        spike = _observation(arrivals=10_000, interval_s=0.1,
+                             cost_per_request_s=1e-3)
+        # one spiky interval moves the EWMA only 10% of the way
+        assert policy.desired_chips(spike, 1) <= 11
+
+
+class TestPolicyFactory:
+    def test_builds_each_registered_policy(self):
+        for name in ("threshold", "pid", "ewma"):
+            assert build_autoscale_policy(name).name == name
+
+    def test_params_override_defaults(self):
+        policy = build_autoscale_policy("threshold", {"patience": 5})
+        assert policy.patience == 5
+
+    def test_unknown_name_and_params_fail_loudly(self):
+        with pytest.raises(ValueError, match="unknown autoscale policy"):
+            build_autoscale_policy("magic")
+        with pytest.raises(ValueError, match="bad parameters"):
+            build_autoscale_policy("pid", {"warp": 9})
+
+
+class TestControlConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ControlConfig(autoscale="nope")
+        with pytest.raises(ValueError):
+            ControlConfig(min_chips=0)
+        with pytest.raises(ValueError):
+            ControlConfig(min_chips=4, max_chips=2)
+        with pytest.raises(ValueError):
+            ControlConfig(control_interval_s=0.0)
+        with pytest.raises(ValueError):
+            ControlConfig(admission_rate_rps=-1.0)
+
+    def test_active_only_when_a_lever_is_armed(self):
+        assert not ControlConfig().active
+        assert ControlConfig(autoscale="threshold").active
+        assert ControlConfig(admission=True).active
+        assert ControlConfig(degrade=True).active
+
+
+class TestTokenBucket:
+    def test_burst_then_deny_then_refill(self):
+        bucket = TokenBucket(rate_rps=10.0, burst=2)
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)       # burst exhausted
+        assert bucket.try_acquire(0.1)           # 0.1s * 10rps = 1 token
+        assert not bucket.try_acquire(0.1)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_rps=100.0, burst=2)
+        bucket.try_acquire(0.0)
+        for _ in range(2):                       # long idle only banks 2
+            assert bucket.try_acquire(100.0)
+        assert not bucket.try_acquire(100.0)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_rps=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_rps=1.0, burst=0.5)
+
+
+class TestDegradationLadder:
+    def test_rungs_get_monotonically_cheaper(self):
+        ladder = default_degradation_ladder(num_hops=2, fanout=8,
+                                            max_levels=3)
+        assert [r.level for r in ladder] == [1, 2, 3]
+        scales = [r.cost_scale for r in ladder]
+        assert all(0 < s < 1 for s in scales)
+        assert scales == sorted(scales, reverse=True)
+
+    def test_fanout_halves_before_hops_drop(self):
+        ladder = default_degradation_ladder(num_hops=2, fanout=2,
+                                            max_levels=3)
+        assert (ladder[0].num_hops, ladder[0].fanout) == (2, 1)
+        assert (ladder[1].num_hops, ladder[1].fanout) == (1, 1)
+
+    def test_nothing_cheaper_means_no_rungs(self):
+        assert default_degradation_ladder(num_hops=1, fanout=1) == []
+
+
+# --------------------------------------------------------------------------- #
+# Burst-ramp workload
+# --------------------------------------------------------------------------- #
+class TestRampWorkload:
+    def test_mean_rate_matches_and_peak_is_hotter(self):
+        times = ramp_arrival_times(4000, rate_rps=1000.0, seed=0,
+                                   peak_factor=6.0)
+        mean_rate = (len(times) - 1) / (times[-1] - times[0])
+        assert mean_rate == pytest.approx(1000.0, rel=0.15)
+        # arrivals concentrate inside the peak plateau (middle fifth)
+        duration = 4.0  # expected: num / rate
+        in_peak = ((times >= 0.4 * duration) & (times < 0.6 * duration)).sum()
+        # the peak plateau holds peak_factor*p/mean_multiple = 37% of
+        # arrivals in 20% of the time; assert well above the time share
+        assert in_peak / len(times) > 1.5 * 0.2
+
+    def test_deterministic_under_seed(self):
+        a = ramp_arrival_times(500, 100.0, seed=7)
+        b = ramp_arrival_times(500, 100.0, seed=7)
+        assert (a == b).all()
+        c = ramp_arrival_times(500, 100.0, seed=8)
+        assert (a != c).any()
+
+    def test_workload_config_validates_ramp_shape(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(arrival="ramp", peak_factor=0.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(arrival="ramp", ramp_fraction=0.4,
+                           peak_fraction=0.4)
+
+
+# --------------------------------------------------------------------------- #
+# Autoscaling end-to-end (the acceptance criterion)
+# --------------------------------------------------------------------------- #
+class TestAutoscaling:
+    def test_threshold_beats_fixed_min_on_slo_and_fixed_max_on_cost(
+            self, one_chip_rate):
+        fixed_min = elastic_run(one_chip_rate, num_chips=1)
+        fixed_max = elastic_run(one_chip_rate, num_chips=6)
+        control = ControlConfig(autoscale="threshold", min_chips=1,
+                                max_chips=6)
+        elastic = elastic_run(one_chip_rate, control=control)
+        assert fixed_min.slo_violation_rate > 0.3   # the ramp really overloads
+        assert fixed_max.slo_violation_rate < fixed_min.slo_violation_rate
+        # the autoscaler materially closes the violation gap ...
+        assert elastic.slo_violation_rate < 0.7 * fixed_min.slo_violation_rate
+        # ... while paying for far fewer chip-seconds than fixed max
+        assert elastic.control.chip_seconds_s < fixed_max.chip_seconds_s
+        assert elastic.control.scale_ups >= 1
+        assert elastic.control.scale_downs >= 1
+
+    @pytest.mark.parametrize("policy", ["threshold", "pid", "ewma"])
+    def test_every_policy_scales_up_the_ramp_and_back_down(
+            self, policy, one_chip_rate):
+        control = ControlConfig(autoscale=policy, min_chips=1, max_chips=6)
+        report = elastic_run(one_chip_rate, control=control)
+        stats = report.control
+        assert stats.policy == policy
+        assert stats.scale_ups >= 1
+        assert stats.scale_downs >= 1
+        assert stats.peak_chips > 1
+        assert stats.final_chips <= stats.peak_chips
+        # every request still completes exactly once (no admission armed)
+        assert report.completed == NUM_REQUESTS
+        assert len({r.request_id for r in report.records}) == NUM_REQUESTS
+
+    def test_fleet_respects_min_max_band(self, one_chip_rate):
+        control = ControlConfig(autoscale="pid", min_chips=2, max_chips=3)
+        report = elastic_run(one_chip_rate, control=control, num_chips=1)
+        sizes = [s.active + s.warming for s in report.control.samples]
+        assert all(2 <= size <= 3 for size in sizes)
+        assert report.control.initial_chips == 2  # clamped up from 1
+
+    def test_warmup_chips_consume_time_but_serve_nothing(self, one_chip_rate):
+        control = ControlConfig(autoscale="threshold", min_chips=1,
+                                max_chips=6)
+        report = elastic_run(one_chip_rate, control=control)
+        stats = report.control
+        assert stats.warmup_s > 0
+        assert stats.warmup_chip_seconds_s > 0
+        ready_s = {e.chip_id: e.time_s for e in stats.timeline
+                   if e.action == "ready"}
+        added_s = {e.chip_id: e.time_s for e in stats.timeline
+                   if e.action == "add"}
+        assert ready_s  # at least one chip warmed up
+        for chip_id, t_ready in ready_s.items():
+            assert t_ready == pytest.approx(added_s[chip_id] + stats.warmup_s)
+            # nothing started on the chip before it was ready
+            for record in report.records:
+                if record.chip_id == chip_id:
+                    assert record.service_start_s >= t_ready
+
+    def test_drained_chips_finish_their_work_before_retiring(
+            self, one_chip_rate):
+        control = ControlConfig(autoscale="threshold", min_chips=1,
+                                max_chips=6)
+        report = elastic_run(one_chip_rate, control=control)
+        retired_s = {e.chip_id: e.time_s for e in report.control.timeline
+                     if e.action == "retire"}
+        assert retired_s  # the ramp's descent retired at least one chip
+        for record in report.records:
+            if record.chip_id in retired_s:
+                assert record.completion_time_s <= retired_s[record.chip_id]
+
+
+# --------------------------------------------------------------------------- #
+# Admission control and degradation end-to-end
+# --------------------------------------------------------------------------- #
+class TestAdmission:
+    @pytest.fixture(scope="class")
+    def overload(self):
+        """2x-overload traffic against a fixed 2-chip fleet."""
+        config = dataclasses.replace(FC, num_chips=2)
+        graph = load_dataset(DATASET, seed=0)
+        model = build_model("GCN", input_length=graph.feature_length)
+        sim = ServingSimulator(graph, model, config, dataset_name=DATASET)
+        rate = sim.calibrate_rate(2.0)
+        return dict(dataset=DATASET, num_requests=NUM_REQUESTS,
+                    rate_rps=rate, arrival="poisson", config=config, seed=0)
+
+    def test_admission_keeps_admitted_p99_within_slo_at_2x(self, overload):
+        baseline = run_serving(**overload)
+        admitted = run_serving(control=ControlConfig(admission=True),
+                               **overload)
+        assert baseline.p99_latency_s > baseline.slo_s  # 2x really overloads
+        assert admitted.p99_latency_s <= admitted.slo_s
+        acct = admitted.control.admission[""]
+        assert acct.shed > 0
+        assert acct.admitted == admitted.completed
+        assert acct.offered == acct.admitted + acct.shed
+
+    def test_degradation_trades_sheds_for_degraded_answers(self, overload):
+        # a generous explicit contract keeps the token bucket non-binding,
+        # so the SLO-budget gate (the degradable one) does all the work
+        generous = 4 * overload["rate_rps"]
+        shed_only = run_serving(
+            control=ControlConfig(admission=True,
+                                  admission_rate_rps=generous), **overload)
+        with_ladder = run_serving(
+            control=ControlConfig(admission=True, admission_rate_rps=generous,
+                                  degrade=True), **overload)
+        a, b = shed_only.control.admission[""], \
+            with_ladder.control.admission[""]
+        assert b.degraded_total > 0
+        assert b.shed < a.shed
+        assert with_ladder.p99_latency_s <= with_ladder.slo_s
+        # degraded records are tagged so the quality loss is reportable
+        assert with_ladder.degraded_requests == b.degraded_total
+        levels = {r.degrade_level for r in with_ladder.records}
+        assert levels - {0}
+
+    def test_degrade_only_mode_never_sheds(self, overload):
+        report = run_serving(control=ControlConfig(degrade=True), **overload)
+        acct = report.control.admission[""]
+        assert acct.shed == 0
+        assert report.completed == NUM_REQUESTS
+        assert report.degraded_requests > 0
+
+    def test_degraded_results_never_enter_the_result_cache(self, overload):
+        spec = dict(overload)
+        spec["config"] = dataclasses.replace(spec["config"], cache_size=4096)
+        report = run_serving(control=ControlConfig(degrade=True), **spec)
+        degraded_targets = {r.target_vertex for r in report.records
+                            if r.degrade_level > 0}
+        full = {r.target_vertex for r in report.records
+                if r.degrade_level == 0 and not r.cache_hit}
+        # a cache hit can only follow a full-fidelity completion
+        for record in report.records:
+            if record.cache_hit:
+                assert record.target_vertex in full or \
+                    record.target_vertex not in degraded_targets
+
+    def test_token_bucket_polices_explicit_rate(self, overload):
+        control = ControlConfig(admission=True,
+                                admission_rate_rps=overload["rate_rps"] / 4,
+                                admission_burst=8)
+        report = run_serving(control=control, **overload)
+        acct = report.control.admission[""]
+        assert acct.shed_rate_limited > 0
+        # roughly three quarters of the offered load is over the contract
+        assert acct.shed_rate == pytest.approx(0.75, abs=0.15)
+
+
+# --------------------------------------------------------------------------- #
+# Determinism and bookkeeping
+# --------------------------------------------------------------------------- #
+class TestDeterminismAndAccounting:
+    def test_elastic_runs_reproduce_bit_for_bit(self, one_chip_rate):
+        control = ControlConfig(autoscale="threshold", min_chips=1,
+                                max_chips=6, admission=True, degrade=True)
+        first = elastic_run(one_chip_rate, control=control)
+        second = elastic_run(one_chip_rate, control=control)
+        assert [e.as_dict() for e in first.control.timeline] \
+            == [e.as_dict() for e in second.control.timeline]
+        assert [s.as_dict() for s in first.control.samples] \
+            == [s.as_dict() for s in second.control.samples]
+        assert [r.completion_time_s for r in first.records] \
+            == [r.completion_time_s for r in second.records]
+        assert first.control.chip_seconds_s == second.control.chip_seconds_s
+
+    def test_chip_seconds_cover_every_provisioned_chip(self, one_chip_rate):
+        control = ControlConfig(autoscale="threshold", min_chips=1,
+                                max_chips=6)
+        report = elastic_run(one_chip_rate, control=control)
+        per_chip = [c.provisioned_s for c in report.chips]
+        assert all(p is not None and p >= 0 for p in per_chip)
+        assert sum(per_chip) == pytest.approx(report.control.chip_seconds_s)
+        # an elastic fleet can never out-provision max_chips for the full span
+        assert report.control.chip_seconds_s <= \
+            6 * report.makespan_s * 1.001 + report.control.control_interval_s
+
+    def test_timeline_text_renders_one_line_per_sample(self, one_chip_rate):
+        control = ControlConfig(autoscale="threshold", min_chips=1,
+                                max_chips=6)
+        report = elastic_run(one_chip_rate, control=control)
+        text = report.control.timeline_text()
+        assert len(text.splitlines()) == len(report.control.samples)
+        assert "#" in text
+
+
+# --------------------------------------------------------------------------- #
+# Multi-tenant elasticity
+# --------------------------------------------------------------------------- #
+class TestMultiTenantControl:
+    def _tenants(self):
+        from repro.serving import TenantConfig
+        spec = dict(model="GCN", dataset=DATASET, num_requests=200,
+                    num_hops=1, fanout=4, batch_policy="size",
+                    max_batch_size=16, cache_size=0, arrival="ramp",
+                    peak_factor=6.0)
+        return [TenantConfig(name="a", weight=2.0, **spec),
+                TenantConfig(name="b", weight=1.0, **spec)]
+
+    def _run(self, control=None):
+        from repro.serving import run_multi_tenant
+        return run_multi_tenant(self._tenants(), FleetConfig(num_chips=1),
+                                utilization_target=1.5,
+                                include_isolation_baseline=False,
+                                control=control)
+
+    def test_shared_fleet_scales_and_reports_per_tenant_admission(self):
+        control = ControlConfig(autoscale="threshold", min_chips=1,
+                                max_chips=6, admission=True, degrade=True)
+        report = self._run(control)
+        stats = report.control
+        assert stats is not None
+        assert stats.scale_ups >= 1
+        assert set(stats.admission) == {"a", "b"}
+        for name in ("a", "b"):
+            acct = stats.admission[name]
+            assert acct.offered == 200
+            assert acct.admitted == report.reports[name].completed
+            # admitted traffic meets its SLO budget
+            rep = report.reports[name]
+            if rep.completed:
+                assert rep.p99_latency_s <= rep.slo_s
+
+    def test_elastic_multi_tenant_is_deterministic(self):
+        control = ControlConfig(autoscale="threshold", min_chips=1,
+                                max_chips=6, admission=True)
+        first, second = self._run(control), self._run(control)
+        assert [e.as_dict() for e in first.control.timeline] \
+            == [e.as_dict() for e in second.control.timeline]
+        for name in first.tenants:
+            assert [r.completion_time_s for r in first.reports[name].records] \
+                == [r.completion_time_s for r in second.reports[name].records]
+
+    def test_fixed_runs_carry_no_control_block(self):
+        report = self._run(control=None)
+        assert report.control is None
+        for name in report.tenants:
+            assert report.reports[name].completed == 200
+
+
+# --------------------------------------------------------------------------- #
+# CLI flags and --json export
+# --------------------------------------------------------------------------- #
+class TestControlCLI:
+    SERVE = ["serve", "--dataset", "IB", "--requests", "128", "--chips", "1",
+             "--hops", "1", "--fanout", "4", "--cache-size", "0",
+             "--arrival", "ramp", "--utilization", "1.5"]
+
+    def test_autoscale_flags_print_control_tables(self, capsys):
+        from repro.__main__ import main
+        assert main(self.SERVE + ["--autoscale", "threshold",
+                                  "--min-chips", "1",
+                                  "--max-chips", "4"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("control plane: summary", "scaling timeline",
+                       "fleet-size timeline", "chip_seconds_ms"):
+            assert needle in out
+
+    def test_admission_and_degrade_flags(self, capsys):
+        from repro.__main__ import main
+        assert main(self.SERVE + ["--admission", "--degrade"]) == 0
+        out = capsys.readouterr().out
+        assert "admission / degradation" in out
+        assert "shed_overload" in out
+
+    def test_tuning_flags_without_arming_flag_fail_loudly(self, capsys):
+        from repro.__main__ import main
+        assert main(self.SERVE + ["--min-chips", "2", "--max-chips", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "nothing arms it" in err
+
+    def test_admission_only_keeps_the_configured_fleet_size(self):
+        # admission/degrade without autoscaling must not clamp the fleet
+        # into the (unused) autoscaler band
+        config = dataclasses.replace(FC, num_chips=10)
+        report = run_serving(dataset=DATASET, num_requests=64, config=config,
+                             control=ControlConfig(admission=True), seed=0)
+        assert report.num_chips == 10
+        assert report.control.final_chips == 10
+        assert report.control.timeline == []
+
+    def test_json_to_file_round_trips(self, tmp_path, capsys):
+        import json
+        from repro.__main__ import main
+        path = tmp_path / "report.json"
+        assert main(self.SERVE + ["--autoscale", "ewma",
+                                  "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "serving_report"
+        assert payload["completed"] == 128
+        assert payload["control"]["policy"] == "ewma"
+        assert len(payload["records"]) == payload["completed"]
+        # tables were still printed alongside the file
+        assert "traffic summary" in capsys.readouterr().out
+
+    def test_json_dash_replaces_tables_on_stdout(self, capsys):
+        import json
+        from repro.__main__ import main
+        assert main(self.SERVE + ["--json", "-"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # pure JSON, no tables mixed in
+        assert payload["kind"] == "serving_report"
+        assert payload["control"] is None
+
+    def test_multi_tenant_json(self, tmp_path):
+        import json
+        from repro.__main__ import main
+        spec = tmp_path / "tenants.json"
+        spec.write_text(json.dumps({"tenants": [
+            {"name": "a", "dataset": "IB", "num_requests": 64, "num_hops": 1,
+             "fanout": 4, "max_batch_size": 16},
+            {"name": "b", "dataset": "IB", "num_requests": 64, "num_hops": 1,
+             "fanout": 4, "max_batch_size": 16},
+        ]}))
+        path = tmp_path / "mt.json"
+        assert main(["serve", "--tenants", str(spec), "--chips", "2",
+                     "--no-isolation", "--admission",
+                     "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "multi_tenant_report"
+        assert set(payload["reports"]) == {"a", "b"}
+        assert set(payload["control"]["admission"]) == {"a", "b"}
+
+
+# --------------------------------------------------------------------------- #
+# Probe-service memoisation
+# --------------------------------------------------------------------------- #
+class TestProbeMemo:
+    def test_probe_is_memoised_and_clearable(self):
+        clear_probe_cache()
+        assert len(fleet_module._PROBE_CACHE) == 0
+        graph = load_dataset(DATASET, seed=0)
+        model = build_model("GCN", input_length=graph.feature_length)
+        sim = ServingSimulator(graph, model, FC, dataset_name=DATASET)
+        first = sim.probe_service_time_s
+        assert len(fleet_module._PROBE_CACHE) == 1
+        # a fresh simulator with identical shape reuses the cached probe
+        sim2 = ServingSimulator(graph, model, FC, dataset_name=DATASET)
+        assert sim2.probe_service_time_s == first
+        assert len(fleet_module._PROBE_CACHE) == 1
+        # a different batch shape is a different key
+        wide = dataclasses.replace(FC, max_batch_size=8)
+        sim3 = ServingSimulator(graph, model, wide, dataset_name=DATASET)
+        sim3.probe_service_time_s
+        assert len(fleet_module._PROBE_CACHE) == 2
+        clear_probe_cache()
+        assert len(fleet_module._PROBE_CACHE) == 0

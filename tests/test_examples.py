@@ -23,7 +23,8 @@ def test_examples_directory_contents():
     names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart.py", "citation_classification.py",
             "recommendation_inference.py", "design_space_exploration.py",
-            "online_serving.py", "multi_tenant_serving.py"} <= names
+            "online_serving.py", "multi_tenant_serving.py",
+            "elastic_serving.py"} <= names
     assert (EXAMPLES_DIR / "tenants.json").exists()
 
 
@@ -33,6 +34,15 @@ def test_multi_tenant_example_runs(capsys):
     out = capsys.readouterr().out
     assert "WFQ fairness" in out
     assert "cross-tenant isolation" in out
+
+
+def test_elastic_serving_example_runs(capsys):
+    module = load_example("elastic_serving.py")
+    module.main(num_requests=400)
+    out = capsys.readouterr().out
+    assert "SLO violations vs. chip-seconds" in out
+    assert "fleet-size timeline" in out
+    assert "what each gate does to the tail" in out
 
 
 def test_quickstart_runs(capsys):
