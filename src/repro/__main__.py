@@ -39,9 +39,9 @@ from .graphs import DATASETS, dataset_table, load_dataset
 from .hw import AreaPowerModel
 from .models import MODEL_NAMES, build_model, model_table
 from .serving import (
+    ALL_BATCH_POLICIES,
     ARRIVAL_PROCESSES,
     AUTOSCALE_POLICIES,
-    BATCHING_POLICIES,
     DISPATCH_POLICIES,
     ControlConfig,
     FleetConfig,
@@ -101,10 +101,34 @@ def _build_parser() -> argparse.ArgumentParser:
                             "required for --arrival trace")
     serve.add_argument("--skew", type=float, default=0.8,
                        help="Zipf exponent of target-vertex popularity (0 = uniform)")
-    serve.add_argument("--batch-policy", choices=BATCHING_POLICIES, default="timeout")
+    serve.add_argument("--batch-policy", choices=ALL_BATCH_POLICIES,
+                       default="timeout",
+                       help="flush trigger (size/timeout/slo) or formation "
+                            "policy (fifo/overlap/continuous, see "
+                            "docs/batching.md)")
     serve.add_argument("--max-batch", type=int, default=32)
     serve.add_argument("--batch-timeout-ms", type=float, default=None,
                        help="timeout-flush budget (default: adaptive)")
+    batching = serve.add_argument_group(
+        "overlap-aware batching",
+        "tuning for the overlap/continuous formation policies "
+        "(see docs/batching.md); these flags error unless --batch-policy "
+        "is overlap or continuous (--tenants mode: any tenant may opt in, "
+        "so they always apply there)")
+    batching.add_argument("--overlap-k", type=int, default=None,
+                          help="hop depth of the neighbourhood signatures "
+                               "(default 1, capped to --hops)")
+    batching.add_argument("--min-overlap", type=float, default=None,
+                          help="similarity floor for growing an overlap "
+                               "group; 0 always fills batches (default 0)")
+    batching.add_argument("--join-window-ms", type=float, default=None,
+                          help="continuous: late-join window after batch "
+                               "formation (default: adaptive, the batch "
+                               "timeout)")
+    batching.add_argument("--staleness-ms", type=float, default=None,
+                          help="continuous: max wait of a batch's oldest "
+                               "request before joins stop (default: "
+                               "adaptive, half the SLO)")
     serve.add_argument("--dispatch", choices=DISPATCH_POLICIES,
                        default="round-robin")
     serve.add_argument("--hops", type=int, default=2,
@@ -237,6 +261,47 @@ def _control_config_from_args(args: argparse.Namespace
     )
 
 
+def _batching_overrides(args: argparse.Namespace,
+                        tenants_mode: bool) -> dict:
+    """FleetConfig overrides from the overlap-batching flags.
+
+    In single-tenant mode the flags error unless ``--batch-policy`` is one
+    of the overlap-aware formation policies (mirroring how control-plane
+    tuning flags error without an arming flag); in ``--tenants`` mode any
+    tenant may opt in via its spec, so the flags always apply.
+    """
+    given = [flag for flag, value in (
+        ("--overlap-k", args.overlap_k),
+        ("--min-overlap", args.min_overlap),
+        ("--join-window-ms", args.join_window_ms),
+        ("--staleness-ms", args.staleness_ms),
+    ) if value is not None]
+    if not tenants_mode and args.batch_policy not in ("overlap", "continuous"):
+        if given:
+            raise ValueError(
+                f"{', '.join(given)} only tune overlap-aware batching but "
+                f"--batch-policy is {args.batch_policy!r}; use "
+                f"--batch-policy overlap or continuous")
+        return {}
+    if not tenants_mode and args.batch_policy == "overlap":
+        joiners = [f for f in given if f in ("--join-window-ms",
+                                             "--staleness-ms")]
+        if joiners:
+            raise ValueError(
+                f"{', '.join(joiners)} only apply under continuous "
+                f"batching; use --batch-policy continuous")
+    overrides = {}
+    if args.overlap_k is not None:
+        overrides["overlap_k"] = args.overlap_k
+    if args.min_overlap is not None:
+        overrides["min_overlap"] = args.min_overlap
+    if args.join_window_ms is not None:
+        overrides["join_window_s"] = args.join_window_ms * 1e-3
+    if args.staleness_ms is not None:
+        overrides["staleness_s"] = args.staleness_ms * 1e-3
+    return overrides
+
+
 def _emit_json(report, args: argparse.Namespace) -> None:
     """Write the report's to_dict() to --json PATH ('-' = stdout)."""
     payload = report.to_dict()
@@ -271,7 +336,8 @@ def _run_serve_tenants(args: argparse.Namespace) -> int:
         return 2
     try:
         control = _control_config_from_args(args)
-        fleet = FleetConfig(num_chips=args.chips, seed=args.seed)
+        fleet = FleetConfig(num_chips=args.chips, seed=args.seed,
+                            **_batching_overrides(args, tenants_mode=True))
         report = run_multi_tenant(
             tenants, fleet, utilization_target=args.utilization,
             include_isolation_baseline=not args.no_isolation,
@@ -292,6 +358,10 @@ def _run_serve_tenants(args: argparse.Namespace) -> int:
         print_table(report.isolation_table(),
                     title="isolation: shared fleet vs. running alone")
     print_table(report.per_chip_table(), title="per-chip utilization")
+    batching_rows = report.batching_table()
+    if batching_rows:
+        print_table(batching_rows,
+                    title="batch formation per tenant (docs/batching.md)")
     if report.control is not None:
         _print_control_tables(report.control)
     print_table([{
@@ -334,6 +404,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             num_hops=args.hops,
             fanout=args.fanout,
             seed=args.seed,
+            **_batching_overrides(args, tenants_mode=False),
         )
         report = run_serving(
             dataset=args.dataset,
@@ -368,6 +439,9 @@ def _run_serve(args: argparse.Namespace) -> int:
         **report.latency_breakdown(),
     }], title="latency profile (simulated time)")
     print_table(report.per_chip_table(), title="per-chip utilization")
+    if report.batching is not None:
+        print_table([report.batching.summary()],
+                    title="batch formation (docs/batching.md)")
     if report.control is not None:
         _print_control_tables(report.control)
     print_table([{

@@ -3,7 +3,9 @@
 The serving subsystem turns the single-shot simulator into an online-serving
 scenario: a stream of per-target-vertex requests (:mod:`repro.serving.workload`)
 is expanded into k-hop subgraphs (:mod:`repro.serving.sampler`), fused into
-batches (:mod:`repro.serving.batcher`), short-circuited by a result cache
+batches -- flush triggers in :mod:`repro.serving.batcher`, overlap-aware and
+continuous batch *formation* in :mod:`repro.serving.batching` --
+short-circuited by a result cache
 (:mod:`repro.serving.cache`) and dispatched across simulated chips whose
 service times drive a discrete-event clock (:mod:`repro.serving.fleet`);
 latency/throughput/SLO metrics land in :mod:`repro.serving.stats`.
@@ -21,6 +23,17 @@ from .batcher import (
     SLOAwareBatcher,
     TimeoutBatcher,
     build_batcher,
+)
+from .batching import (
+    ALL_BATCH_POLICIES,
+    BATCH_POLICIES,
+    ContinuousBatcher,
+    FIFOBatcher,
+    LateJoin,
+    OverlapBatcher,
+    build_batch_policy,
+    make_signature_fn,
+    resolve_signature_hops,
 )
 from .cache import CacheStats, LRUCache
 from .control import (
@@ -45,11 +58,18 @@ from .fleet import (
     ServingSimulator,
     WFQScheduler,
     clear_probe_cache,
+    probe_targets,
     run_serving,
 )
-from .sampler import SubgraphSample, SubgraphSampler
+from .sampler import (
+    SIGNATURE_HASHES,
+    SubgraphSample,
+    SubgraphSampler,
+    estimate_jaccard,
+)
 from .stats import (
     AdmissionStats,
+    BatchingStats,
     ChipStats,
     ControlStats,
     MultiTenantReport,
@@ -78,17 +98,25 @@ from .workload import (
 )
 
 __all__ = [
+    "ALL_BATCH_POLICIES",
     "ARRIVAL_PROCESSES",
     "AUTOSCALE_POLICIES",
     "BATCHING_POLICIES",
+    "BATCH_POLICIES",
     "DISPATCH_POLICIES",
+    "SIGNATURE_HASHES",
     "AdmissionStats",
     "AutoscalePolicy",
     "Batch",
     "Batcher",
+    "BatchingStats",
     "CacheStats",
     "Chip",
     "ChipStats",
+    "ContinuousBatcher",
+    "FIFOBatcher",
+    "LateJoin",
+    "OverlapBatcher",
     "ControlConfig",
     "ControlObservation",
     "ControlPlane",
@@ -118,14 +146,19 @@ __all__ = [
     "WFQScheduler",
     "WorkloadConfig",
     "build_autoscale_policy",
+    "build_batch_policy",
     "build_batcher",
     "bursty_arrival_times",
     "clear_probe_cache",
     "default_degradation_ladder",
+    "estimate_jaccard",
     "load_tenant_specs",
+    "make_signature_fn",
     "merge_tenant_streams",
     "percentile",
+    "resolve_signature_hops",
     "poisson_arrival_times",
+    "probe_targets",
     "ramp_arrival_times",
     "run_multi_tenant",
     "run_serving",

@@ -24,7 +24,10 @@ three levers:
   (hops, fanout) rungs from the tenant's configured sampling shape, and the
   first rung whose estimated cost fits the remaining SLO budget is stamped
   onto the request.  Degraded records are tagged so the quality loss is
-  reported, never hidden.
+  reported, never hidden.  Under the overlap-aware batch-formation
+  policies (:mod:`repro.serving.batching`) the ladder's expected savings
+  are damped by the fleet's measured overlap ratio -- work shared with
+  co-batched neighbours cannot be saved twice (see :meth:`ControlPlane.admit`).
 
 The :class:`ControlPlane` is deliberately passive and simulator-agnostic: the
 event loops call :meth:`ControlPlane.admit` on each arrival and
@@ -515,14 +518,28 @@ class ControlPlane:
     # Admission / degradation
     # ------------------------------------------------------------------ #
     def admit(self, tenant: str, now_s: float, est_delay_s: float,
-              est_service_s: float) -> AdmissionDecision:
+              est_service_s: float,
+              overlap_ratio: float = 0.0) -> AdmissionDecision:
         """Gate one cache-missing arrival.
 
         ``est_delay_s`` is the data plane's current queueing-delay estimate,
         ``est_service_s`` its full-fidelity service-cost estimate for this
-        request.  Order of checks: token bucket (rate policing, never
-        degradable -- a tenant over its contracted rate is shed outright),
-        then the SLO-budget test, resolved by degradation when armed.
+        request (both seconds).  Order of checks: token bucket (rate
+        policing, never degradable -- a tenant over its contracted rate is
+        shed outright), then the SLO-budget test, resolved by degradation
+        when armed.
+
+        ``overlap_ratio`` is the data plane's measured fused-subgraph dedup
+        ratio (see :class:`~repro.serving.stats.BatchingStats`); the loops
+        pass it only under the overlap-aware formation policies, 0.0
+        otherwise.  It *damps* the ladder's expected savings: a rung that
+        halves the fanout shrinks a request's standalone neighbourhood by
+        ``cost_scale``, but the fraction of that neighbourhood already
+        shared with co-batched requests (``overlap_ratio``) was never going
+        to be paid for again anyway, so the effective scale is
+        ``overlap + (1 - overlap) * cost_scale``.  Without the damping an
+        overlap-aware fleet would systematically over-promise degradation
+        savings and admit requests it then serves late.
         """
         acct = self.stats.admission[tenant]
         acct.offered += 1
@@ -535,14 +552,20 @@ class ControlPlane:
         if est_delay_s + est_service_s <= budget_s:
             acct.admitted += 1
             return AdmissionDecision(admitted=True)
+        overlap = min(max(overlap_ratio, 0.0), 1.0)
+
+        def effective_scale(rung: DegradeLevel) -> float:
+            return overlap + (1.0 - overlap) * rung.cost_scale
+
         # over budget: try the ladder, cheapest-acceptable-fidelity first
         for rung in self._ladders.get(tenant, ()):
-            if est_delay_s + rung.cost_scale * est_service_s <= budget_s:
+            scale = effective_scale(rung)
+            if est_delay_s + scale * est_service_s <= budget_s:
                 acct.admitted += 1
                 acct.degraded[rung.level] = acct.degraded.get(rung.level, 0) + 1
                 return AdmissionDecision(
                     admitted=True, level=rung.level, num_hops=rung.num_hops,
-                    fanout=rung.fanout, cost_scale=rung.cost_scale,
+                    fanout=rung.fanout, cost_scale=scale,
                     reason="degraded")
         if cfg.admission:
             acct.shed_overload += 1
@@ -555,7 +578,7 @@ class ControlPlane:
             acct.degraded[rung.level] = acct.degraded.get(rung.level, 0) + 1
             return AdmissionDecision(
                 admitted=True, level=rung.level, num_hops=rung.num_hops,
-                fanout=rung.fanout, cost_scale=rung.cost_scale,
+                fanout=rung.fanout, cost_scale=effective_scale(rung),
                 reason="degraded")
         acct.admitted += 1
         return AdmissionDecision(admitted=True)

@@ -4,18 +4,26 @@ The fleet is ``num_chips`` independent :class:`~repro.core.simulator.HyGCNSimula
 instances, each with a FIFO dispatch queue.  The event loop advances a
 simulated clock over three event kinds:
 
-* ``arrival``    -- a request enters: either answered by the result cache or
-  handed to the batcher (which may emit a full batch immediately);
+* ``arrival``    -- a request enters: either answered by the result cache,
+  late-joined into a formed-but-unstarted batch (``continuous`` formation,
+  :mod:`repro.serving.batching`) or handed to the batcher (which may emit
+  a batch immediately on its size cap);
 * ``flush``      -- a batching-policy deadline fired (timeout / SLO budget);
+  formation policies may emit an overlap group and keep the rest pending,
+  so the loop re-arms the flush timer after every emission;
 * ``completion`` -- a chip finished a batch: its requests complete, the
   result cache is populated, and the next queued batch starts.
 
 A batch's *service time* is the simulated execution time reported by
-:class:`~repro.core.stats.SimulationReport` for the fused subgraph batch,
-discounted by per-chip feature reuse: each chip keeps an LRU of the vertex
-features it recently streamed, modelling the DRAM traffic a warm chip avoids
-when consecutive batches overlap (which is what the locality-aware dispatch
-policy tries to maximise).
+:class:`~repro.core.stats.SimulationReport` for the **deduped fused
+subgraph** of the batch (shared neighbourhood vertices are streamed and
+aggregated once -- see
+:meth:`~repro.serving.sampler.SubgraphSampler.fuse`), discounted by
+per-chip feature reuse: each chip keeps an LRU of the vertex features it
+recently streamed, modelling the DRAM traffic a warm chip avoids when
+consecutive batches overlap (which is what the locality-aware dispatch
+policy tries to maximise, and what the overlap-aware formation policies
+in :mod:`repro.serving.batching` maximise *within* a batch).
 
 Dispatch policies:
 
@@ -50,13 +58,20 @@ from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 from ..core.config import HyGCNConfig
 from ..core.simulator import HyGCNSimulator
 from ..graphs.datasets import load_dataset
-from ..graphs.graph import Graph, merge_graphs
+from ..graphs.graph import Graph
 from ..models.model_zoo import build_model
-from .batcher import BATCHING_POLICIES, Batch, build_batcher
+from .batcher import Batch
+from .batching import (
+    ALL_BATCH_POLICIES,
+    BATCH_POLICIES,
+    build_batch_policy,
+    make_signature_fn,
+    resolve_signature_hops,
+)
 from .cache import LRUCache
 from .control import ControlConfig, ControlObservation, ControlPlane, TenantBinding
 from .sampler import SubgraphSampler
-from .stats import ChipStats, RequestRecord, ServingReport
+from .stats import BatchingStats, ChipStats, RequestRecord, ServingReport
 from .workload import Request, RequestGenerator, WorkloadConfig, trace_arrival_times
 
 __all__ = [
@@ -67,6 +82,7 @@ __all__ = [
     "WFQScheduler",
     "run_serving",
     "clear_probe_cache",
+    "probe_targets",
 ]
 
 #: Dispatch-policy names accepted by the CLI and :class:`FleetConfig`.
@@ -92,6 +108,17 @@ class FleetConfig:
     simulator derives them from a probe batch's service time so the policies
     stay meaningful across datasets whose per-batch cost varies by orders of
     magnitude; pass explicit values to pin them.
+
+    ``batch_policy`` accepts the flush-trigger trio (``size`` / ``timeout``
+    / ``slo``) and the formation trio (``fifo`` / ``overlap`` /
+    ``continuous``, see :mod:`repro.serving.batching`).  The overlap knobs
+    only matter for the formation policies: ``overlap_k`` is the hop depth
+    of the neighbourhood signatures (``None`` = 1, capped to ``num_hops``),
+    ``min_overlap`` the similarity floor for growing a group (0 disables),
+    ``pool_factor`` sizes the formation pool (``pool_factor *
+    max_batch_size`` pending requests before a forced flush), and
+    ``join_window_s`` / ``staleness_s`` are the continuous-batching
+    budgets (``None`` = adaptive: the batch timeout, and half the SLO).
     """
 
     num_chips: int = 4
@@ -106,6 +133,11 @@ class FleetConfig:
     feature_cache_size: int = 8192
     reuse_discount: float = 0.35
     cache_hit_latency_s: float = 1e-6
+    overlap_k: Optional[int] = None
+    min_overlap: float = 0.0
+    pool_factor: int = 4
+    join_window_s: Optional[float] = None
+    staleness_s: Optional[float] = None
     seed: int = 0
     hw: HyGCNConfig = field(default_factory=HyGCNConfig)
 
@@ -115,8 +147,8 @@ class FleetConfig:
         if self.dispatch not in DISPATCH_POLICIES:
             raise ValueError(f"dispatch must be one of {DISPATCH_POLICIES}, "
                              f"got {self.dispatch!r}")
-        if self.batch_policy not in BATCHING_POLICIES:
-            raise ValueError(f"batch_policy must be one of {BATCHING_POLICIES}, "
+        if self.batch_policy not in ALL_BATCH_POLICIES:
+            raise ValueError(f"batch_policy must be one of {ALL_BATCH_POLICIES}, "
                              f"got {self.batch_policy!r}")
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -132,6 +164,22 @@ class FleetConfig:
             raise ValueError("batch_timeout_s must be positive when set")
         if self.slo_s is not None and self.slo_s <= 0:
             raise ValueError("slo_s must be positive when set")
+        if self.overlap_k is not None and self.overlap_k < 0:
+            raise ValueError("overlap_k must be >= 0 when set")
+        if not 0.0 <= self.min_overlap <= 1.0:
+            raise ValueError("min_overlap must be in [0, 1]")
+        if self.pool_factor < 1:
+            raise ValueError("pool_factor must be >= 1")
+        if self.join_window_s is not None and self.join_window_s <= 0:
+            raise ValueError("join_window_s must be positive when set")
+        if self.staleness_s is not None and self.staleness_s <= 0:
+            raise ValueError("staleness_s must be positive when set")
+
+    @property
+    def signature_hops(self) -> int:
+        """Resolved signature depth (see
+        :func:`repro.serving.batching.resolve_signature_hops`)."""
+        return resolve_signature_hops(self.overlap_k, self.num_hops)
 
 
 class Chip:
@@ -219,31 +267,44 @@ def fused_batch_service_time_s(chip: Chip, sampler, model, batch: Batch,
                                cache_key=None, account: bool = True) -> float:
     """Simulated execution time of the fused subgraph batch on ``chip``.
 
-    Requests for the same target within a batch share one subgraph; the
-    chip's feature-cache hit fraction discounts the simulated time by up to
-    ``reuse_discount`` (warm features skip their DRAM stream).  ``cache_key``
-    maps a global vertex id to the feature-cache key -- multi-tenant serving
-    passes ``lambda v: (tenant, v)`` so numerically-aliasing vertex ids from
-    different tenants' graphs never share cache entries.
+    Requests for the same target (and sampling shape) within a batch share
+    one subgraph, and distinct samples fuse into the **deduped union**
+    (:meth:`~repro.serving.sampler.SubgraphSampler.fuse`): a vertex sampled
+    by several members is streamed and aggregated once, which is the work
+    reduction the overlap-aware formation policies exist to maximise.  The
+    batch is stamped with ``fused_vertices`` / ``naive_vertices`` /
+    ``overlap_ratio`` so the cost models and :class:`BatchingStats` see the
+    measured dedup, not an estimate.
+
+    The chip's feature-cache hit fraction further discounts the simulated
+    time by up to ``reuse_discount`` (warm features skip their DRAM
+    stream).  ``cache_key`` maps a global vertex id to the feature-cache
+    key -- multi-tenant serving passes ``lambda v: (tenant, v)`` so
+    numerically-aliasing vertex ids from different tenants' graphs never
+    share cache entries.
 
     Degraded requests (control-plane ladder) carry per-request hop/fanout
-    overrides; sharing requires both the target *and* the sampling shape to
-    match, so a degraded and a full-fidelity request for the same vertex fuse
-    two distinct subgraphs.
+    overrides; subgraph *sharing* requires both the target and the sampling
+    shape to match, so a degraded and a full-fidelity request for the same
+    vertex contribute two distinct samples -- whose union still dedups the
+    neighbourhood they have in common.
     """
-    shapes = list(dict.fromkeys(
-        (r.target_vertex, r.degrade_hops, r.degrade_fanout)
-        for r in batch.requests))
-    samples = [sampler.extract(t, num_hops=h, fanout=f) for t, h, f in shapes]
+    request_shapes = [(r.target_vertex, r.degrade_hops, r.degrade_fanout)
+                      for r in batch.requests]
+    shapes = list(dict.fromkeys(request_shapes))
+    by_shape = {s: sampler.extract(s[0], num_hops=s[1], fanout=s[2])
+                for s in shapes}
+    samples = [by_shape[s] for s in shapes]
+    naive_vertices = sum(by_shape[s].num_vertices for s in request_shapes)
     if len(samples) == 1:
         fused = samples[0].graph
     else:
         prefix = f"{batch.tenant}-" if batch.tenant else ""
-        fused = merge_graphs([s.graph for s in samples],
-                             name=f"{prefix}batch{batch.batch_id}")
-        # fused batches are unique per dispatch; keeping them out of the
-        # workload memo stops it pinning their merged feature matrices
-        fused.memoize_workloads = False
+        fused = sampler.fuse(samples, name=f"{prefix}batch{batch.batch_id}")
+    batch.fused_vertices = fused.num_vertices
+    batch.naive_vertices = naive_vertices
+    batch.overlap_ratio = 1.0 - fused.num_vertices / naive_vertices \
+        if naive_vertices else 0.0
     report = chip.simulator.run_model(model, fused, dataset_name=dataset_name)
     vertices: Set[int] = set()
     for sample in samples:
@@ -274,6 +335,18 @@ def clear_probe_cache() -> None:
     _PROBE_CACHE.clear()
 
 
+def probe_targets(num_vertices: int, max_batch_size: int,
+                  seed: int) -> np.ndarray:
+    """The distinct uniformly-drawn target vertices of the probe batch.
+
+    Shared by :func:`probe_batch_service_time_s` and the tenancy layer's
+    fused-size cost seeding so both always describe the *same* probe batch.
+    """
+    num = min(max_batch_size, num_vertices)
+    rng = np.random.default_rng(seed)
+    return rng.choice(num_vertices, size=num, replace=False)
+
+
 def probe_batch_service_time_s(hw: HyGCNConfig, sampler, model,
                                dataset_name: str, max_batch_size: int,
                                num_vertices: int, seed: int) -> float:
@@ -293,8 +366,7 @@ def probe_batch_service_time_s(hw: HyGCNConfig, sampler, model,
     cached = _PROBE_CACHE.get(key)
     if cached is not None:
         return cached
-    rng = np.random.default_rng(seed)
-    targets = rng.choice(num_vertices, size=num, replace=False)
+    targets = probe_targets(num_vertices, max_batch_size, seed)
     probe = Batch(batch_id=-1, requests=[
         Request(request_id=-1 - i, target_vertex=int(t), arrival_time_s=0.0)
         for i, t in enumerate(targets)], created_time_s=0.0)
@@ -439,6 +511,23 @@ class WFQScheduler:
             raise KeyError(f"unknown tenant {tenant!r}")
         self._queues[tenant].append((batch, max(float(cost_s), 1e-12)))
 
+    def reprice(self, tenant: str, batch_id: int, cost_s: float) -> bool:
+        """Update the stored cost of a still-queued batch (late joins).
+
+        Continuous batching grows a batch *after* it was enqueued; without
+        repricing, the DRR deficit would bill the tenant the pre-join
+        estimate while the chips do post-join work.  Returns ``False`` when
+        the batch already left the queue (its cost was already charged).
+        """
+        if tenant not in self._queues:
+            raise KeyError(f"unknown tenant {tenant!r}")
+        queue = self._queues[tenant]
+        for i, (batch, _) in enumerate(queue):
+            if batch.batch_id == batch_id:
+                queue[i] = (batch, max(float(cost_s), 1e-12))
+                return True
+        return False
+
     def next_batch(self) -> Optional[Tuple[str, Batch, float]]:
         """Release the next ``(tenant, batch, cost_s)`` in DRR order.
 
@@ -517,6 +606,10 @@ class ServingSimulator:
         self._probe_service_s: Optional[float] = None
         #: The control plane of the most recent :meth:`run` (None when fixed).
         self.control: Optional[ControlPlane] = None
+        #: The batcher of the most recent :meth:`run` (None before a run);
+        #: tests replay ``ContinuousBatcher.join_log`` through it to prove
+        #: the late-join budgets held.
+        self.batcher = None
 
     # ------------------------------------------------------------------ #
     # Adaptive time scales
@@ -548,6 +641,27 @@ class ServingSimulator:
         if self.config.batch_timeout_s is not None:
             return self.config.batch_timeout_s
         return _TIMEOUT_SERVICE_MULTIPLE * self.probe_service_time_s
+
+    @property
+    def join_window_s(self) -> float:
+        """Continuous-batching join window: configured, or the batch timeout."""
+        if self.config.join_window_s is not None:
+            return self.config.join_window_s
+        return self.batch_timeout_s
+
+    @property
+    def staleness_s(self) -> float:
+        """Continuous-batching staleness budget: configured, or half the SLO."""
+        if self.config.staleness_s is not None:
+            return self.config.staleness_s
+        return 0.5 * self.slo_s
+
+    def _signature_fn(self):
+        """``request -> minhash signature`` bound to this fleet's sampler
+        (see :func:`repro.serving.batching.make_signature_fn`)."""
+        cfg = self.config
+        return make_signature_fn(self.sampler, cfg.num_hops, cfg.fanout,
+                                 overlap_k=cfg.overlap_k)
 
     # ------------------------------------------------------------------ #
     # Service-time model
@@ -597,8 +711,17 @@ class ServingSimulator:
             report.chips = [chip.stats for chip in self.chips]
             return report
 
-        batcher = build_batcher(cfg.batch_policy, max_batch_size=cfg.max_batch_size,
-                                timeout_s=self.batch_timeout_s, slo_s=self.slo_s)
+        batcher = build_batch_policy(
+            cfg.batch_policy, max_batch_size=cfg.max_batch_size,
+            timeout_s=self.batch_timeout_s, slo_s=self.slo_s,
+            signature_fn=self._signature_fn()
+            if cfg.batch_policy in ("overlap", "continuous") else None,
+            min_overlap=cfg.min_overlap, pool_factor=cfg.pool_factor,
+            join_window_s=self.join_window_s, staleness_s=self.staleness_s)
+        self.batcher = batcher
+        batching_stats = BatchingStats(policy=cfg.batch_policy)
+        overlap_aware = cfg.batch_policy in ("overlap", "continuous")
+        overlap_ewma = 0.0
         events: List[Tuple[float, int, int, object]] = []
         seq = 0
         for request in requests:
@@ -682,12 +805,18 @@ class ServingSimulator:
                 start_service(chip, now)
 
         def start_service(chip: Chip, now: float) -> None:
-            nonlocal seq, cost_per_request_s
+            nonlocal seq, cost_per_request_s, overlap_ewma
             batch, _ = chip.queue.popleft()
+            # seal before costing: a batch being served can take no joins,
+            # and the service time must cover its final membership
+            batcher.on_service_start(batch)
             chip.current = batch
             start_meta[batch.batch_id] = now
             service_s = self.batch_service_time_s(chip, batch)
             batcher.observe_service_time(service_s)
+            batching_stats.observe_batch(batch)
+            overlap_ewma = _COST_EWMA_ALPHA * batch.overlap_ratio \
+                + (1 - _COST_EWMA_ALPHA) * overlap_ewma
             observed = service_s / batch.size
             cost_per_request_s = _COST_EWMA_ALPHA * observed \
                 + (1 - _COST_EWMA_ALPHA) * cost_per_request_s
@@ -712,7 +841,9 @@ class ServingSimulator:
                     request_id=request.request_id,
                     target_vertex=request.target_vertex,
                     arrival_time_s=request.arrival_time_s,
-                    dispatch_time_s=dispatched,
+                    # a late-joined request entered after the batch was
+                    # dispatched: its batching wait ends at its own arrival
+                    dispatch_time_s=max(dispatched, request.arrival_time_s),
                     service_start_s=started,
                     completion_time_s=now,
                     cache_hit=False,
@@ -792,8 +923,10 @@ class ServingSimulator:
                     if control is not None:
                         est_delay_s = backlog_cost_s \
                             / max(1, len(schedulable_chips()))
-                        decision = control.admit("", now, est_delay_s,
-                                                 cost_per_request_s)
+                        decision = control.admit(
+                            "", now, est_delay_s, cost_per_request_s,
+                            overlap_ratio=overlap_ewma if overlap_aware
+                            else 0.0)
                         admitted = decision.admitted
                         if not admitted:
                             shed_interval += 1
@@ -809,16 +942,27 @@ class ServingSimulator:
                             backlog_cost_s += cost
                     if admitted:
                         in_flight += 1
-                        batch = batcher.add(request, now)
-                        if batch is not None:
-                            dispatch(batch, now)
+                        # continuous batching: a formed-but-unstarted batch
+                        # may absorb the request outright (its completion
+                        # will cover it); otherwise accumulate as usual
+                        joined = batcher.try_join(request, now)
+                        if joined is not None:
+                            # the join deepened some chip's queue in place
+                            depth = max((sum(b.size for b, _ in c.queue)
+                                         for c in self.chips), default=0)
+                            report.max_queue_depth = max(
+                                report.max_queue_depth, depth)
                         else:
+                            batch = batcher.add(request, now)
+                            if batch is not None:
+                                dispatch(batch, now)
+                            # re-arm in every case: formation policies can
+                            # emit a subset and leave a deadline pending
                             schedule_flush(now)
                 if arrivals_left == 0 and batcher.pending_count \
                         and batcher.next_deadline(now) is None:
-                    # end of stream under a pure size cap: flush the remainder
-                    leftover = batcher.flush(now)
-                    if leftover is not None:
+                    # end of stream under a pure size cap: drain the remainder
+                    for leftover in batcher.drain(now):
                         dispatch(leftover, now)
             elif kind == _FLUSH:
                 scheduled_flush = None
@@ -837,6 +981,8 @@ class ServingSimulator:
         report.avg_in_flight = in_flight_area / span if span > 0 else 0.0
         report.chips = [chip.stats for chip in self.chips]
         report.cache = self.result_cache.stats
+        batching_stats.late_join_rejects = batcher.late_join_rejects
+        report.batching = batching_stats
         if control is not None:
             report.control = control.finalize(last_t, self.chips)
         return report

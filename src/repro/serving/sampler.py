@@ -1,4 +1,4 @@
-"""Per-request k-hop subgraph extraction.
+"""Per-request k-hop subgraph extraction, neighbourhood signatures, fusion.
 
 Each serving request asks for the embedding of one target vertex, but a GCN
 layer needs the k-hop in-neighbourhood of that vertex to compute it.  The
@@ -10,30 +10,68 @@ a request exactly like any other workload graph.
 The per-hop fan-out cap mirrors GraphSage-style sampled serving (and reuses
 the same uniform-selection semantics as :mod:`repro.graphs.sampling`): at most
 ``fanout`` in-neighbours of each frontier vertex are expanded.  Extraction is
-deterministic per (seed, target) regardless of request order, which keeps the
-result cache semantics honest, and an internal LRU memo avoids re-extracting
-hot vertices.
+deterministic per ``(seed, target, num_hops, fanout)`` regardless of request
+order -- the control plane's degradation ladder passes per-call hop/fanout
+overrides, and each override shape is memoised under its own key -- which
+keeps the result-cache semantics honest, and an internal LRU memo avoids
+re-extracting hot vertices.
+
+On top of extraction, this module provides the two primitives the
+overlap-aware batching subsystem (:mod:`repro.serving.batching`) is built on:
+
+* :meth:`SubgraphSampler.signature` -- a fixed-length **minhash signature**
+  of a target's sampled neighbourhood.  Two signatures estimate the Jaccard
+  similarity of the underlying neighbourhood vertex sets by the fraction of
+  equal components, so the batcher can group overlapping requests without
+  materialising unions;
+* :meth:`SubgraphSampler.fuse` / :meth:`SubgraphSampler.fused_size` -- the
+  **deduped union** of several samples: shared vertices appear once (their
+  features are streamed once) and the edge set is the union, which is the
+  fused graph one accelerator dispatch actually executes.  ``fused_size``
+  is the cheap cost-model view (vertex counts only, no graph built) that
+  the WFQ scheduler uses to price batches.
+
+All of it is deterministic under the sampler ``seed`` and memoised in
+bounded LRUs (``memo_size`` entries each for samples and signatures).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..graphs.graph import CSRMatrix, Graph
 from .cache import LRUCache
 
-__all__ = ["SubgraphSample", "SubgraphSampler"]
+__all__ = ["SubgraphSample", "SubgraphSampler", "estimate_jaccard",
+           "SIGNATURE_HASHES"]
+
+#: Components per minhash signature.  16 one-permutation minhashes keep the
+#: similarity estimate's standard error around 1/sqrt(16) = 0.25, plenty to
+#: rank co-batching candidates, at 128 bytes per signature.
+SIGNATURE_HASHES = 16
+
+
+def estimate_jaccard(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+    """Estimated Jaccard similarity of two minhash signatures.
+
+    The estimator is the fraction of equal components; both signatures must
+    come from the same :class:`SubgraphSampler` (same seeded hash family).
+    """
+    if sig_a.shape != sig_b.shape:
+        raise ValueError("signatures must have the same length")
+    return float(np.mean(sig_a == sig_b))
 
 
 @dataclass(frozen=True)
 class SubgraphSample:
     """The materialised neighbourhood of one target vertex.
 
-    ``vertices[i]`` is the global id of local vertex ``i``; the target is
-    always local vertex 0.
+    ``vertices[i]`` is the *global* id (in the base graph) of local vertex
+    ``i``; the target is always local vertex 0.  Samples are immutable and
+    shared via the sampler's memo, so callers must never mutate ``graph``.
     """
 
     target_vertex: int
@@ -50,7 +88,13 @@ class SubgraphSample:
 
 
 class SubgraphSampler:
-    """Extracts capped k-hop in-neighbourhood subgraphs from a base graph."""
+    """Extracts capped k-hop in-neighbourhood subgraphs from a base graph.
+
+    ``num_hops`` / ``fanout`` are the default sampling shape; every public
+    method accepts per-call overrides (used by the degradation ladder) and
+    memoises each ``(target, hops, fanout)`` shape under its own key, so
+    degraded and full-fidelity samples never alias in the memo.
+    """
 
     def __init__(self, graph: Graph, num_hops: int = 2, fanout: int = 8,
                  seed: int = 0, memo_size: int = 2048):
@@ -63,6 +107,16 @@ class SubgraphSampler:
         self.fanout = int(fanout)
         self.seed = int(seed)
         self._memo = LRUCache(memo_size)
+        self._sig_memo = LRUCache(memo_size)
+        # Seeded universal-hash family for the minhash signatures: odd 64-bit
+        # multipliers (bijective mod 2^64) plus xor masks, fixed per sampler
+        # seed so signatures are comparable across the whole run.
+        rng = np.random.default_rng((self.seed, 0x51697A7A))
+        self._sig_mult = (rng.integers(1, 2 ** 62, size=SIGNATURE_HASHES,
+                                       dtype=np.uint64) << np.uint64(1)) \
+            | np.uint64(1)
+        self._sig_xor = rng.integers(0, 2 ** 62, size=SIGNATURE_HASHES,
+                                     dtype=np.uint64)
 
     def extract(self, target_vertex: int, num_hops: Optional[int] = None,
                 fanout: Optional[int] = None) -> SubgraphSample:
@@ -72,7 +126,10 @@ class SubgraphSampler:
         the control plane's degradation ladder uses them to serve overload
         traffic from a shallower/narrower neighbourhood.  Overridden
         extractions are memoised under their own ``(target, hops, fanout)``
-        key, so degraded and full-fidelity samples never alias.
+        key, so degraded and full-fidelity samples never alias.  Extraction
+        is deterministic per ``(seed, target, hops, fanout)``: the RNG is
+        re-seeded per target, so the memo (and the result cache built on
+        top of it) can never observe request-order-dependent samples.
         """
         if not 0 <= target_vertex < self.graph.num_vertices:
             raise ValueError(f"target vertex {target_vertex} out of range")
@@ -89,6 +146,112 @@ class SubgraphSampler:
         sample = self._extract(target_vertex, hops, fan)
         self._memo.put(key, sample)
         return sample
+
+    # ------------------------------------------------------------------ #
+    # Neighbourhood signatures (overlap-aware batching)
+    # ------------------------------------------------------------------ #
+    def signature(self, target_vertex: int, num_hops: Optional[int] = None,
+                  fanout: Optional[int] = None) -> np.ndarray:
+        """Minhash signature of the sampled neighbourhood of ``target_vertex``.
+
+        Returns a read-only ``uint64`` vector of :data:`SIGNATURE_HASHES`
+        components; compare two with :func:`estimate_jaccard`.  The
+        signature summarises the *same* sampled neighbourhood that
+        :meth:`extract` would fuse (default shape, or the given override
+        shape -- typically a shallower ``num_hops`` than the serving shape,
+        the CLI's ``--overlap-k``), so similar signatures genuinely predict
+        fused-subgraph shrinkage.  Deterministic per ``(seed, target, hops,
+        fanout)`` and memoised in its own LRU; identical targets always get
+        bit-identical signatures, which is what routes duplicate hot
+        requests into the same batch.
+        """
+        hops = self.num_hops if num_hops is None else int(num_hops)
+        fan = self.fanout if fanout is None else int(fanout)
+        key = (target_vertex, hops, fan)
+        cached = self._sig_memo.get(key)
+        if cached is not None:
+            return cached
+        sample = self.extract(target_vertex, num_hops=hops, fanout=fan)
+        vertices = np.asarray(sample.vertices, dtype=np.uint64)
+        # h_j(v) = ((v + 1) * mult_j) ^ xor_j over Z_2^64; the signature is
+        # the per-hash minimum over the neighbourhood's vertex set.
+        hashed = ((vertices[:, None] + np.uint64(1))
+                  * self._sig_mult[None, :]) ^ self._sig_xor[None, :]
+        sig = hashed.min(axis=0)
+        sig.setflags(write=False)
+        self._sig_memo.put(key, sig)
+        return sig
+
+    # ------------------------------------------------------------------ #
+    # Fused-subgraph dedup (cost model + execution model)
+    # ------------------------------------------------------------------ #
+    def fused_size(self, shapes: Iterable[Tuple[int, Optional[int],
+                                                Optional[int]]]
+                   ) -> Tuple[int, int]:
+        """``(fused_vertices, naive_vertices)`` of a batch of sample shapes.
+
+        ``shapes`` is one ``(target, num_hops, fanout)`` entry per *request*
+        (``None`` components mean the sampler default).  ``naive_vertices``
+        counts every request's standalone neighbourhood size -- duplicates
+        included, which is what a batcher oblivious to overlap would stream
+        -- while ``fused_vertices`` is the deduped union the fused dispatch
+        actually touches.  This is the cost-model view of :meth:`fuse`
+        (counts only, no graph built); the WFQ scheduler prices batches
+        with it.  Uses the extraction memo, so pricing a batch of hot
+        targets costs dictionary lookups, not re-extraction.
+        """
+        union = set()
+        naive = 0
+        for target, hops, fan in shapes:
+            sample = self.extract(target, num_hops=hops, fanout=fan)
+            naive += sample.num_vertices
+            union.update(sample.vertices)
+        return len(union), naive
+
+    def fuse(self, samples: Sequence[SubgraphSample],
+             name: str = "fused") -> Graph:
+        """Deduped union of ``samples`` as one standalone fused graph.
+
+        Vertices shared between neighbourhoods appear **once** (their
+        features are sliced from the base graph once) and the edge set is
+        the union of the samples' edge sets mapped onto the shared local id
+        space -- this is the fused subgraph HyGCN's aggregation engine
+        benefits from when co-batched neighbourhoods intersect.  Local ids
+        follow first-seen order over ``samples``, so fusion is
+        deterministic for a deterministic sample order.  The fused graph is
+        marked ``memoize_workloads = False``: fusions are unique per
+        dispatch and must not pin their merged feature matrices in the
+        workload memo.
+        """
+        if not samples:
+            raise ValueError("fuse requires at least one sample")
+        local_of = {}
+        order: List[int] = []
+        for sample in samples:
+            for gv in sample.vertices:
+                if gv not in local_of:
+                    local_of[gv] = len(order)
+                    order.append(gv)
+        edges: List[Tuple[int, int]] = []
+        seen = set()
+        for sample in samples:
+            for v_local in range(sample.graph.num_vertices):
+                v_global = sample.vertices[v_local]
+                for u in sample.graph.neighbors(v_local):
+                    # neighbors() yields out-edges, so the tuple keeps the
+                    # (source, destination) convention _extract uses
+                    edge = (local_of[v_global],
+                            local_of[sample.vertices[int(u)]])
+                    if edge not in seen:
+                        seen.add(edge)
+                        edges.append(edge)
+        features = self.graph.features[np.asarray(order, dtype=np.int64)]
+        csr = CSRMatrix.from_edges(edges, len(order))
+        fused = Graph(csr, features, name=name)
+        # fused batches are unique per dispatch; keeping them out of the
+        # workload memo stops it pinning their merged feature matrices
+        fused.memoize_workloads = False
+        return fused
 
     # ------------------------------------------------------------------ #
     def _extract(self, target_vertex: int, num_hops: int,

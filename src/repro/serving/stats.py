@@ -21,6 +21,12 @@ chip-seconds the run consumed (the cost side of the
 chip-seconds-vs-violations-avoided trade), and per-tenant admission
 accounting (admitted / shed / degraded-by-level breakdowns).
 
+Batch-formation accounting lives in :class:`BatchingStats` (one per report,
+per tenant in multi-tenant runs): batches formed, the fused vs. naive
+vertex totals behind the measured **overlap ratio** and dedup savings, and
+the late-join counters of continuous batching (see
+:mod:`repro.serving.batching` and ``docs/batching.md``).
+
 Both report classes serialize to plain JSON-compatible dicts via
 ``to_dict()``, which is what ``python -m repro serve --json`` emits so that
 benchmark harnesses never scrape the human-formatted tables.
@@ -37,7 +43,8 @@ from .cache import CacheStats
 
 __all__ = ["percentile", "chip_utilization_rows", "RequestRecord",
            "ChipStats", "ServingReport", "MultiTenantReport",
-           "ScaleEvent", "ControlSample", "AdmissionStats", "ControlStats"]
+           "ScaleEvent", "ControlSample", "AdmissionStats", "ControlStats",
+           "BatchingStats"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -150,6 +157,83 @@ def chip_utilization_rows(chips: Sequence["ChipStats"],
         }
         for c in chips
     ]
+
+
+# --------------------------------------------------------------------------- #
+# Batch-formation accounting (overlap-aware / continuous batching)
+# --------------------------------------------------------------------------- #
+@dataclass
+class BatchingStats:
+    """Aggregate batch-formation accounting of one serving run.
+
+    ``naive_vertices`` sums every batched request's *standalone* sampled
+    neighbourhood size (what an overlap-oblivious fleet would stream);
+    ``fused_vertices`` sums the deduped fused-subgraph sizes the chips
+    actually executed.  Their gap is the dedup saving, and
+    ``overlap_ratio`` (``1 - fused/naive``) is the headline metric of the
+    overlap-aware formation policies -- FIFO runs report it too (duplicate
+    targets inside a batch dedup under every policy), which is what makes
+    policy comparisons honest.  ``late_joins`` / ``late_join_rejects``
+    count continuous-batching join attempts (always zero elsewhere).
+    Cache-hit requests never reach a batch and are invisible here.
+    """
+
+    policy: str = "fifo"
+    batches: int = 0
+    batched_requests: int = 0
+    fused_vertices: int = 0
+    naive_vertices: int = 0
+    late_joins: int = 0
+    late_join_rejects: int = 0
+
+    def observe_batch(self, batch) -> None:
+        """Fold one served batch in (duck-typed serving ``Batch``)."""
+        self.batches += 1
+        self.batched_requests += batch.size
+        self.fused_vertices += batch.fused_vertices
+        self.naive_vertices += batch.naive_vertices
+        self.late_joins += batch.late_joins
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    @property
+    def overlap_ratio(self) -> float:
+        """Fraction of naive neighbourhood vertices the fusion eliminated."""
+        if self.naive_vertices == 0:
+            return 0.0
+        return 1.0 - self.fused_vertices / self.naive_vertices
+
+    @property
+    def dedup_saved_vertices(self) -> int:
+        return self.naive_vertices - self.fused_vertices
+
+    def summary(self) -> Dict[str, object]:
+        """One table row for the CLI's batch-formation section."""
+        return {
+            "policy": self.policy,
+            "batches": self.batches,
+            "mean_batch_size": round(self.mean_batch_size, 2),
+            "overlap_ratio_pct": round(100.0 * self.overlap_ratio, 2),
+            "dedup_saved_vertices": self.dedup_saved_vertices,
+            "late_joins": self.late_joins,
+            "late_join_rejects": self.late_join_rejects,
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "mean_batch_size": self.mean_batch_size,
+            "fused_vertices": self.fused_vertices,
+            "naive_vertices": self.naive_vertices,
+            "overlap_ratio": self.overlap_ratio,
+            "dedup_saved_vertices": self.dedup_saved_vertices,
+            "late_joins": self.late_joins,
+            "late_join_rejects": self.late_join_rejects,
+        }
 
 
 # --------------------------------------------------------------------------- #
@@ -421,6 +505,7 @@ class ServingReport:
     avg_in_flight: float = 0.0
     max_queue_depth: int = 0
     control: Optional[ControlStats] = None
+    batching: Optional[BatchingStats] = None
     _latencies: np.ndarray = field(default=None, init=False, repr=False,
                                    compare=False)
 
@@ -581,6 +666,7 @@ class ServingReport:
             "cache": self.cache.as_dict(),
             "chips": [c.as_dict() for c in self.chips],
             "control": self.control.to_dict() if self.control else None,
+            "batching": self.batching.as_dict() if self.batching else None,
         }
         if include_records:
             payload["records"] = [
@@ -745,6 +831,21 @@ class MultiTenantReport:
     def per_chip_table(self) -> List[Dict[str, object]]:
         """Fleet-level chip accounting over the whole multi-tenant run."""
         return chip_utilization_rows(self.chips, self.makespan_s)
+
+    def batching_table(self) -> List[Dict[str, object]]:
+        """One row per tenant: formation policy, overlap ratio, late joins.
+
+        Rows come from the per-tenant slices' :class:`BatchingStats`;
+        tenants whose slice carries none (e.g. deserialised reports) are
+        skipped.
+        """
+        rows = []
+        for name in self.tenants:
+            stats = self.reports[name].batching
+            if stats is None:
+                continue
+            rows.append({"tenant": name, **stats.summary()})
+        return rows
 
     @property
     def chip_seconds_s(self) -> float:

@@ -12,8 +12,13 @@ chips.  Three mechanisms keep the sharing honest:
 * **weighted fair queueing** -- formed batches are admitted into per-tenant
   dispatch queues drained by the deficit-round-robin
   :class:`~repro.serving.fleet.WFQScheduler`, with batch cost = estimated
-  fused-batch service time (an EWMA per tenant, seeded by a probe batch), so
-  chip *time* is shared in proportion to the configured weights;
+  fused-batch service time priced on the batch's **deduped fused size**
+  (a per-tenant EWMA of seconds per fused vertex, seeded by a probe
+  batch, re-priced when continuous batching admits a late join), so chip
+  *time* is shared in proportion to the configured weights and a tenant
+  running an overlap-aware formation policy
+  (:mod:`repro.serving.batching`) is billed for the union its batches
+  actually execute;
 * **isolation metrics** -- the run rolls up into a
   :class:`~repro.serving.stats.MultiTenantReport` with per-tenant latency
   percentiles and SLO-violation rates, measured contended service shares vs.
@@ -44,7 +49,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..graphs.datasets import DATASETS, load_dataset
 from ..models.model_zoo import MODEL_NAMES, build_model
-from .batcher import BATCHING_POLICIES, Batch, build_batcher
+from .batcher import Batch
+from .batching import ALL_BATCH_POLICIES, build_batch_policy, make_signature_fn
 from .cache import LRUCache
 from .control import ControlConfig, ControlObservation, ControlPlane, TenantBinding
 from .fleet import (
@@ -61,9 +67,10 @@ from .fleet import (
     WFQScheduler,
     fused_batch_service_time_s,
     probe_batch_service_time_s,
+    probe_targets,
 )
 from .sampler import SubgraphSampler
-from .stats import MultiTenantReport, RequestRecord, ServingReport
+from .stats import BatchingStats, MultiTenantReport, RequestRecord, ServingReport
 from .workload import (
     Request,
     RequestGenerator,
@@ -96,6 +103,15 @@ class TenantConfig:
     ``batch_timeout_s=None`` derive adaptive values from a probe batch, like
     the single-tenant fleet does.  ``seed=None`` derives a per-tenant seed
     from the fleet seed, keeping whole multi-tenant runs reproducible.
+
+    ``batch_policy`` accepts the flush triggers (``size``/``timeout``/
+    ``slo``) *and* the formation policies (``fifo``/``overlap``/
+    ``continuous``, :mod:`repro.serving.batching`); each tenant forms its
+    own batches, so tenants can mix policies.  The overlap tuning knobs
+    (``overlap_k``, ``min_overlap``, ``pool_factor``, ``join_window_s``,
+    ``staleness_s``) are fleet-level
+    (:class:`~repro.serving.fleet.FleetConfig`) and apply to every tenant
+    that opts into an overlap-aware policy.
     """
 
     name: str
@@ -142,8 +158,8 @@ class TenantConfig:
                 "per-tenant arrival must be 'poisson', 'bursty' or 'ramp' "
                 "(trace replay is single-tenant only, use "
                 "`serve --arrival trace`)")
-        if self.batch_policy not in BATCHING_POLICIES:
-            raise ValueError(f"batch_policy must be one of {BATCHING_POLICIES}, "
+        if self.batch_policy not in ALL_BATCH_POLICIES:
+            raise ValueError(f"batch_policy must be one of {ALL_BATCH_POLICIES}, "
                              f"got {self.batch_policy!r}")
         if self.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
@@ -202,7 +218,15 @@ def load_tenant_specs(source: Union[str, Sequence[Mapping], Mapping]
 
 class TenantRuntime:
     """Everything one tenant owns at run time: graph, model, sampler, batcher,
-    result cache, probe-calibrated time scales and fairness accounting."""
+    result cache, probe-calibrated time scales and fairness accounting.
+
+    The WFQ batch-cost model prices a batch by its **deduped fused size**
+    (:meth:`~repro.serving.sampler.SubgraphSampler.fused_size`) times an
+    EWMA of observed service seconds per fused vertex, seeded from the
+    probe batch -- so a batch of heavily-overlapping requests is billed
+    for the union it actually executes, and an overlap-aware tenant cannot
+    be overcharged (nor cheat) relative to a FIFO tenant.
+    """
 
     def __init__(self, config: TenantConfig, fleet: FleetConfig, index: int):
         self.config = config
@@ -220,14 +244,32 @@ class TenantRuntime:
             else _SLO_SERVICE_MULTIPLE * self.probe_service_s
         timeout_s = config.batch_timeout_s if config.batch_timeout_s is not None \
             else _TIMEOUT_SERVICE_MULTIPLE * self.probe_service_s
-        self.batcher = build_batcher(config.batch_policy,
-                                     max_batch_size=config.max_batch_size,
-                                     timeout_s=timeout_s, slo_s=self.slo_s,
-                                     tenant=self.name)
+        self.overlap_aware = config.batch_policy in ("overlap", "continuous")
+        self.batcher = build_batch_policy(
+            config.batch_policy, max_batch_size=config.max_batch_size,
+            timeout_s=timeout_s, slo_s=self.slo_s,
+            signature_fn=make_signature_fn(
+                self.sampler, config.num_hops, config.fanout,
+                overlap_k=fleet.overlap_k) if self.overlap_aware else None,
+            min_overlap=fleet.min_overlap,
+            pool_factor=fleet.pool_factor,
+            join_window_s=fleet.join_window_s if fleet.join_window_s is not None
+            else timeout_s,
+            staleness_s=fleet.staleness_s if fleet.staleness_s is not None
+            else 0.5 * self.slo_s,
+            tenant=self.name)
+        self.batching = BatchingStats(policy=config.batch_policy)
+        self.overlap_ewma = 0.0
         self.probe_batch_size = min(config.max_batch_size,
                                     self.graph.num_vertices)
-        # WFQ batch-cost model: EWMA of service seconds per distinct target.
-        self.cost_per_target_s = self.probe_service_s / self.probe_batch_size
+        # WFQ batch-cost model: EWMA of service seconds per *fused* vertex,
+        # seeded by the probe batch's measured fused size.
+        shape = (config.num_hops, config.fanout)
+        probe_fused, _ = self.sampler.fused_size(
+            (int(t),) + shape
+            for t in probe_targets(self.graph.num_vertices,
+                                   config.max_batch_size, self.seed))
+        self.cost_per_vertex_s = self.probe_service_s / max(probe_fused, 1)
         # Admission-control cost model: EWMA of service seconds per request
         # (duplicates included -- backlog accounting is per request).
         self.cost_per_request_s = self.probe_service_s / self.probe_batch_size
@@ -246,18 +288,31 @@ class TenantRuntime:
             self.config.max_batch_size, self.graph.num_vertices, self.seed)
 
     def estimate_cost_s(self, batch: Batch) -> float:
-        """Estimated fused service time: EWMA cost per distinct target."""
-        distinct = len({r.target_vertex for r in batch.requests})
-        return self.cost_per_target_s * distinct
+        """Estimated fused service time: EWMA seconds/vertex x fused size.
+
+        The fused size is the deduped union of the batch members' sampled
+        neighbourhoods (memoised lookups, no graph built), so overlapping
+        batches are priced at the work they will actually do.
+        """
+        fused, _ = self.sampler.fused_size(
+            (r.target_vertex, r.degrade_hops, r.degrade_fanout)
+            for r in batch.requests)
+        return self.cost_per_vertex_s * max(fused, 1)
 
     def observe_cost(self, batch: Batch, service_s: float) -> None:
-        """Fold an observed batch service time back into the cost models."""
-        distinct = len({r.target_vertex for r in batch.requests})
-        if distinct == 0:
-            return
-        observed = service_s / distinct
+        """Fold an observed batch service time back into the cost models.
+
+        ``batch.fused_vertices`` was stamped by the service model just
+        before this call, so the per-vertex EWMA tracks the measured fused
+        size, not a re-estimate.
+        """
         a = _COST_EWMA_ALPHA
-        self.cost_per_target_s = a * observed + (1 - a) * self.cost_per_target_s
+        if batch.fused_vertices > 0:
+            observed = service_s / batch.fused_vertices
+            self.cost_per_vertex_s = a * observed \
+                + (1 - a) * self.cost_per_vertex_s
+        self.overlap_ewma = a * batch.overlap_ratio \
+            + (1 - a) * self.overlap_ewma
         self.cost_per_request_s = a * (service_s / batch.size) \
             + (1 - a) * self.cost_per_request_s
 
@@ -525,11 +580,15 @@ class MultiTenantSimulator:
                 name, batch, _cost = released
                 rt = self.runtimes[name]
                 rt.queued_batches -= 1
+                # seal before costing: no joins once a chip owns the batch,
+                # and the service time must cover its final membership
+                rt.batcher.on_service_start(batch)
                 chip.current = batch
                 chip_batch[chip.chip_id] = (rt, batch)
                 start_meta[(name, batch.batch_id)] = now
                 service_s = self._service_time_s(chip, rt, batch)
                 rt.observe_cost(batch, service_s)
+                rt.batching.observe_batch(batch)
                 rt.batcher.observe_service_time(service_s)
                 a = _COST_EWMA_ALPHA
                 fleet_cost_per_request_s = a * (service_s / batch.size) \
@@ -559,7 +618,9 @@ class MultiTenantSimulator:
                     request_id=request.request_id,
                     target_vertex=request.target_vertex,
                     arrival_time_s=request.arrival_time_s,
-                    dispatch_time_s=admitted,
+                    # a late-joined request entered after the batch was
+                    # admitted: its batching wait ends at its own arrival
+                    dispatch_time_s=max(admitted, request.arrival_time_s),
                     service_start_s=started,
                     completion_time_s=now,
                     cache_hit=False,
@@ -644,8 +705,10 @@ class MultiTenantSimulator:
                         active_count = sum(1 for c in self.chips
                                            if c.schedulable)
                         est_delay_s = backlog_cost_s / max(1, active_count)
-                        decision = control.admit(rt.name, now, est_delay_s,
-                                                 rt.cost_per_request_s)
+                        decision = control.admit(
+                            rt.name, now, est_delay_s, rt.cost_per_request_s,
+                            overlap_ratio=rt.overlap_ewma if rt.overlap_aware
+                            else 0.0)
                         admitted = decision.admitted
                         if not admitted:
                             shed_interval += 1
@@ -661,19 +724,27 @@ class MultiTenantSimulator:
                             backlog_cost_s += cost
                     if admitted:
                         in_flight += 1
-                        batch = rt.batcher.add(request, now)
-                        if batch is not None:
-                            admit(rt, batch, now)
-                            pump(now)
+                        # continuous batching: try joining a formed batch
+                        # still waiting in the WFQ queue; reprice it so the
+                        # DRR deficit bills the post-join fused size
+                        joined = rt.batcher.try_join(request, now)
+                        if joined is not None:
+                            self.scheduler.reprice(rt.name, joined.batch_id,
+                                                   rt.estimate_cost_s(joined))
                         else:
+                            batch = rt.batcher.add(request, now)
+                            if batch is not None:
+                                admit(rt, batch, now)
+                                pump(now)
+                            # re-arm in every case: formation policies can
+                            # emit a subset and leave a deadline pending
                             schedule_flush(rt, now)
                 if rt.arrivals_left == 0 and rt.batcher.pending_count \
                         and rt.batcher.next_deadline(now) is None:
                     # end of this tenant's stream under a pure size cap
-                    leftover = rt.batcher.flush(now)
-                    if leftover is not None:
+                    for leftover in rt.batcher.drain(now):
                         admit(rt, leftover, now)
-                        pump(now)
+                    pump(now)
             elif kind == _FLUSH:
                 rt = self.runtimes[payload]
                 rt.scheduled_flush = None
@@ -711,6 +782,8 @@ class MultiTenantSimulator:
             )
             slice_report.records = [r for r in records if r.tenant == name]
             slice_report.cache = rt.result_cache.stats
+            rt.batching.late_join_rejects = rt.batcher.late_join_rejects
+            slice_report.batching = rt.batching
             report.reports[name] = slice_report
             report.busy_s[name] = rt.busy_s
             report.contended_busy_s[name] = rt.contended_busy_s

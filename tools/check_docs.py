@@ -9,7 +9,10 @@ the repo's own (numpy, via importing the package).  Two checks:
    stripped);
 2. ``python -m repro --help`` and every subcommand's ``--help`` exit 0, and
    every subcommand is mentioned in docs/cli.md — so the CLI page cannot
-   silently drift from the argparse surface.
+   silently drift from the argparse surface;
+3. every long option of ``repro serve`` (read from the argparse parser, not
+   from help text) appears in docs/cli.md — flag-level coverage, so adding
+   a serve flag without documenting it fails CI.
 
 Exit code 0 when everything passes, 1 with a per-failure listing otherwise.
 """
@@ -56,14 +59,47 @@ def check_links() -> list:
     return failures
 
 
-def cli_subcommands() -> list:
-    """The CLI's subcommand names, read from the argparse parser itself."""
+def _subparser_map() -> dict:
+    """``{subcommand: argparse subparser}`` read from the parser itself."""
     sys.path.insert(0, str(REPO_ROOT / "src"))
     from repro.__main__ import _build_parser  # noqa: E402
     parser = _build_parser()
     for action in parser._subparsers._group_actions:
-        return sorted(action.choices)
-    return []
+        return dict(action.choices)
+    return {}
+
+
+def cli_subcommands() -> list:
+    """The CLI's subcommand names, read from the argparse parser itself."""
+    return sorted(_subparser_map())
+
+
+def serve_cli_flags() -> list:
+    """Every long option string of ``repro serve``, from the parser."""
+    serve = _subparser_map().get("serve")
+    if serve is None:
+        return []
+    flags = {opt for action in serve._actions
+             for opt in action.option_strings if opt.startswith("--")}
+    return sorted(flags)
+
+
+def check_serve_flag_coverage(flags: list) -> list:
+    """Every ``serve`` flag must appear verbatim in docs/cli.md.
+
+    Matches on the flag followed by a non-word character so ``--admission``
+    is not satisfied by a mention of ``--admission-rate``.
+    """
+    cli_md = REPO_ROOT / "docs" / "cli.md"
+    if not cli_md.exists():
+        return ["docs/cli.md is missing"]
+    text = cli_md.read_text()
+    failures = []
+    for flag in flags:
+        if not re.search(re.escape(flag) + r"(?![-\w])", text):
+            failures.append(f"docs/cli.md does not document serve flag "
+                            f"{flag}")
+    return failures
 
 
 def check_cli_help(subcommands: list) -> list:
@@ -100,6 +136,10 @@ def main() -> int:
         failures.append("could not enumerate CLI subcommands")
     failures += check_cli_help(subcommands)
     failures += check_cli_docs(subcommands)
+    flags = serve_cli_flags()
+    if not flags:
+        failures.append("could not enumerate `repro serve` flags")
+    failures += check_serve_flag_coverage(flags)
     if failures:
         print(f"docs check: {len(failures)} failure(s)")
         for failure in failures:
@@ -107,7 +147,7 @@ def main() -> int:
         return 1
     checked = len(markdown_files())
     print(f"docs check: OK ({checked} markdown files, "
-          f"{len(subcommands)} CLI subcommands)")
+          f"{len(subcommands)} CLI subcommands, {len(flags)} serve flags)")
     return 0
 
 
