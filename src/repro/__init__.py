@@ -23,9 +23,12 @@ from .models import build_model
 from .serving import (
     ControlConfig,
     FleetConfig,
+    FleetSpec,
     MultiTenantReport,
     ServingReport,
     TenantConfig,
+    fleet_spec_for_mix,
+    load_fleet_spec,
     load_tenant_specs,
     run_multi_tenant,
     run_serving,
@@ -43,9 +46,12 @@ __all__ = [
     "build_model",
     "ControlConfig",
     "FleetConfig",
+    "FleetSpec",
     "MultiTenantReport",
     "ServingReport",
     "TenantConfig",
+    "fleet_spec_for_mix",
+    "load_fleet_spec",
     "load_tenant_specs",
     "run_multi_tenant",
     "run_serving",

@@ -9,8 +9,10 @@ Four commands cover the common workflows without writing a script:
   throughput / SLO report; with ``--tenants spec.json`` the fleet is shared
   by several tenants behind a weighted-fair-queueing scheduler and the
   report adds fairness and cross-tenant isolation tables; ``--autoscale`` /
-  ``--admission`` / ``--degrade`` arm the elastic control plane, and
-  ``--json`` emits the full machine-readable report;
+  ``--admission`` / ``--degrade`` arm the elastic control plane;
+  ``--fleet-spec`` / ``--shape-mix`` mix HyGCN chip shapes in one fleet
+  and ``--dispatch shape-aware`` routes each batch to the shape that
+  serves it fastest; ``--json`` emits the full machine-readable report;
 * ``sweep``    -- run one of the named ablation/scalability sweeps;
 * ``info``     -- print the dataset registry (Table 4), the model zoo
   (Table 5) and the default accelerator configuration (Table 6/7 view).
@@ -43,8 +45,12 @@ from .serving import (
     ARRIVAL_PROCESSES,
     AUTOSCALE_POLICIES,
     DISPATCH_POLICIES,
+    SCALE_SHAPE_POLICIES,
+    SHAPE_MIXES,
     ControlConfig,
     FleetConfig,
+    fleet_spec_for_mix,
+    load_fleet_spec,
     load_tenant_specs,
     run_multi_tenant,
     run_serving,
@@ -130,7 +136,23 @@ def _build_parser() -> argparse.ArgumentParser:
                                "request before joins stop (default: "
                                "adaptive, half the SLO)")
     serve.add_argument("--dispatch", choices=DISPATCH_POLICIES,
-                       default="round-robin")
+                       default="round-robin",
+                       help="chip-selection policy; shape-aware routes each "
+                            "batch to the chip shape that serves its "
+                            "profile fastest (docs/heterogeneity.md)")
+    hetero = serve.add_argument_group(
+        "heterogeneous fleet",
+        "mix HyGCN chip shapes in one fleet (see docs/heterogeneity.md); "
+        "--fleet-spec and --shape-mix are mutually exclusive, and either "
+        "works for single- and multi-tenant serving alike")
+    hetero.add_argument("--fleet-spec", default=None, metavar="SPEC.JSON",
+                        help="JSON fleet spec, e.g. {\"shapes\": [{\"preset\""
+                             ": \"agg_heavy\", \"count\": 4}]}; overrides "
+                             "--chips with the spec's roster size")
+    hetero.add_argument("--shape-mix", choices=sorted(SHAPE_MIXES),
+                        default=None,
+                        help="named shape mix sized to --chips "
+                             "(mixed = 50/50 agg_heavy/comb_heavy)")
     serve.add_argument("--hops", type=int, default=2,
                        help="k-hop neighbourhood depth per request")
     serve.add_argument("--fanout", type=int, default=8,
@@ -177,6 +199,11 @@ def _build_parser() -> argparse.ArgumentParser:
     control.add_argument("--degrade", action="store_true",
                          help="serve over-budget requests at reduced "
                               "sampling fidelity instead of shedding them")
+    control.add_argument("--scale-shape", choices=SCALE_SHAPE_POLICIES,
+                         default=None,
+                         help="which chip shape heterogeneous scale-ups "
+                              "commission (default cheapest-adequate; only "
+                              "meaningful with --autoscale on a mixed fleet)")
     serve.add_argument("--json", default=None, metavar="PATH",
                        help="also serialize the full report as JSON to PATH "
                             "('-' writes JSON to stdout instead of tables)")
@@ -239,6 +266,7 @@ def _control_config_from_args(args: argparse.Namespace
             ("--max-chips", args.max_chips is not None),
             ("--control-interval-ms", args.control_interval_ms is not None),
             ("--warmup-ms", args.warmup_ms is not None),
+            ("--scale-shape", args.scale_shape is not None),
         ) if given]
         if tuning:
             raise ValueError(
@@ -258,7 +286,29 @@ def _control_config_from_args(args: argparse.Namespace
         admission=args.admission or args.admission_rate is not None,
         admission_rate_rps=args.admission_rate,
         degrade=args.degrade,
+        scale_shape=args.scale_shape if args.scale_shape is not None
+        else "cheapest-adequate",
     )
+
+
+def _fleet_spec_from_args(args: argparse.Namespace):
+    """Resolve --fleet-spec / --shape-mix into a FleetSpec (or None).
+
+    Raises ValueError (-> `error: ...`, exit 2) on conflicting or broken
+    specs so the CLI fails loudly with the valid alternatives listed.
+    """
+    if args.fleet_spec is not None and args.shape_mix is not None:
+        raise ValueError("--fleet-spec and --shape-mix both describe the "
+                         "fleet's shapes; give exactly one")
+    if args.fleet_spec is not None:
+        try:
+            return load_fleet_spec(args.fleet_spec)
+        except OSError as exc:
+            raise ValueError(f"cannot read fleet spec "
+                            f"{args.fleet_spec!r}: {exc}") from exc
+    if args.shape_mix is not None:
+        return fleet_spec_for_mix(args.shape_mix, args.chips)
+    return None
 
 
 def _batching_overrides(args: argparse.Namespace,
@@ -337,6 +387,8 @@ def _run_serve_tenants(args: argparse.Namespace) -> int:
     try:
         control = _control_config_from_args(args)
         fleet = FleetConfig(num_chips=args.chips, seed=args.seed,
+                            dispatch=args.dispatch,
+                            fleet_spec=_fleet_spec_from_args(args),
                             **_batching_overrides(args, tenants_mode=True))
         report = run_multi_tenant(
             tenants, fleet, utilization_target=args.utilization,
@@ -350,7 +402,7 @@ def _run_serve_tenants(args: argparse.Namespace) -> int:
         return 0
     names = ", ".join(f"{t.name} (w={t.weight:g})" for t in tenants)
     print_table(report.summary_table(),
-                title=f"multi-tenant serving on {args.chips} chips "
+                title=f"multi-tenant serving on {report.num_chips} chips "
                       f"({report.scheduler}): {names}")
     print_table(report.fairness_table(),
                 title="WFQ fairness: configured vs. measured service shares")
@@ -358,6 +410,10 @@ def _run_serve_tenants(args: argparse.Namespace) -> int:
         print_table(report.isolation_table(),
                     title="isolation: shared fleet vs. running alone")
     print_table(report.per_chip_table(), title="per-chip utilization")
+    if report.hetero is not None:
+        print_table(report.shape_table(),
+                    title="per-shape utilization (docs/heterogeneity.md)")
+        print_table([report.hetero.summary()], title="shape-aware dispatch")
     batching_rows = report.batching_table()
     if batching_rows:
         print_table(batching_rows,
@@ -394,6 +450,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         control = _control_config_from_args(args)
         config = FleetConfig(
             num_chips=args.chips,
+            fleet_spec=_fleet_spec_from_args(args),
             dispatch=args.dispatch,
             batch_policy=args.batch_policy,
             max_batch_size=args.max_batch,
@@ -425,7 +482,8 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.json == "-":
         _emit_json(report, args)
         return 0
-    title = (f"serving: {args.model} on {args.dataset}, {args.chips} chips, "
+    title = (f"serving: {args.model} on {args.dataset}, "
+             f"{report.num_chips} chips, "
              f"{args.batch_policy} batching, {args.dispatch} dispatch")
     print_table([report.summary()], title=title)
     print_table([{
@@ -439,6 +497,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         **report.latency_breakdown(),
     }], title="latency profile (simulated time)")
     print_table(report.per_chip_table(), title="per-chip utilization")
+    if report.hetero is not None:
+        print_table(report.shape_table(),
+                    title="per-shape utilization (docs/heterogeneity.md)")
+        print_table([report.hetero.summary()], title="shape-aware dispatch")
     if report.batching is not None:
         print_table([report.batching.summary()],
                     title="batch formation (docs/batching.md)")

@@ -79,43 +79,95 @@ class HyGCNConfig:
     # ------------------------------------------------------------------ #
     @property
     def total_simd_lanes(self) -> int:
-        """Peak element-wise aggregation operations per cycle."""
+        """Peak element-wise aggregation operations per cycle (lanes).
+
+        ``num_simd_cores * simd_width``: the Aggregation Engine's compute
+        roof.  An aggregation task of ``E`` edges over feature length ``F``
+        needs at least ``E * F / total_simd_lanes`` cycles of SIMD time --
+        the phase is only *compute*-bound when that exceeds its DRAM time,
+        which on the default balance it rarely is (aggregation is the
+        memory-bound phase; shape presets that widen this are buying
+        headroom, not throughput, unless bandwidth grows too).
+        """
         return self.num_simd_cores * self.simd_width
 
     @property
     def pes_per_module(self) -> int:
+        """MAC units in one systolic module (``rows * cols``).
+
+        ``systolic_cols`` is also the output-feature tile width: layers
+        whose output length is below ``cols`` leave columns idle, so a
+        module's *effective* PEs can be smaller than this peak.
+        """
         return self.systolic_rows * self.systolic_cols
 
     @property
     def total_pes(self) -> int:
-        """Peak MACs per cycle across all systolic modules."""
+        """Peak MACs per cycle across all systolic modules.
+
+        The Combination Engine's compute roof: a layer of ``V`` vertices,
+        input length ``F`` and output length ``H`` needs at least
+        ``V * F * H / total_pes`` cycles.  Because every sampled vertex of
+        a fused serving batch is combined, wide/deep neighbourhoods are
+        what makes a batch MAC-dense -- the regime the ``comb_heavy``
+        shape preset (:mod:`repro.serving.hetero`) doubles this for.
+        """
         return self.num_systolic_modules * self.pes_per_module
 
     @property
     def aggregation_chunk_bytes(self) -> int:
-        """Capacity of one ping-pong chunk of the Aggregation Buffer."""
+        """Capacity (bytes) of one ping-pong chunk of the Aggregation Buffer.
+
+        The buffer is split in two so the Combination Engine drains one
+        chunk while the Aggregation Engine fills the other; a chunk bounds
+        how many destination vertices' partial results stay on chip, which
+        is exactly what :meth:`interval_size` converts to vertices.
+        """
         return self.aggregation_buffer_bytes // 2
 
     @property
     def input_working_bytes(self) -> int:
-        """Usable Input Buffer bytes per shard (double buffered)."""
+        """Usable Input Buffer bytes per shard (double buffered).
+
+        Half the physical buffer: the other half prefetches the next
+        shard's source-vertex features.  Bounds how many source vertices'
+        features are resident per shard (:meth:`shard_height`) -- the
+        knob that controls how often the irregular aggregation phase
+        re-streams features from DRAM.
+        """
         return self.input_buffer_bytes // 2
 
     @property
     def edge_working_bytes(self) -> int:
-        """Usable Edge Buffer bytes per shard (double buffered)."""
+        """Usable Edge Buffer bytes per shard (double buffered).
+
+        Half the physical buffer, same ping-pong scheme as the Input
+        Buffer; bounds the CSR edge slice held on chip while a shard's
+        edges are walked.
+        """
         return self.edge_buffer_bytes // 2
 
     # ------------------------------------------------------------------ #
     # Workload-dependent tiling
     # ------------------------------------------------------------------ #
     def interval_size(self, feature_length: int) -> int:
-        """Destination vertices per interval: bounded by one Aggregation Buffer chunk."""
+        """Destination vertices per interval (count, not bytes).
+
+        One interval's partial aggregation results -- ``feature_length``
+        values of ``bytes_per_value`` each per destination vertex -- must
+        fit one Aggregation Buffer chunk, so longer features mean fewer
+        vertices per interval and more intervals per layer.
+        """
         per_vertex = max(1, feature_length) * self.bytes_per_value
         return max(1, self.aggregation_chunk_bytes // per_vertex)
 
     def shard_height(self, feature_length: int) -> int:
-        """Source vertices per shard: bounded by the Input Buffer working set."""
+        """Source vertices per shard (count, not bytes).
+
+        One shard's source-vertex features must fit the Input Buffer
+        working set; graphs taller than this are processed in multiple
+        shards per interval, each re-walking its edge slice.
+        """
         per_vertex = max(1, feature_length) * self.bytes_per_value
         return max(1, self.input_working_bytes // per_vertex)
 

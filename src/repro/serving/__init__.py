@@ -12,7 +12,11 @@ latency/throughput/SLO metrics land in :mod:`repro.serving.stats`.
 :mod:`repro.serving.tenancy` layers multi-tenancy on top: several tenants
 (model + dataset + traffic + SLO) share one fleet behind a weighted-fair
 deficit-round-robin scheduler, with fairness and cross-tenant isolation
-metrics in the report.
+metrics in the report.  :mod:`repro.serving.hetero` opens the hardware
+axis: fleets may mix HyGCN chip *shapes* (aggregation-heavy,
+combination-heavy, balanced) described by a :class:`FleetSpec`, with
+``shape-aware`` dispatch routing each batch to the shape that serves its
+profile fastest and the control plane choosing which shape to scale.
 """
 
 from .batcher import (
@@ -61,6 +65,22 @@ from .fleet import (
     probe_targets,
     run_serving,
 )
+from .hetero import (
+    SCALE_SHAPE_POLICIES,
+    SHAPE_MIXES,
+    SHAPE_PRESETS,
+    BatchProfile,
+    FleetSpec,
+    ShapeChooser,
+    ShapeScorer,
+    ShapeSpec,
+    fleet_spec_for_mix,
+    load_fleet_spec,
+    make_profile_fn,
+    shape_cost,
+    shape_hw,
+    shape_table,
+)
 from .sampler import (
     SIGNATURE_HASHES,
     SubgraphSample,
@@ -72,6 +92,7 @@ from .stats import (
     BatchingStats,
     ChipStats,
     ControlStats,
+    HeteroStats,
     MultiTenantReport,
     RequestRecord,
     ServingReport,
@@ -104,11 +125,15 @@ __all__ = [
     "BATCHING_POLICIES",
     "BATCH_POLICIES",
     "DISPATCH_POLICIES",
+    "SCALE_SHAPE_POLICIES",
+    "SHAPE_MIXES",
+    "SHAPE_PRESETS",
     "SIGNATURE_HASHES",
     "AdmissionStats",
     "AutoscalePolicy",
     "Batch",
     "Batcher",
+    "BatchProfile",
     "BatchingStats",
     "CacheStats",
     "Chip",
@@ -124,6 +149,8 @@ __all__ = [
     "DegradeLevel",
     "EWMAPolicy",
     "FleetConfig",
+    "FleetSpec",
+    "HeteroStats",
     "LRUCache",
     "MultiTenantReport",
     "MultiTenantSimulator",
@@ -133,6 +160,9 @@ __all__ = [
     "RequestRecord",
     "ServingReport",
     "ServingSimulator",
+    "ShapeChooser",
+    "ShapeScorer",
+    "ShapeSpec",
     "SizeCappedBatcher",
     "SLOAwareBatcher",
     "SubgraphSample",
@@ -152,10 +182,16 @@ __all__ = [
     "clear_probe_cache",
     "default_degradation_ladder",
     "estimate_jaccard",
+    "fleet_spec_for_mix",
+    "load_fleet_spec",
     "load_tenant_specs",
+    "make_profile_fn",
     "make_signature_fn",
     "merge_tenant_streams",
     "percentile",
+    "shape_cost",
+    "shape_hw",
+    "shape_table",
     "resolve_signature_hops",
     "poisson_arrival_times",
     "probe_targets",

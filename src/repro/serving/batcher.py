@@ -78,6 +78,13 @@ class Batch:
     sum of every member request's standalone neighbourhood size, and
     ``1 - fused/naive`` (the fraction of neighbourhood work the fusion
     eliminated).
+
+    ``profile`` is the demand stamp of heterogeneous fleets: a
+    :class:`~repro.serving.hetero.BatchProfile` estimated *before* service
+    (shape-aware dispatch scores chip shapes with it).  It describes the
+    batch's current membership, so the ``continuous`` policy resets it to
+    ``None`` on every admitted late join and the dispatcher re-stamps
+    lazily.  Homogeneous shape-oblivious runs leave it ``None`` throughout.
     """
 
     batch_id: int
@@ -88,6 +95,7 @@ class Batch:
     fused_vertices: int = 0
     naive_vertices: int = 0
     overlap_ratio: float = 0.0
+    profile: Optional[object] = None
 
     @property
     def size(self) -> int:

@@ -327,6 +327,9 @@ class ContinuousBatcher(OverlapBatcher):
         batch, union_sig = best_entry
         batch.requests.append(request)
         batch.late_joins += 1
+        # the join changed the batch's membership: any stamped demand
+        # profile (shape-aware dispatch) is stale now, force a re-stamp
+        batch.profile = None
         self.late_joins += 1
         best_entry[1] = np.minimum(union_sig, sig)
         self.join_log.append(LateJoin(

@@ -43,6 +43,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from .hetero import SCALE_SHAPE_POLICIES
 from .stats import AdmissionStats, ControlSample, ControlStats, ScaleEvent
 
 __all__ = [
@@ -97,6 +98,14 @@ class ControlConfig:
     precision shedding.  ``policy_params`` overrides the chosen policy's
     constructor defaults (e.g. ``{"patience": 1}`` for a twitchier threshold
     scaler).
+
+    ``scale_shape`` only matters on heterogeneous fleets
+    (:mod:`repro.serving.hetero`): it picks *which* chip shape a scale-up
+    commissions and which a scale-down drains first --
+    ``cheapest-adequate`` (the leanest shape whose learned rate for the
+    dominant demand is close enough to the best) or ``bottleneck-phase``
+    (the best-rated shape for the dominant demand, whatever it costs).
+    Homogeneous fleets have one shape and ignore it.
     """
 
     autoscale: Optional[str] = None
@@ -113,8 +122,13 @@ class ControlConfig:
     admission_slo_margin: float = 0.85
     degrade: bool = False
     max_degrade_level: int = 2
+    scale_shape: str = "cheapest-adequate"
 
     def __post_init__(self) -> None:
+        if self.scale_shape not in SCALE_SHAPE_POLICIES:
+            raise ValueError(f"scale_shape must be one of "
+                             f"{SCALE_SHAPE_POLICIES}, "
+                             f"got {self.scale_shape!r}")
         if self.autoscale is not None and self.autoscale not in AUTOSCALE_POLICIES:
             raise ValueError(f"autoscale must be one of {AUTOSCALE_POLICIES} "
                              f"or None, got {self.autoscale!r}")

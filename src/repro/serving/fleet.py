@@ -30,7 +30,12 @@ Dispatch policies:
 * ``round-robin``  -- cycle through the chips (oblivious, perfectly fair);
 * ``least-loaded`` -- pick the chip with the fewest outstanding requests;
 * ``locality``     -- route by the batch's majority vertex partition, trading
-  load balance for feature-cache reuse.
+  load balance for feature-cache reuse;
+* ``shape-aware``  -- heterogeneous fleets (:mod:`repro.serving.hetero`):
+  rank schedulable chips by predicted finish time, where each chip's
+  predicted service is its shape's learned seconds-per-fused-vertex for
+  the batch's profile bucket; falls back to least-loaded while any
+  candidate shape is still cold for that bucket.
 
 This module also hosts :class:`WFQScheduler`, the weighted-fair-queueing
 stage that multi-tenant serving (:mod:`repro.serving.tenancy`) inserts
@@ -70,8 +75,23 @@ from .batching import (
 )
 from .cache import LRUCache
 from .control import ControlConfig, ControlObservation, ControlPlane, TenantBinding
+from .hetero import (
+    DEFAULT_SHAPE,
+    BatchProfile,
+    FleetSpec,
+    ShapeChooser,
+    ShapeScorer,
+    account_batch_service,
+    make_profile_fn,
+)
 from .sampler import SubgraphSampler
-from .stats import BatchingStats, ChipStats, RequestRecord, ServingReport
+from .stats import (
+    BatchingStats,
+    ChipStats,
+    HeteroStats,
+    RequestRecord,
+    ServingReport,
+)
 from .workload import Request, RequestGenerator, WorkloadConfig, trace_arrival_times
 
 __all__ = [
@@ -86,7 +106,7 @@ __all__ = [
 ]
 
 #: Dispatch-policy names accepted by the CLI and :class:`FleetConfig`.
-DISPATCH_POLICIES = ("round-robin", "least-loaded", "locality")
+DISPATCH_POLICIES = ("round-robin", "least-loaded", "locality", "shape-aware")
 
 _ARRIVAL, _FLUSH, _COMPLETION, _CONTROL, _CHIP_READY = 0, 1, 2, 3, 4
 
@@ -119,6 +139,13 @@ class FleetConfig:
     max_batch_size`` pending requests before a forced flush), and
     ``join_window_s`` / ``staleness_s`` are the continuous-batching
     budgets (``None`` = adaptive: the batch timeout, and half the SLO).
+
+    ``fleet_spec`` makes the fleet *heterogeneous*
+    (:mod:`repro.serving.hetero`): each chip takes the shape the spec's
+    roster assigns it, and ``num_chips`` is derived from the spec (the
+    configured value is overridden).  Without a spec every chip runs
+    ``hw``.  The ``shape-aware`` dispatch policy works on either -- on a
+    homogeneous fleet it degenerates to backlog comparison.
     """
 
     num_chips: int = 4
@@ -140,8 +167,12 @@ class FleetConfig:
     staleness_s: Optional[float] = None
     seed: int = 0
     hw: HyGCNConfig = field(default_factory=HyGCNConfig)
+    fleet_spec: Optional[FleetSpec] = None
 
     def __post_init__(self) -> None:
+        if self.fleet_spec is not None:
+            # the spec's roster *is* the fleet: its size wins
+            object.__setattr__(self, "num_chips", self.fleet_spec.num_chips)
         if self.num_chips < 1:
             raise ValueError("num_chips must be >= 1")
         if self.dispatch not in DISPATCH_POLICIES:
@@ -181,6 +212,32 @@ class FleetConfig:
         :func:`repro.serving.batching.resolve_signature_hops`)."""
         return resolve_signature_hops(self.overlap_k, self.num_hops)
 
+    # ------------------------------------------------------------------ #
+    # Chip shapes (heterogeneous fleets, repro.serving.hetero)
+    # ------------------------------------------------------------------ #
+    @property
+    def base_shape(self) -> str:
+        """Shape label of homogeneous chips: ``balanced`` when ``hw`` is the
+        Table 6 default, ``custom`` for a hand-built config."""
+        return DEFAULT_SHAPE if self.hw == HyGCNConfig() else "custom"
+
+    def chip_roster(self) -> List[Tuple[str, HyGCNConfig]]:
+        """One ``(shape name, hw config)`` per chip, in chip-id order."""
+        if self.fleet_spec is not None:
+            return self.fleet_spec.roster()
+        return [(self.base_shape, self.hw)] * self.num_chips
+
+    def distinct_shapes(self) -> Dict[str, HyGCNConfig]:
+        """Shape name -> hw config, in roster order (deterministic)."""
+        if self.fleet_spec is not None:
+            return self.fleet_spec.distinct_shapes()
+        return {self.base_shape: self.hw}
+
+    @property
+    def heterogeneous(self) -> bool:
+        """True when the roster mixes more than one chip shape."""
+        return len(self.distinct_shapes()) > 1
+
 
 class Chip:
     """One simulated HyGCN instance: FIFO queue, busy state, feature cache.
@@ -191,13 +248,16 @@ class Chip:
     ``retired``.  Fixed-fleet chips stay ``active`` for the whole run.
     """
 
-    def __init__(self, chip_id: int, hw: HyGCNConfig, feature_cache_size: int):
+    def __init__(self, chip_id: int, hw: HyGCNConfig, feature_cache_size: int,
+                 shape: str = DEFAULT_SHAPE):
         self.chip_id = chip_id
+        self.hw = hw
+        self.shape = shape
         self.simulator = HyGCNSimulator(hw)
         self.queue: Deque[Tuple[Batch, float]] = deque()
         self.current: Optional[Batch] = None
         self.feature_cache = LRUCache(feature_cache_size)
-        self.stats = ChipStats(chip_id=chip_id)
+        self.stats = ChipStats(chip_id=chip_id, shape=shape)
         self.state = "active"
         self.added_s = 0.0
         self.ready_s = 0.0
@@ -219,6 +279,15 @@ class Chip:
 
 
 class _RoundRobinDispatch:
+    """Cycle through the schedulable chips in call order.
+
+    Oblivious and perfectly fair in *batch count* (not chip time).  The
+    rotation counter advances over whatever chip list the event loop passes
+    (draining/retired chips are already filtered out), so on an elastic
+    fleet the cycle simply re-wraps over the surviving roster.
+    Deterministic: the counter is the only state.
+    """
+
     def __init__(self) -> None:
         self._next = 0
 
@@ -229,12 +298,29 @@ class _RoundRobinDispatch:
 
 
 class _LeastLoadedDispatch:
+    """Pick the schedulable chip with the fewest outstanding *requests*.
+
+    Outstanding = queued + in service, counted in requests (not batches,
+    not estimated seconds), so a chip holding one giant batch looks as
+    loaded as one holding many small ones.  Ties break on the lowest chip
+    id, which is what makes the policy bit-for-bit deterministic and what
+    the shape-aware policy's cold-bucket fallback inherits.
+    """
+
     def select(self, chips: Sequence[Chip], batch: Batch) -> Chip:
         return min(chips, key=lambda c: (c.outstanding_requests, c.chip_id))
 
 
 class _LocalityDispatch:
-    """Route each batch to the home chip of its majority vertex partition."""
+    """Route each batch to the home chip of its majority vertex partition.
+
+    Vertices are striped into ``num_chips`` contiguous partitions of the
+    base graph's id space; each batch votes with its requests' target
+    vertices and goes to the partition winner's chip (ties break on the
+    lower partition id).  Trades load balance for per-chip feature-cache
+    reuse.  On an elastic fleet the partition map is frozen at the initial
+    fleet size and out-of-range homes clamp to the last chip.
+    """
 
     def __init__(self, num_vertices: int, num_chips: int):
         self._partition_size = max(1, -(-num_vertices // num_chips))
@@ -248,13 +334,87 @@ class _LocalityDispatch:
         return chips[winner]
 
 
-def _build_dispatch(policy: str, num_vertices: int, num_chips: int):
+class _ShapeAwareDispatch:
+    """Route each batch to the chip shape that serves its profile fastest.
+
+    Every candidate chip is scored with a predicted finish time::
+
+        backlog(chip) + rate(chip.shape, bucket) * est_fused_vertices
+
+    where ``bucket`` is the batch's :class:`~repro.serving.hetero.\
+    BatchProfile` bucket, ``rate`` the scorer's learned seconds per fused
+    vertex and ``backlog`` the same prediction summed over the chip's
+    queued and in-service batches (their stamped profiles).  The minimum
+    wins; ties break on outstanding requests then chip id, so a
+    homogeneous fleet (all rates equal) degenerates to exactly
+    least-loaded.
+
+    While *any* candidate shape is still cold for the bucket (no probe
+    seed, no observation) the whole decision falls back to least-loaded --
+    scoring a partial roster would systematically favour the warmed-up
+    shapes regardless of fit.  ``scored`` / ``fallback`` count both paths
+    for the report's :class:`~repro.serving.stats.HeteroStats`.
+    Deterministic: profiles and rates are seeded-sampler / event-order
+    state, and every tie-break is total.
+    """
+
+    def __init__(self, scorer: ShapeScorer, profile_fn):
+        self.scorer = scorer
+        self._profile_fn = profile_fn
+        self._fallback = _LeastLoadedDispatch()
+        self.scored = 0
+        self.fallback = 0
+
+    def _est_s(self, chip: Chip, batch: Batch) -> float:
+        """Predicted service seconds of ``batch`` on ``chip``.
+
+        A queued batch can lose its stamp mid-queue (a continuous late
+        join invalidates it); re-profile the current membership rather
+        than undercounting the backlog of exactly the chips holding the
+        freshest, largest batches.
+        """
+        profile = batch.profile
+        if profile is None:
+            profile = batch.profile = self._profile_fn(batch)
+        return self.scorer.rate_or_default(chip.shape, profile.bucket) \
+            * profile.est_fused_vertices
+
+    def select(self, chips: Sequence[Chip], batch: Batch) -> Chip:
+        if batch.profile is None:
+            batch.profile = self._profile_fn(batch)
+        bucket = batch.profile.bucket
+        self.scorer.note_demand(bucket)
+        shapes = sorted({c.shape for c in chips})
+        if not self.scorer.warm(shapes, bucket):
+            self.fallback += 1
+            return self._fallback.select(chips, batch)
+        self.scored += 1
+
+        def predicted_finish_s(chip: Chip) -> float:
+            backlog = sum(self._est_s(chip, queued) for queued, _ in chip.queue)
+            if chip.current is not None:
+                backlog += self._est_s(chip, chip.current)
+            return backlog + self.scorer.rate(chip.shape, bucket) \
+                * batch.profile.est_fused_vertices
+
+        return min(chips, key=lambda c: (predicted_finish_s(c),
+                                         c.outstanding_requests, c.chip_id))
+
+
+def _build_dispatch(policy: str, num_vertices: int, num_chips: int,
+                    scorer: Optional[ShapeScorer] = None,
+                    profile_fn=None):
     if policy == "round-robin":
         return _RoundRobinDispatch()
     if policy == "least-loaded":
         return _LeastLoadedDispatch()
     if policy == "locality":
         return _LocalityDispatch(num_vertices, num_chips)
+    if policy == "shape-aware":
+        if scorer is None or profile_fn is None:
+            raise ValueError("shape-aware dispatch needs a ShapeScorer and "
+                             "a profile function")
+        return _ShapeAwareDispatch(scorer, profile_fn)
     raise ValueError(f"unknown dispatch policy {policy!r}; "
                      f"choose from {DISPATCH_POLICIES}")
 
@@ -387,15 +547,22 @@ class FleetScaler:
     pushes the loop's ``_CHIP_READY`` event) and of which active chip a
     scale-in should drain (``drain_victim`` -- single-tenant chips hold
     private queues, multi-tenant chips pull from the shared WFQ stage).
+
+    On a heterogeneous fleet a :class:`~repro.serving.hetero.ShapeChooser`
+    decides *which shape* each scale-up commissions (the loops' drain
+    victims already consult it on the way down); homogeneous fleets pass
+    ``None`` and every new chip takes the fleet's base shape.
     """
 
     def __init__(self, chips: List[Chip], control: ControlPlane,
-                 new_chip, schedule_ready, drain_victim):
+                 new_chip, schedule_ready, drain_victim,
+                 shape_chooser: Optional[ShapeChooser] = None):
         self.chips = chips
         self.control = control
-        self._new_chip = new_chip            # () -> Chip (not yet rostered)
+        self._new_chip = new_chip            # (shape | None) -> Chip (unrostered)
         self._schedule_ready = schedule_ready  # (chip) -> None
         self._drain_victim = drain_victim    # (active chips) -> Chip
+        self._shape_chooser = shape_chooser
 
     def counts(self) -> Tuple[int, int, int]:
         """(active, warming, draining) sizes of the current roster."""
@@ -433,7 +600,9 @@ class FleetScaler:
         committed = sum(1 for c in self.chips
                         if c.state in ("active", "warming"))
         while committed < target:
-            chip = self._new_chip()
+            shape = self._shape_chooser.shape_to_add() \
+                if self._shape_chooser is not None else None
+            chip = self._new_chip(shape)
             chip.added_s = now
             chip.ready_s = now + self.control.warmup_s
             if self.control.warmup_s > 0:
@@ -597,13 +766,30 @@ class ServingSimulator:
             initial_chips = max(self.control_config.min_chips,
                                 min(self.control_config.max_chips,
                                     cfg.num_chips))
-        self.chips = [Chip(i, cfg.hw, cfg.feature_cache_size)
+        roster = cfg.chip_roster()
+        # a min-chips band wider than the spec cycles the roster
+        self.chips = [Chip(i, roster[i % len(roster)][1],
+                           cfg.feature_cache_size,
+                           shape=roster[i % len(roster)][0])
                       for i in range(initial_chips)]
         self._next_chip_id = initial_chips
+        self._shapes = cfg.distinct_shapes()
         self.result_cache = LRUCache(cfg.cache_size)
+        # shape tracking: a mixed roster always accounts shapes; the
+        # shape-aware policy additionally scores with them (and works on a
+        # homogeneous fleet, where it degenerates to least-loaded)
+        self._track_shapes = cfg.heterogeneous or cfg.dispatch == "shape-aware"
+        #: The per-(shape, bucket) service-rate model (None when untracked);
+        #: seeded from the per-shape probe batches at the start of each run.
+        self.scorer: Optional[ShapeScorer] = \
+            ShapeScorer() if self._track_shapes else None
+        self._profile_fn = make_profile_fn(self.sampler,
+                                           graph.feature_length) \
+            if self._track_shapes else None
         self._dispatch = _build_dispatch(cfg.dispatch, graph.num_vertices,
-                                         initial_chips)
-        self._probe_service_s: Optional[float] = None
+                                         initial_chips, scorer=self.scorer,
+                                         profile_fn=self._profile_fn)
+        self._probe_by_shape: Dict[str, float] = {}
         #: The control plane of the most recent :meth:`run` (None when fixed).
         self.control: Optional[ControlPlane] = None
         #: The batcher of the most recent :meth:`run` (None before a run);
@@ -614,19 +800,30 @@ class ServingSimulator:
     # ------------------------------------------------------------------ #
     # Adaptive time scales
     # ------------------------------------------------------------------ #
+    def probe_service_for_shape(self, shape: str) -> float:
+        """Probe-batch service time on one chip shape (memoised per shape)."""
+        cached = self._probe_by_shape.get(shape)
+        if cached is None:
+            cfg = self.config
+            cached = probe_batch_service_time_s(
+                self._shapes[shape], self.sampler, self.model,
+                self.dataset_name, cfg.max_batch_size,
+                self.graph.num_vertices, cfg.seed)
+            self._probe_by_shape[shape] = cached
+        return cached
+
     @property
     def probe_service_time_s(self) -> float:
         """Service time of one full batch of uniformly-drawn distinct targets.
 
-        Computed once and reused to calibrate the arrival rate and to resolve
-        the adaptive timeout / SLO defaults.
+        Computed once per shape and reused to calibrate the arrival rate and
+        to resolve the adaptive timeout / SLO defaults.  On a heterogeneous
+        fleet this is the **slowest** shape's probe time, so adaptive
+        timeouts and SLOs stay meetable no matter where a batch lands; a
+        homogeneous fleet reduces to the single probe it always ran.
         """
-        if self._probe_service_s is None:
-            cfg = self.config
-            self._probe_service_s = probe_batch_service_time_s(
-                cfg.hw, self.sampler, self.model, self.dataset_name,
-                cfg.max_batch_size, self.graph.num_vertices, cfg.seed)
-        return self._probe_service_s
+        return max(self.probe_service_for_shape(shape)
+                   for shape in self._shapes)
 
     @property
     def slo_s(self) -> float:
@@ -663,6 +860,30 @@ class ServingSimulator:
         return make_signature_fn(self.sampler, cfg.num_hops, cfg.fanout,
                                  overlap_k=cfg.overlap_k)
 
+    def _seed_scorer(self) -> None:
+        """Prime the shape scorer from the per-shape probe batches.
+
+        The probe batch has one well-defined profile bucket; each shape's
+        measured probe time over the probe's fused size seeds that bucket's
+        rate, so the first real batch of the common regime can already be
+        scored.  Other buckets stay cold until traffic warms them (the
+        dispatcher falls back to least-loaded there).  Idempotent: seeds
+        never clobber rates a previous run learned.
+        """
+        cfg = self.config
+        targets = probe_targets(self.graph.num_vertices, cfg.max_batch_size,
+                                cfg.seed)
+        fused, naive = self.sampler.fused_size(
+            (int(t), None, None) for t in targets)
+        bucket = BatchProfile(est_fused_vertices=fused,
+                              est_naive_vertices=naive,
+                              batch_size=len(targets),
+                              feature_length=self.graph.feature_length).bucket
+        for shape in self._shapes:
+            self.scorer.seed(shape, bucket,
+                             self.probe_service_for_shape(shape)
+                             / max(fused, 1))
+
     # ------------------------------------------------------------------ #
     # Service-time model
     # ------------------------------------------------------------------ #
@@ -679,16 +900,20 @@ class ServingSimulator:
         """Arrival rate that loads the fleet to ``utilization_target``.
 
         A probe batch of ``max_batch_size`` distinct uniformly-drawn targets is
-        simulated once; the fleet's aggregate request throughput at full
-        utilisation is ``num_chips * max_batch_size / service_time``.  Targets
-        above 1 deliberately overload the fleet (a queueing-study regime).
+        simulated once per chip shape; the fleet's aggregate request
+        throughput at full utilisation sums each chip's
+        ``max_batch_size / service_time`` over the configured roster (which
+        for a homogeneous fleet is the familiar
+        ``num_chips * max_batch_size / service_time``).  Targets above 1
+        deliberately overload the fleet (a queueing-study regime).
         """
         if not 0 < utilization_target:
             raise ValueError("utilization_target must be positive")
         cfg = self.config
         batch_size = min(cfg.max_batch_size, self.graph.num_vertices)
-        capacity_rps = cfg.num_chips * batch_size \
-            / max(self.probe_service_time_s, 1e-12)
+        capacity_rps = sum(
+            batch_size / max(self.probe_service_for_shape(shape), 1e-12)
+            for shape, _ in cfg.chip_roster())
         return utilization_target * capacity_rps
 
     # ------------------------------------------------------------------ #
@@ -722,6 +947,13 @@ class ServingSimulator:
         batching_stats = BatchingStats(policy=cfg.batch_policy)
         overlap_aware = cfg.batch_policy in ("overlap", "continuous")
         overlap_ewma = 0.0
+        hetero_stats: Optional[HeteroStats] = None
+        if self._track_shapes:
+            self._seed_scorer()
+            hetero_stats = HeteroStats(dispatch_policy=cfg.dispatch)
+            if isinstance(self._dispatch, _ShapeAwareDispatch):
+                # counters are per run; the scorer's learned rates persist
+                self._dispatch.scored = self._dispatch.fallback = 0
         events: List[Tuple[float, int, int, object]] = []
         seq = 0
         for request in requests:
@@ -765,9 +997,13 @@ class ServingSimulator:
                                     _CONTROL, None))
             seq += 1
 
-            def new_chip() -> Chip:
-                chip = Chip(self._next_chip_id, cfg.hw,
-                            cfg.feature_cache_size)
+            def new_chip(shape: Optional[str] = None) -> Chip:
+                if shape is None:
+                    shape, hw = cfg.base_shape, cfg.hw
+                else:
+                    hw = self._shapes[shape]
+                chip = Chip(self._next_chip_id, hw,
+                            cfg.feature_cache_size, shape=shape)
                 self._next_chip_id += 1
                 return chip
 
@@ -776,12 +1012,20 @@ class ServingSimulator:
                 heapq.heappush(events, (chip.ready_s, seq, _CHIP_READY, chip))
                 seq += 1
 
+            chooser: Optional[ShapeChooser] = None
+            if len(self._shapes) > 1:
+                chooser = ShapeChooser(
+                    self.control_config.scale_shape, self._shapes,
+                    scorers=[self.scorer] if self.scorer is not None else [])
             scaler = FleetScaler(
                 self.chips, control, new_chip, schedule_ready,
-                # drain the emptiest queue so the least work gets stranded
-                drain_victim=lambda actives: min(
+                # drain the shape the demand needs least (heterogeneous),
+                # else the emptiest queue so the least work gets stranded
+                drain_victim=chooser.retire_victim if chooser is not None
+                else lambda actives: min(
                     actives,
-                    key=lambda c: (c.outstanding_requests, -c.chip_id)))
+                    key=lambda c: (c.outstanding_requests, -c.chip_id)),
+                shape_chooser=chooser)
 
         def schedulable_chips() -> List[Chip]:
             return [chip for chip in self.chips if chip.schedulable]
@@ -813,6 +1057,15 @@ class ServingSimulator:
             chip.current = batch
             start_meta[batch.batch_id] = now
             service_s = self.batch_service_time_s(chip, batch)
+            if hetero_stats is not None:
+                account_batch_service(
+                    self.scorer, hetero_stats, batch, self._profile_fn,
+                    chip.shape, service_s,
+                    {c.shape for c in self.chips if c.state == "active"},
+                    # shape-aware dispatch already counted demand at
+                    # selection time; oblivious dispatch counts it here
+                    note_demand=not isinstance(self._dispatch,
+                                               _ShapeAwareDispatch))
             batcher.observe_service_time(service_s)
             batching_stats.observe_batch(batch)
             overlap_ewma = _COST_EWMA_ALPHA * batch.overlap_ratio \
@@ -983,6 +1236,15 @@ class ServingSimulator:
         report.cache = self.result_cache.stats
         batching_stats.late_join_rejects = batcher.late_join_rejects
         report.batching = batching_stats
+        if hetero_stats is not None:
+            for chip in self.chips:
+                hetero_stats.shape_counts[chip.shape] = \
+                    hetero_stats.shape_counts.get(chip.shape, 0) + 1
+            if isinstance(self._dispatch, _ShapeAwareDispatch):
+                hetero_stats.scored_batches = self._dispatch.scored
+                hetero_stats.fallback_batches = self._dispatch.fallback
+            hetero_stats.rates = self.scorer.snapshot()
+            report.hetero = hetero_stats
         if control is not None:
             report.control = control.finalize(last_t, self.chips)
         return report

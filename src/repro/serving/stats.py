@@ -41,10 +41,10 @@ import numpy as np
 
 from .cache import CacheStats
 
-__all__ = ["percentile", "chip_utilization_rows", "RequestRecord",
-           "ChipStats", "ServingReport", "MultiTenantReport",
+__all__ = ["percentile", "chip_utilization_rows", "shape_utilization_rows",
+           "RequestRecord", "ChipStats", "ServingReport", "MultiTenantReport",
            "ScaleEvent", "ControlSample", "AdmissionStats", "ControlStats",
-           "BatchingStats"]
+           "BatchingStats", "HeteroStats"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -103,9 +103,14 @@ class ChipStats:
     was held (from commissioning through retirement or end of run, including
     warm-up during which it served nothing).  ``None`` means the chip existed
     for the whole run (every fixed-fleet chip).
+
+    ``shape`` names the chip's hardware shape
+    (:data:`~repro.serving.hetero.SHAPE_PRESETS`); homogeneous fleets run
+    entirely on ``"balanced"`` chips.
     """
 
     chip_id: int
+    shape: str = "balanced"
     busy_s: float = 0.0
     batches_served: int = 0
     requests_served: int = 0
@@ -128,6 +133,7 @@ class ChipStats:
     def as_dict(self) -> Dict[str, object]:
         return {
             "chip_id": self.chip_id,
+            "shape": self.shape,
             "busy_s": self.busy_s,
             "batches_served": self.batches_served,
             "requests_served": self.requests_served,
@@ -143,20 +149,58 @@ def chip_utilization_rows(chips: Sequence["ChipStats"],
     """One table row per chip: load share, busy time, utilisation, reuse.
 
     Shared by the single-tenant and multi-tenant reports so the two views
-    cannot drift apart.
+    cannot drift apart.  The ``shape`` column only appears on
+    heterogeneous fleets, so homogeneous tables keep their layout.
     """
-    return [
-        {
-            "chip": c.chip_id,
+    hetero = len({c.shape for c in chips}) > 1
+    rows = []
+    for c in chips:
+        row: Dict[str, object] = {"chip": c.chip_id}
+        if hetero:
+            row["shape"] = c.shape
+        row.update({
             "batches": c.batches_served,
             "requests": c.requests_served,
             "vertices": c.vertices_simulated,
             "busy_ms": round(c.busy_s * 1e3, 4),
             "utilization_pct": round(100.0 * c.utilization(span_s), 2),
             "feature_reuse_pct": round(100.0 * c.feature_reuse_rate, 2),
-        }
-        for c in chips
-    ]
+        })
+        rows.append(row)
+    return rows
+
+
+def shape_utilization_rows(chips: Sequence["ChipStats"],
+                           span_s: float) -> List[Dict[str, object]]:
+    """One table row per chip *shape*: roster size, load, service share.
+
+    ``service_share_pct`` is the fraction of the fleet's total busy
+    chip-seconds this shape absorbed; ``utilization_pct`` is its busy time
+    over its provisioned time (chip count x span for fixed-fleet chips).
+    Shared by both reports' ``shape_table()``.
+    """
+    by_shape: Dict[str, List[ChipStats]] = {}
+    for c in chips:
+        by_shape.setdefault(c.shape, []).append(c)
+    total_busy = sum(c.busy_s for c in chips)
+    rows = []
+    for shape in sorted(by_shape):
+        members = by_shape[shape]
+        busy = sum(c.busy_s for c in members)
+        provisioned = sum(c.provisioned_s if c.provisioned_s is not None
+                          else span_s for c in members)
+        rows.append({
+            "shape": shape,
+            "chips": len(members),
+            "batches": sum(c.batches_served for c in members),
+            "requests": sum(c.requests_served for c in members),
+            "busy_ms": round(busy * 1e3, 4),
+            "service_share_pct": round(100.0 * busy / total_busy, 2)
+            if total_busy > 0 else 0.0,
+            "utilization_pct": round(100.0 * busy / provisioned, 2)
+            if provisioned > 0 else 0.0,
+        })
+    return rows
 
 
 # --------------------------------------------------------------------------- #
@@ -233,6 +277,72 @@ class BatchingStats:
             "dedup_saved_vertices": self.dedup_saved_vertices,
             "late_joins": self.late_joins,
             "late_join_rejects": self.late_join_rejects,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Heterogeneous-fleet accounting (chip shapes, shape-aware dispatch)
+# --------------------------------------------------------------------------- #
+@dataclass
+class HeteroStats:
+    """Shape-aware dispatch accounting of one heterogeneous serving run.
+
+    Attached to a report only when the run had something shape-shaped to
+    account: more than one distinct chip shape in the roster, or the
+    ``shape-aware`` dispatch policy (which scores even a homogeneous
+    fleet).  ``scored_batches`` counts dispatches ranked by the learned
+    per-(shape, bucket) rates; ``fallback_batches`` counts dispatches that
+    fell back to least-loaded because some candidate shape was still cold
+    for the batch's profile bucket.
+
+    ``misdispatch_s`` is the **time lost vs. the oracle-best shape**: for
+    every served batch, the measured service time minus the best service
+    time any shape in the roster was estimated to deliver (that shape's
+    learned rate times the batch's measured fused size), clamped at zero
+    and summed.  A perfectly-routed fleet reports ~0; a mixed fleet under
+    shape-oblivious dispatch reports the chip-seconds a shape-aware policy
+    could have saved.  It is an estimate -- the oracle is priced from the
+    same EWMA rates the dispatcher learns -- which is what makes it cheap
+    enough to compute on every batch.
+
+    ``rates`` is the final ``"shape|bucket" -> seconds-per-fused-vertex``
+    snapshot of the scorer (single-tenant) or the union over tenants'
+    scorers keyed ``"tenant/shape|bucket"`` (multi-tenant).
+    """
+
+    shape_counts: Dict[str, int] = field(default_factory=dict)
+    dispatch_policy: str = ""
+    scored_batches: int = 0
+    fallback_batches: int = 0
+    misdispatch_s: float = 0.0
+    rates: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def scored_fraction(self) -> float:
+        total = self.scored_batches + self.fallback_batches
+        return self.scored_batches / total if total else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """One table row for the CLI's heterogeneity section."""
+        return {
+            "dispatch": self.dispatch_policy,
+            "shapes": " ".join(f"{name}x{count}" for name, count
+                               in sorted(self.shape_counts.items())),
+            "scored_batches": self.scored_batches,
+            "fallback_batches": self.fallback_batches,
+            "scored_pct": round(100.0 * self.scored_fraction, 2),
+            "misdispatch_ms": round(self.misdispatch_s * 1e3, 4),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shape_counts": dict(sorted(self.shape_counts.items())),
+            "dispatch_policy": self.dispatch_policy,
+            "scored_batches": self.scored_batches,
+            "fallback_batches": self.fallback_batches,
+            "scored_fraction": self.scored_fraction,
+            "misdispatch_s": self.misdispatch_s,
+            "rates_s_per_vertex": dict(sorted(self.rates.items())),
         }
 
 
@@ -506,6 +616,7 @@ class ServingReport:
     max_queue_depth: int = 0
     control: Optional[ControlStats] = None
     batching: Optional[BatchingStats] = None
+    hetero: Optional[HeteroStats] = None
     _latencies: np.ndarray = field(default=None, init=False, repr=False,
                                    compare=False)
 
@@ -592,6 +703,17 @@ class ServingReport:
             return self.control.chip_seconds_s
         return self.num_chips * self.makespan_s
 
+    @property
+    def total_busy_s(self) -> float:
+        """Chip-seconds actually *consumed* (sum of per-chip busy time).
+
+        The counterpart of :attr:`chip_seconds_s` (the provisioned bill):
+        dispatch quality moves this one even when the makespan is pinned by
+        the arrival tail, which is why the heterogeneity acceptance runs
+        compare on it.
+        """
+        return sum(c.busy_s for c in self.chips)
+
     # ------------------------------------------------------------------ #
     # Tables
     # ------------------------------------------------------------------ #
@@ -615,6 +737,11 @@ class ServingReport:
     def per_chip_table(self) -> List[Dict[str, object]]:
         """One row per chip: load share, busy time and utilisation."""
         return chip_utilization_rows(self.chips, self.makespan_s)
+
+    def shape_table(self) -> List[Dict[str, object]]:
+        """One row per chip shape: roster, load and service share
+        (see :func:`shape_utilization_rows`; empty for an empty roster)."""
+        return shape_utilization_rows(self.chips, self.makespan_s)
 
     def latency_breakdown(self) -> Dict[str, float]:
         """Mean per-request time split: batching wait, queue wait, service."""
@@ -661,12 +788,14 @@ class ServingReport:
             "degraded_requests": self.degraded_requests,
             "degraded_rate": self.degraded_rate,
             "chip_seconds_s": self.chip_seconds_s,
+            "total_busy_s": self.total_busy_s,
             "avg_in_flight": self.avg_in_flight,
             "max_queue_depth": self.max_queue_depth,
             "cache": self.cache.as_dict(),
             "chips": [c.as_dict() for c in self.chips],
             "control": self.control.to_dict() if self.control else None,
             "batching": self.batching.as_dict() if self.batching else None,
+            "hetero": self.hetero.as_dict() if self.hetero else None,
         }
         if include_records:
             payload["records"] = [
@@ -721,6 +850,7 @@ class MultiTenantReport:
     avg_in_flight: float = 0.0
     max_backlog_batches: int = 0
     control: Optional[ControlStats] = None
+    hetero: Optional[HeteroStats] = None
 
     # ------------------------------------------------------------------ #
     # Aggregates over all tenants
@@ -832,6 +962,11 @@ class MultiTenantReport:
         """Fleet-level chip accounting over the whole multi-tenant run."""
         return chip_utilization_rows(self.chips, self.makespan_s)
 
+    def shape_table(self) -> List[Dict[str, object]]:
+        """One row per chip shape over the whole shared fleet
+        (see :func:`shape_utilization_rows`)."""
+        return shape_utilization_rows(self.chips, self.makespan_s)
+
     def batching_table(self) -> List[Dict[str, object]]:
         """One row per tenant: formation policy, overlap ratio, late joins.
 
@@ -854,6 +989,12 @@ class MultiTenantReport:
             return self.control.chip_seconds_s
         return self.num_chips * self.makespan_s
 
+    @property
+    def total_busy_s(self) -> float:
+        """Chip-seconds actually consumed across the shared fleet
+        (see :attr:`ServingReport.total_busy_s`)."""
+        return sum(c.busy_s for c in self.chips)
+
     # ------------------------------------------------------------------ #
     # Machine-readable export
     # ------------------------------------------------------------------ #
@@ -869,6 +1010,7 @@ class MultiTenantReport:
             "makespan_s": self.makespan_s,
             "throughput_rps": self.throughput_rps,
             "chip_seconds_s": self.chip_seconds_s,
+            "total_busy_s": self.total_busy_s,
             "avg_in_flight": self.avg_in_flight,
             "max_backlog_batches": self.max_backlog_batches,
             "busy_s": dict(self.busy_s),
@@ -877,6 +1019,7 @@ class MultiTenantReport:
             "isolation": self.isolation_table(),
             "chips": [c.as_dict() for c in self.chips],
             "control": self.control.to_dict() if self.control else None,
+            "hetero": self.hetero.as_dict() if self.hetero else None,
             "reports": {name: rep.to_dict(include_records=include_records)
                         for name, rep in self.reports.items()},
             "solo": {name: rep.to_dict(include_records=False)

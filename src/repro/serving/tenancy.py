@@ -35,6 +35,18 @@ fleet elastic: the control plane autoscales the chip pool (warm-up on the
 way up, drain-before-remove on the way down), polices each tenant with a
 token bucket sized to its weight share, and sheds or degrades requests
 whose queueing-delay estimate has already blown the tenant's SLO budget.
+
+A :class:`~repro.serving.fleet.FleetConfig` carrying a
+:class:`~repro.serving.hetero.FleetSpec` makes the shared fleet
+*heterogeneous*: chips carry different HyGCN shapes, every tenant learns
+its own per-(shape, profile-bucket) service rates (service cost is
+model/dataset-specific, so scorers are never shared), and under
+``dispatch="shape-aware"`` each WFQ-released batch is placed on the idle
+chip whose shape serves that tenant's batch profile fastest.  Elastic
+heterogeneous runs additionally choose *which shape* to add or retire
+(:class:`~repro.serving.hetero.ShapeChooser`), and the report gains
+per-shape utilization/service-share plus the mis-dispatch metric
+(:class:`~repro.serving.stats.HeteroStats`).
 """
 
 from __future__ import annotations
@@ -69,8 +81,21 @@ from .fleet import (
     probe_batch_service_time_s,
     probe_targets,
 )
+from .hetero import (
+    BatchProfile,
+    ShapeChooser,
+    ShapeScorer,
+    account_batch_service,
+    make_profile_fn,
+)
 from .sampler import SubgraphSampler
-from .stats import BatchingStats, MultiTenantReport, RequestRecord, ServingReport
+from .stats import (
+    BatchingStats,
+    HeteroStats,
+    MultiTenantReport,
+    RequestRecord,
+    ServingReport,
+)
 from .workload import (
     Request,
     RequestGenerator,
@@ -239,6 +264,7 @@ class TenantRuntime:
         self.sampler = SubgraphSampler(self.graph, num_hops=config.num_hops,
                                        fanout=config.fanout, seed=self.seed)
         self.result_cache = LRUCache(config.cache_size)
+        self._fleet_shapes = fleet.distinct_shapes()
         self.probe_service_s = self._probe(fleet)
         self.slo_s = config.slo_s if config.slo_s is not None \
             else _SLO_SERVICE_MULTIPLE * self.probe_service_s
@@ -265,11 +291,31 @@ class TenantRuntime:
         # WFQ batch-cost model: EWMA of service seconds per *fused* vertex,
         # seeded by the probe batch's measured fused size.
         shape = (config.num_hops, config.fanout)
-        probe_fused, _ = self.sampler.fused_size(
+        probe_fused, probe_naive = self.sampler.fused_size(
             (int(t),) + shape
             for t in probe_targets(self.graph.num_vertices,
                                    config.max_batch_size, self.seed))
         self.cost_per_vertex_s = self.probe_service_s / max(probe_fused, 1)
+        # Shape-aware serving (repro.serving.hetero): this tenant's own
+        # per-(shape, bucket) rate model, seeded from its per-shape probes
+        # -- service rates are model/dataset-specific, so scorers are never
+        # shared across tenants.
+        self.shape_scorer: Optional[ShapeScorer] = None
+        self.profile_fn = None
+        if fleet.heterogeneous or fleet.dispatch == "shape-aware":
+            self.profile_fn = make_profile_fn(self.sampler,
+                                              self.graph.feature_length)
+            self.shape_scorer = ShapeScorer()
+            bucket = BatchProfile(
+                est_fused_vertices=probe_fused,
+                est_naive_vertices=probe_naive,
+                batch_size=min(config.max_batch_size,
+                               self.graph.num_vertices),
+                feature_length=self.graph.feature_length).bucket
+            for shape_name, hw in self._fleet_shapes.items():
+                self.shape_scorer.seed(
+                    shape_name, bucket,
+                    self._probe_for_shape(hw) / max(probe_fused, 1))
         # Admission-control cost model: EWMA of service seconds per request
         # (duplicates included -- backlog accounting is per request).
         self.cost_per_request_s = self.probe_service_s / self.probe_batch_size
@@ -281,11 +327,21 @@ class TenantRuntime:
         self.scheduled_flush: Optional[float] = None
 
     # ------------------------------------------------------------------ #
-    def _probe(self, fleet: FleetConfig) -> float:
-        """Service time of one full batch of distinct uniform targets."""
+    def _probe_for_shape(self, hw) -> float:
+        """Probe-batch service time on one chip shape (memoised globally)."""
         return probe_batch_service_time_s(
-            fleet.hw, self.sampler, self.model, self.config.dataset,
+            hw, self.sampler, self.model, self.config.dataset,
             self.config.max_batch_size, self.graph.num_vertices, self.seed)
+
+    def _probe(self, fleet: FleetConfig) -> float:
+        """Service time of one full batch of distinct uniform targets.
+
+        On a heterogeneous fleet this is the **slowest** shape's probe time
+        (adaptive SLOs/timeouts must hold wherever a batch lands); a
+        homogeneous fleet reduces to the single probe it always ran.
+        """
+        return max(self._probe_for_shape(hw)
+                   for hw in self._fleet_shapes.values())
 
     def estimate_cost_s(self, batch: Batch) -> float:
         """Estimated fused service time: EWMA seconds/vertex x fused size.
@@ -356,9 +412,17 @@ class MultiTenantSimulator:
             initial_chips = max(self.control_config.min_chips,
                                 min(self.control_config.max_chips,
                                     initial_chips))
-        self.chips = [Chip(i, self.fleet.hw, self.fleet.feature_cache_size)
+        roster = self.fleet.chip_roster()
+        # a min-chips band wider than the spec cycles the roster
+        self.chips = [Chip(i, roster[i % len(roster)][1],
+                           self.fleet.feature_cache_size,
+                           shape=roster[i % len(roster)][0])
                       for i in range(initial_chips)]
         self._next_chip_id = initial_chips
+        self._shapes = self.fleet.distinct_shapes()
+        self._track_shapes = self.fleet.heterogeneous \
+            or self.fleet.dispatch == "shape-aware"
+        self._shape_aware = self.fleet.dispatch == "shape-aware"
         quantum_s = 0.5 * min(rt.probe_service_s
                               for rt in self.runtimes.values())
         self.scheduler = WFQScheduler(
@@ -487,6 +551,11 @@ class MultiTenantSimulator:
         last_t = t0
         in_flight_area = 0.0
         chip_batch: Dict[int, Tuple[TenantRuntime, Batch]] = {}
+        hetero_stats: Optional[HeteroStats] = None
+        if self._track_shapes:
+            hetero_stats = HeteroStats(
+                dispatch_policy="shape-aware" if self._shape_aware
+                else "wfq-first-idle")
 
         # ---------------- control plane (elastic runs only) --------------- #
         control: Optional[ControlPlane] = None
@@ -523,9 +592,13 @@ class MultiTenantSimulator:
                                     _CONTROL, None))
             seq += 1
 
-            def new_chip() -> Chip:
-                chip = Chip(self._next_chip_id, fleet.hw,
-                            fleet.feature_cache_size)
+            def new_chip(shape: Optional[str] = None) -> Chip:
+                if shape is None:
+                    shape, hw = fleet.base_shape, fleet.hw
+                else:
+                    hw = self._shapes[shape]
+                chip = Chip(self._next_chip_id, hw,
+                            fleet.feature_cache_size, shape=shape)
                 self._next_chip_id += 1
                 return chip
 
@@ -540,8 +613,20 @@ class MultiTenantSimulator:
                 idle = [c for c in actives if not c.busy]
                 return max(idle or actives, key=lambda c: c.chip_id)
 
-            scaler = FleetScaler(self.chips, control, new_chip,
-                                 schedule_ready, drain_victim)
+            chooser: Optional[ShapeChooser] = None
+            if len(self._shapes) > 1:
+                chooser = ShapeChooser(
+                    self.control_config.scale_shape, self._shapes,
+                    scorers=[rt.shape_scorer
+                             for rt in self.runtimes.values()
+                             if rt.shape_scorer is not None])
+            scaler = FleetScaler(
+                self.chips, control, new_chip, schedule_ready,
+                # heterogeneous scale-downs drain the shape the demand
+                # needs least; homogeneous ones an idle chip, newest first
+                chooser.retire_victim if chooser is not None
+                else drain_victim,
+                shape_chooser=chooser)
 
         def schedule_flush(rt: TenantRuntime, now: float) -> None:
             nonlocal seq
@@ -560,18 +645,38 @@ class MultiTenantSimulator:
             report.max_backlog_batches = max(report.max_backlog_batches,
                                              self.scheduler.pending_batches)
 
-        def idle_chip() -> Optional[Chip]:
-            for chip in self.chips:
-                if chip.schedulable and not chip.busy:
-                    return chip
-            return None
+        def pick_chip(idle: List[Chip], rt: TenantRuntime,
+                      batch: Batch) -> Chip:
+            """Which idle chip serves this batch.
+
+            Shape-oblivious dispatch takes the first idle chip in chip-id
+            order (the historical behaviour -- with zero outstanding work
+            everywhere this *is* least-loaded).  ``shape-aware`` scores the
+            idle chips with the tenant's learned per-(shape, bucket) rates
+            and falls back to first-idle while any candidate shape is cold.
+            """
+            if not self._shape_aware or rt.shape_scorer is None:
+                return idle[0]
+            if batch.profile is None:
+                batch.profile = rt.profile_fn(batch)
+            bucket = batch.profile.bucket
+            rt.shape_scorer.note_demand(bucket)
+            shapes = sorted({c.shape for c in idle})
+            if not rt.shape_scorer.warm(shapes, bucket):
+                hetero_stats.fallback_batches += 1
+                return idle[0]
+            hetero_stats.scored_batches += 1
+            return min(idle, key=lambda c: (
+                rt.shape_scorer.rate(c.shape, bucket)
+                * batch.profile.est_fused_vertices, c.chip_id))
 
         def pump(now: float) -> None:
             """Release WFQ batches onto free chips until one side runs dry."""
             nonlocal seq, fleet_cost_per_request_s
             while self.scheduler.pending_batches:
-                chip = idle_chip()
-                if chip is None:
+                idle = [c for c in self.chips
+                        if c.schedulable and not c.busy]
+                if not idle:
                     return
                 contended = all(rt.demanding for rt in self.runtimes.values())
                 released = self.scheduler.next_batch()
@@ -583,10 +688,20 @@ class MultiTenantSimulator:
                 # seal before costing: no joins once a chip owns the batch,
                 # and the service time must cover its final membership
                 rt.batcher.on_service_start(batch)
+                chip = pick_chip(idle, rt, batch)
                 chip.current = batch
                 chip_batch[chip.chip_id] = (rt, batch)
                 start_meta[(name, batch.batch_id)] = now
                 service_s = self._service_time_s(chip, rt, batch)
+                if hetero_stats is not None:
+                    account_batch_service(
+                        rt.shape_scorer, hetero_stats, batch, rt.profile_fn,
+                        chip.shape, service_s,
+                        {c.shape for c in self.chips
+                         if c.state == "active"},
+                        # shape-aware picks already counted demand in
+                        # pick_chip; oblivious pulls count it here
+                        note_demand=not self._shape_aware)
                 rt.observe_cost(batch, service_s)
                 rt.batching.observe_batch(batch)
                 rt.batcher.observe_service_time(service_s)
@@ -767,6 +882,17 @@ class MultiTenantSimulator:
         span = (last_t - t0) if requests else 0.0
         report.avg_in_flight = in_flight_area / span if span > 0 else 0.0
         report.chips = [chip.stats for chip in self.chips]
+        if hetero_stats is not None:
+            for chip in self.chips:
+                hetero_stats.shape_counts[chip.shape] = \
+                    hetero_stats.shape_counts.get(chip.shape, 0) + 1
+            for name in self.tenant_names:
+                scorer = self.runtimes[name].shape_scorer
+                if scorer is not None:
+                    hetero_stats.rates.update(
+                        {f"{name}/{key}": rate
+                         for key, rate in scorer.snapshot().items()})
+            report.hetero = hetero_stats
         if control is not None:
             report.control = control.finalize(last_t, self.chips)
         for name in self.tenant_names:

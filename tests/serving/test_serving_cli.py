@@ -52,6 +52,37 @@ class TestServeCommand:
         assert main(SERVE_FAST + ["--arrival", "trace"]) == 2
         assert "--trace-file" in capsys.readouterr().err
 
+    def test_shape_mix_serve_prints_shape_tables(self, capsys):
+        assert main(SERVE_FAST + ["--shape-mix", "mixed",
+                                  "--dispatch", "shape-aware"]) == 0
+        out = capsys.readouterr().out
+        for needle in ("per-shape utilization", "shape-aware dispatch",
+                       "agg_heavy", "comb_heavy", "misdispatch_ms"):
+            assert needle in out
+
+    def test_fleet_spec_file_overrides_chips(self, tmp_path, capsys):
+        spec = tmp_path / "fleet.json"
+        spec.write_text('{"shapes": [{"preset": "balanced", "count": 3}]}')
+        assert main(SERVE_FAST + ["--fleet-spec", str(spec)]) == 0
+        assert "3 chips" in capsys.readouterr().out
+
+    def test_fleet_spec_and_shape_mix_conflict(self, tmp_path, capsys):
+        spec = tmp_path / "fleet.json"
+        spec.write_text('{"shapes": [{"preset": "balanced"}]}')
+        assert main(SERVE_FAST + ["--fleet-spec", str(spec),
+                                  "--shape-mix", "mixed"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_broken_fleet_spec_is_actionable(self, tmp_path, capsys):
+        spec = tmp_path / "fleet.json"
+        spec.write_text('{"shapes": [{"preset": "agg_hevy"}]}')
+        assert main(SERVE_FAST + ["--fleet-spec", str(spec)]) == 2
+        assert "agg_heavy" in capsys.readouterr().err
+
+    def test_scale_shape_without_arming_flag_errors(self, capsys):
+        assert main(SERVE_FAST + ["--scale-shape", "bottleneck-phase"]) == 2
+        assert "--scale-shape" in capsys.readouterr().err
+
     def test_unknown_policy_rejected(self):
         with pytest.raises(SystemExit):
             main(SERVE_FAST + ["--dispatch", "random"])

@@ -24,8 +24,9 @@ def test_examples_directory_contents():
     assert {"quickstart.py", "citation_classification.py",
             "recommendation_inference.py", "design_space_exploration.py",
             "online_serving.py", "multi_tenant_serving.py",
-            "elastic_serving.py"} <= names
+            "elastic_serving.py", "hetero_fleet.py"} <= names
     assert (EXAMPLES_DIR / "tenants.json").exists()
+    assert (EXAMPLES_DIR / "fleet.json").exists()
 
 
 def test_multi_tenant_example_runs(capsys):
@@ -43,6 +44,15 @@ def test_elastic_serving_example_runs(capsys):
     assert "SLO violations vs. chip-seconds" in out
     assert "fleet-size timeline" in out
     assert "what each gate does to the tail" in out
+
+
+def test_hetero_fleet_example_runs(capsys):
+    module = load_example("hetero_fleet.py")
+    module.main(num_requests=96)
+    out = capsys.readouterr().out
+    assert "chip-shape presets" in out
+    assert "per-shape utilization" in out
+    assert "seconds-per-fused-vertex" in out
 
 
 def test_quickstart_runs(capsys):

@@ -12,7 +12,12 @@ the repo's own (numpy, via importing the package).  Two checks:
    silently drift from the argparse surface;
 3. every long option of ``repro serve`` (read from the argparse parser, not
    from help text) appears in docs/cli.md — flag-level coverage, so adding
-   a serve flag without documenting it fails CI.
+   a serve flag without documenting it fails CI;
+4. every name in the serving-policy registries (batch policies, dispatch
+   policies, autoscale policies, chip-shape presets, shape mixes,
+   scale-shape policies — imported from the package, not hard-coded)
+   appears in docs/cli.md — registry-level coverage, so adding a policy
+   without documenting it fails CI.
 
 Exit code 0 when everything passes, 1 with a per-failure listing otherwise.
 """
@@ -119,6 +124,51 @@ def check_cli_help(subcommands: list) -> list:
     return failures
 
 
+def policy_registries() -> dict:
+    """``{registry name: [policy names]}`` imported from the package itself.
+
+    Kept as imports (not a hard-coded list) so a registry gaining a name is
+    immediately held to the documentation bar.
+    """
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.serving import (  # noqa: E402
+        ALL_BATCH_POLICIES,
+        AUTOSCALE_POLICIES,
+        DISPATCH_POLICIES,
+        SCALE_SHAPE_POLICIES,
+        SHAPE_MIXES,
+        SHAPE_PRESETS,
+    )
+    return {
+        "batch policy": list(ALL_BATCH_POLICIES),
+        "dispatch policy": list(DISPATCH_POLICIES),
+        "autoscale policy": list(AUTOSCALE_POLICIES),
+        "chip-shape preset": sorted(SHAPE_PRESETS),
+        "shape mix": sorted(SHAPE_MIXES),
+        "scale-shape policy": list(SCALE_SHAPE_POLICIES),
+    }
+
+
+def check_registry_coverage(registries: dict) -> list:
+    """Every registry name must appear verbatim in docs/cli.md.
+
+    Word-boundary matched (``agg`` must not be satisfied by ``agg_heavy``)
+    so the CLI page names every selectable policy, preset and mix.
+    """
+    cli_md = REPO_ROOT / "docs" / "cli.md"
+    if not cli_md.exists():
+        return ["docs/cli.md is missing"]
+    text = cli_md.read_text()
+    failures = []
+    for registry, names in registries.items():
+        for name in names:
+            if not re.search(r"(?<![-\w])" + re.escape(name) + r"(?![-\w])",
+                             text):
+                failures.append(f"docs/cli.md does not document {registry} "
+                                f"{name!r}")
+    return failures
+
+
 def check_cli_docs(subcommands: list) -> list:
     """Every subcommand must be documented in docs/cli.md."""
     cli_md = REPO_ROOT / "docs" / "cli.md"
@@ -140,14 +190,18 @@ def main() -> int:
     if not flags:
         failures.append("could not enumerate `repro serve` flags")
     failures += check_serve_flag_coverage(flags)
+    registries = policy_registries()
+    failures += check_registry_coverage(registries)
     if failures:
         print(f"docs check: {len(failures)} failure(s)")
         for failure in failures:
             print(f"  - {failure}")
         return 1
     checked = len(markdown_files())
+    names = sum(len(v) for v in registries.values())
     print(f"docs check: OK ({checked} markdown files, "
-          f"{len(subcommands)} CLI subcommands, {len(flags)} serve flags)")
+          f"{len(subcommands)} CLI subcommands, {len(flags)} serve flags, "
+          f"{names} registry names)")
     return 0
 
 
