@@ -7,9 +7,12 @@ same seeded request stream.  The assertions pin the invariants the serving
 simulation must uphold (request conservation, bounded utilisation, policies
 actually behaving differently).
 
-``REPRO_BENCH_SMOKE=1`` shrinks the stream for the CI smoke job.
+``REPRO_BENCH_SMOKE=1`` shrinks the stream for the CI smoke job;
+``REPRO_BENCH_JSON=path`` appends one JSON line per comparison with the
+full machine-readable reports, which CI uploads as ``BENCH_serving.json``.
 """
 
+import json
 import os
 
 from repro.analysis import print_table
@@ -45,6 +48,18 @@ def _row(label_key, label, report):
     }
 
 
+def _maybe_dump(tag, reports):
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    payload = {label: report.to_dict(include_records=False)
+               for label, report in reports.items()}
+    mode = "a" if os.path.exists(path) else "w"
+    with open(path, mode) as handle:
+        json.dump({tag: payload}, handle, default=float)
+        handle.write("\n")
+
+
 def test_dispatch_policies(benchmark):
     reports = benchmark.pedantic(
         lambda: {d: _serve(dispatch=d) for d in DISPATCH_POLICIES},
@@ -52,6 +67,7 @@ def test_dispatch_policies(benchmark):
     )
     print_table([_row("dispatch", d, r) for d, r in reports.items()],
                 title="serving: dispatch-policy comparison")
+    _maybe_dump("dispatch", reports)
     splits = {}
     for dispatch, report in reports.items():
         # every request completes exactly once
@@ -74,6 +90,7 @@ def test_batching_policies(benchmark):
     )
     print_table([_row("batching", b, r) for b, r in reports.items()],
                 title="serving: batching-policy comparison")
+    _maybe_dump("batching", reports)
     for report in reports.values():
         assert report.completed == NUM_REQUESTS
         assert report.p50_latency_s <= report.p95_latency_s <= report.p99_latency_s

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the common workflows without writing a script:
+Five commands cover the common workflows without writing a script:
 
 * ``simulate`` -- run one model on one dataset on the HyGCN simulator and
   print the report (optionally comparing against the CPU/GPU baselines);
@@ -12,7 +12,12 @@ Four commands cover the common workflows without writing a script:
   ``--admission`` / ``--degrade`` arm the elastic control plane;
   ``--fleet-spec`` / ``--shape-mix`` mix HyGCN chip shapes in one fleet
   and ``--dispatch shape-aware`` routes each batch to the shape that
-  serves it fastest; ``--json`` emits the full machine-readable report;
+  serves it fastest; ``--trace-out`` records per-request spans as Chrome
+  trace-event JSON and ``--metrics-out`` scrapes a metrics registry on the
+  simulated clock (docs/observability.md); ``--json`` emits the full
+  machine-readable report;
+* ``trace-report`` -- summarize a trace written by ``serve --trace-out``:
+  per-phase p50/p99 time-in-phase and the slowest requests' span trees;
 * ``sweep``    -- run one of the named ablation/scalability sweeps;
 * ``info``     -- print the dataset registry (Table 4), the model zoo
   (Table 5) and the default accelerator configuration (Table 6/7 view).
@@ -22,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import List, Optional, Sequence
 
@@ -49,12 +55,19 @@ from .serving import (
     SHAPE_MIXES,
     ControlConfig,
     FleetConfig,
+    Instrumentation,
     fleet_spec_for_mix,
+    format_trace_report,
     load_fleet_spec,
     load_tenant_specs,
+    load_trace,
     run_multi_tenant,
     run_serving,
+    trace_report,
+    validate_trace,
 )
+
+_LOG_LEVELS = ("debug", "info", "warning", "error")
 
 _SWEEPS = {
     "sparsity": sparsity_elimination_sweep,
@@ -204,10 +217,44 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="which chip shape heterogeneous scale-ups "
                               "commission (default cheapest-adequate; only "
                               "meaningful with --autoscale on a mixed fleet)")
+    observe = serve.add_argument_group(
+        "observability",
+        "request span tracing and metrics scraping on the simulated clock "
+        "(see docs/observability.md); instrumentation never perturbs the "
+        "simulation -- a traced run reports bit-for-bit the same numbers "
+        "as an untraced one")
+    observe.add_argument("--trace-out", default=None, metavar="TRACE.JSON",
+                         help="write per-request spans, batch spans with "
+                              "cycle-model phase breakdowns and control-plane "
+                              "instants as Chrome trace-event JSON (open in "
+                              "https://ui.perfetto.dev or feed to "
+                              "`repro trace-report`)")
+    observe.add_argument("--metrics-out", default=None, metavar="METRICS.JSONL",
+                         help="scrape queue depth, in-flight batches, overlap "
+                              "ratio, per-shape busy fraction and control "
+                              "counters into JSONL rows, plus a final "
+                              "Prometheus text snapshot next to it (.prom)")
+    observe.add_argument("--metrics-interval-ms", type=float, default=None,
+                         help="simulated-time scrape interval (default: "
+                              "adaptive, ~2 probe-batch times); errors "
+                              "without --metrics-out")
+    observe.add_argument("--log-level", choices=_LOG_LEVELS, default=None,
+                         help="emit stdlib-logging diagnostics from the "
+                              "serving/control paths to stderr at this level")
     serve.add_argument("--json", default=None, metavar="PATH",
                        help="also serialize the full report as JSON to PATH "
                             "('-' writes JSON to stdout instead of tables)")
     serve.add_argument("--seed", type=int, default=0)
+
+    tracerep = sub.add_parser(
+        "trace-report",
+        help="summarize a trace written by serve --trace-out")
+    tracerep.add_argument("trace", metavar="TRACE.JSON",
+                          help="Chrome trace-event JSON file produced by "
+                               "`repro serve --trace-out`")
+    tracerep.add_argument("--top-k", type=int, default=5,
+                          help="number of slowest requests to detail "
+                               "(default 5)")
 
     sweep = sub.add_parser("sweep", help="run an ablation / scalability sweep")
     sweep.add_argument("name", choices=sorted(_SWEEPS))
@@ -352,6 +399,45 @@ def _batching_overrides(args: argparse.Namespace,
     return overrides
 
 
+def _instrumentation_from_args(args: argparse.Namespace
+                               ) -> Optional[Instrumentation]:
+    """Build the Instrumentation hub when --trace-out / --metrics-out ask.
+
+    Raises ValueError (-> `error: ...`, exit 2) when --metrics-interval-ms
+    is given without --metrics-out, mirroring how control-plane tuning
+    flags error without an arming flag.
+    """
+    if args.metrics_interval_ms is not None and args.metrics_out is None:
+        raise ValueError("--metrics-interval-ms tunes the metrics scrape "
+                         "but nothing records it; add --metrics-out")
+    if args.trace_out is None and args.metrics_out is None:
+        return None
+    return Instrumentation(
+        trace=args.trace_out is not None,
+        metrics=args.metrics_out is not None,
+        metrics_interval_s=None if args.metrics_interval_ms is None
+        else args.metrics_interval_ms * 1e-3,
+    )
+
+
+def _write_observability(observe: Optional[Instrumentation],
+                         args: argparse.Namespace) -> None:
+    """Flush --trace-out / --metrics-out files after a serve run."""
+    if observe is None:
+        return
+    # keep stdout pure JSON under --json -
+    out = sys.stderr if args.json == "-" else sys.stdout
+    if args.trace_out is not None:
+        observe.write_trace(args.trace_out)
+        print(f"wrote trace: {args.trace_out} ({len(observe.events)} events; "
+              f"open in https://ui.perfetto.dev or run "
+              f"`repro trace-report {args.trace_out}`)", file=out)
+    if args.metrics_out is not None:
+        prom_path = observe.write_metrics(args.metrics_out)
+        print(f"wrote metrics: {args.metrics_out} (JSONL scrapes) and "
+              f"{prom_path} (Prometheus text)", file=out)
+
+
 def _emit_json(report, args: argparse.Namespace) -> None:
     """Write the report's to_dict() to --json PATH ('-' = stdout)."""
     payload = report.to_dict()
@@ -386,6 +472,7 @@ def _run_serve_tenants(args: argparse.Namespace) -> int:
         return 2
     try:
         control = _control_config_from_args(args)
+        observe = _instrumentation_from_args(args)
         fleet = FleetConfig(num_chips=args.chips, seed=args.seed,
                             dispatch=args.dispatch,
                             fleet_spec=_fleet_spec_from_args(args),
@@ -393,10 +480,11 @@ def _run_serve_tenants(args: argparse.Namespace) -> int:
         report = run_multi_tenant(
             tenants, fleet, utilization_target=args.utilization,
             include_isolation_baseline=not args.no_isolation,
-            control=control)
+            control=control, observe=observe)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    _write_observability(observe, args)
     if args.json == "-":
         _emit_json(report, args)
         return 0
@@ -432,6 +520,9 @@ def _run_serve_tenants(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    if args.log_level is not None:
+        logging.basicConfig(level=getattr(logging, args.log_level.upper()),
+                            stream=sys.stderr, force=True)
     if args.tenants is not None:
         return _run_serve_tenants(args)
     trace = None
@@ -448,6 +539,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             return 2
     try:
         control = _control_config_from_args(args)
+        observe = _instrumentation_from_args(args)
         config = FleetConfig(
             num_chips=args.chips,
             fleet_spec=_fleet_spec_from_args(args),
@@ -475,10 +567,12 @@ def _run_serve(args: argparse.Namespace) -> int:
             utilization_target=args.utilization,
             seed=args.seed,
             control=control,
+            observe=observe,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    _write_observability(observe, args)
     if args.json == "-":
         _emit_json(report, args)
         return 0
@@ -518,6 +612,22 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_trace_report(args: argparse.Namespace) -> int:
+    try:
+        events = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read trace {args.trace!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    problems = validate_trace(events)
+    if problems:
+        for problem in problems:
+            print(f"error: invalid trace event: {problem}", file=sys.stderr)
+        return 2
+    print(format_trace_report(trace_report(events, top_k=args.top_k)))
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     if args.name == "ablation":
         rows: List[dict] = []
@@ -554,6 +664,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_simulate(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "trace-report":
+        return _run_trace_report(args)
     if args.command == "sweep":
         return _run_sweep(args)
     return _run_info()

@@ -81,6 +81,17 @@ from .hetero import (
     shape_hw,
     shape_table,
 )
+from .observe import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrumentation,
+    MetricsRegistry,
+    format_trace_report,
+    load_trace,
+    trace_report,
+    validate_trace,
+)
 from .sampler import (
     SIGNATURE_HASHES,
     SubgraphSample,
@@ -139,8 +150,13 @@ __all__ = [
     "Chip",
     "ChipStats",
     "ContinuousBatcher",
+    "Counter",
     "FIFOBatcher",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
     "LateJoin",
+    "MetricsRegistry",
     "OverlapBatcher",
     "ControlConfig",
     "ControlObservation",
@@ -183,8 +199,12 @@ __all__ = [
     "default_degradation_ladder",
     "estimate_jaccard",
     "fleet_spec_for_mix",
+    "format_trace_report",
     "load_fleet_spec",
     "load_tenant_specs",
+    "load_trace",
+    "trace_report",
+    "validate_trace",
     "make_profile_fn",
     "make_signature_fn",
     "merge_tenant_streams",

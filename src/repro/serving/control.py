@@ -39,12 +39,15 @@ reproduce bit-for-bit under a fixed seed.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from .hetero import SCALE_SHAPE_POLICIES
 from .stats import AdmissionStats, ControlSample, ControlStats, ScaleEvent
+
+logger = logging.getLogger("repro.serving.control")
 
 __all__ = [
     "AUTOSCALE_POLICIES",
@@ -484,6 +487,9 @@ class ControlPlane:
         self._bindings: Dict[str, TenantBinding] = {}
         self._buckets: Dict[str, TokenBucket] = {}
         self._ladders: Dict[str, List[DegradeLevel]] = {}
+        #: Observability hub (:class:`repro.serving.observe.Instrumentation`);
+        #: set by the event loops per run, ``None`` means uninstrumented.
+        self.instrumentation = None
 
     # ------------------------------------------------------------------ #
     def bind(self, bindings: Sequence[TenantBinding], initial_chips: int,
@@ -555,6 +561,18 @@ class ControlPlane:
         overlap-aware fleet would systematically over-promise degradation
         savings and admit requests it then serves late.
         """
+        decision = self._decide(tenant, now_s, est_delay_s, est_service_s,
+                                overlap_ratio)
+        if not decision.admitted or decision.level > 0:
+            logger.debug("admit %s t=%.6f: %s", tenant or "<default>",
+                         now_s, decision.reason)
+            if self.instrumentation is not None:
+                self.instrumentation.on_admission(now_s, tenant, decision)
+        return decision
+
+    def _decide(self, tenant: str, now_s: float, est_delay_s: float,
+                est_service_s: float,
+                overlap_ratio: float) -> AdmissionDecision:
         acct = self.stats.admission[tenant]
         acct.offered += 1
         cfg = self.config
@@ -632,6 +650,12 @@ class ControlPlane:
         self.stats.timeline.append(ScaleEvent(
             time_s=time_s, action=action, chip_id=chip_id,
             active=active, warming=warming, draining=draining))
+        logger.debug("scale %s chip=%d t=%.6f (active=%d warming=%d "
+                     "draining=%d)", action, chip_id, time_s, active,
+                     warming, draining)
+        if self.instrumentation is not None:
+            self.instrumentation.on_scale_event(time_s, action, chip_id,
+                                                active, warming, draining)
 
     # ------------------------------------------------------------------ #
     def finalize(self, end_s: float, chips: Sequence[object]) -> ControlStats:

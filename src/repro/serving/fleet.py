@@ -54,6 +54,7 @@ scaling timeline plus chip-seconds accounting.
 from __future__ import annotations
 
 import heapq
+import logging
 from collections import deque
 
 import numpy as np
@@ -108,7 +109,10 @@ __all__ = [
 #: Dispatch-policy names accepted by the CLI and :class:`FleetConfig`.
 DISPATCH_POLICIES = ("round-robin", "least-loaded", "locality", "shape-aware")
 
-_ARRIVAL, _FLUSH, _COMPLETION, _CONTROL, _CHIP_READY = 0, 1, 2, 3, 4
+_ARRIVAL, _FLUSH, _COMPLETION, _CONTROL, _CHIP_READY, _METRICS = \
+    0, 1, 2, 3, 4, 5
+
+logger = logging.getLogger("repro.serving.fleet")
 
 #: EWMA weight for the per-request cost estimate the control plane consumes.
 _COST_EWMA_ALPHA = 0.3
@@ -466,6 +470,15 @@ def fused_batch_service_time_s(chip: Chip, sampler, model, batch: Batch,
     batch.overlap_ratio = 1.0 - fused.num_vertices / naive_vertices \
         if naive_vertices else 0.0
     report = chip.simulator.run_model(model, fused, dataset_name=dataset_name)
+    # stamp the cycle-model phase breakdown for the observability layer
+    # (cheap property sums over the layer reports; the batch's trace span
+    # carries it -- see repro.serving.observe)
+    batch.phase_cycles = {
+        "total": report.total_cycles,
+        "aggregation": report.aggregation_cycles,
+        "combination": report.combination_cycles,
+        "dram_busy": report.dram_stats.busy_cycles,
+    }
     vertices: Set[int] = set()
     for sample in samples:
         vertices.update(sample.vertices)
@@ -748,8 +761,13 @@ class ServingSimulator:
 
     def __init__(self, graph: Graph, model, config: Optional[FleetConfig] = None,
                  dataset_name: Optional[str] = None,
-                 control: Optional[ControlConfig] = None):
+                 control: Optional[ControlConfig] = None,
+                 observe=None):
         self.config = config or FleetConfig()
+        #: Observability hub (:class:`repro.serving.observe.Instrumentation`)
+        #: or ``None``; hooks are guarded so an uninstrumented run executes
+        #: no observability code.
+        self.observe = observe
         self.graph = graph
         self.model = model
         self.dataset_name = dataset_name or graph.name
@@ -944,6 +962,9 @@ class ServingSimulator:
             min_overlap=cfg.min_overlap, pool_factor=cfg.pool_factor,
             join_window_s=self.join_window_s, staleness_s=self.staleness_s)
         self.batcher = batcher
+        observe = self.observe
+        if observe is not None:
+            batcher.instrumentation = observe
         batching_stats = BatchingStats(policy=cfg.batch_policy)
         overlap_aware = cfg.batch_policy in ("overlap", "continuous")
         overlap_ewma = 0.0
@@ -993,6 +1014,8 @@ class ServingSimulator:
                 capacity_per_chip_rps=probe_batch
                 / max(self.probe_service_time_s, 1e-12))
             self.control = control
+            if observe is not None:
+                control.instrumentation = observe
             heapq.heappush(events, (t0 + control.control_interval_s, seq,
                                     _CONTROL, None))
             seq += 1
@@ -1026,6 +1049,35 @@ class ServingSimulator:
                     actives,
                     key=lambda c: (c.outstanding_requests, -c.chip_id)),
                 shape_chooser=chooser)
+
+        # ---------------- metrics scraping (instrumented runs) ------------ #
+        metrics_interval_s = 0.0
+        if observe is not None and observe.wants_metrics:
+            from .observe import METRICS_PROBE_MULTIPLE
+            metrics_interval_s = observe.metrics_interval_s \
+                if observe.metrics_interval_s is not None \
+                else METRICS_PROBE_MULTIPLE * self.probe_service_time_s
+            heapq.heappush(events, (t0 + metrics_interval_s, seq,
+                                    _METRICS, None))
+            seq += 1
+
+        def metrics_snapshot(now: float) -> Dict:
+            gauges: Dict = {
+                "repro_queue_depth": batcher.pending_count,
+                "repro_in_flight_requests": in_flight,
+                "repro_in_flight_batches": sum(
+                    len(c.queue) + (1 if c.busy else 0)
+                    for c in self.chips),
+                "repro_overlap_ratio_ewma": overlap_ewma,
+            }
+            elapsed = now - t0
+            if elapsed > 0:
+                for shape in self._shapes:
+                    members = [c for c in self.chips if c.shape == shape]
+                    busy = sum(c.stats.busy_s for c in members)
+                    gauges[("repro_busy_fraction", (("shape", shape),))] = \
+                        busy / (elapsed * len(members)) if members else 0.0
+            return gauges
 
         def schedulable_chips() -> List[Chip]:
             return [chip for chip in self.chips if chip.schedulable]
@@ -1113,6 +1165,9 @@ class ServingSimulator:
                 if now - request.arrival_time_s > self.slo_s:
                     violations_interval += 1
                 backlog_cost_s -= request_cost_s.pop(request.request_id, 0.0)
+            if observe is not None:
+                observe.on_batch_complete(now, chip, batch, dispatched,
+                                          started)
             if chip.queue:
                 start_service(chip, now)
             elif chip.state == "draining":
@@ -1154,6 +1209,16 @@ class ServingSimulator:
 
         while events:
             now, _, kind, payload = heapq.heappop(events)
+            if kind == _METRICS:
+                # handled before the in-flight integral update so the
+                # float accounting (and hence the report) stays bit-for-bit
+                # identical to an uninstrumented run
+                observe.scrape(now, metrics_snapshot(now))
+                if arrivals_left > 0 or in_flight > 0:
+                    heapq.heappush(events, (now + metrics_interval_s, seq,
+                                            _METRICS, None))
+                    seq += 1
+                continue
             in_flight_area += in_flight * (now - last_t)
             last_t = now
             if kind == _ARRIVAL:
@@ -1171,6 +1236,8 @@ class ServingSimulator:
                         completion_time_s=done,
                         cache_hit=True,
                     ))
+                    if observe is not None:
+                        observe.on_cache_hit(now, request, done)
                 else:
                     admitted = True
                     if control is not None:
@@ -1230,8 +1297,14 @@ class ServingSimulator:
             else:  # _CHIP_READY
                 scaler.mark_ready(payload, now)
 
+        if observe is not None and observe.wants_metrics:
+            # closing scrape (outside the loop, so it cannot perturb the
+            # integral): even a run shorter than the interval gets >= 1 row
+            observe.scrape(last_t, metrics_snapshot(last_t))
         span = last_t - t0
         report.avg_in_flight = in_flight_area / span if span > 0 else 0.0
+        logger.info("served %d requests on %d chips in %.6f s simulated",
+                    len(requests), len(self.chips), span)
         report.chips = [chip.stats for chip in self.chips]
         report.cache = self.result_cache.stats
         batching_stats.late_join_rejects = batcher.late_join_rejects
@@ -1263,6 +1336,7 @@ def run_serving(
     seed: int = 0,
     control: Optional[ControlConfig] = None,
     peak_factor: float = 4.0,
+    observe=None,
 ) -> ServingReport:
     """End-to-end convenience: dataset -> traffic -> fleet -> report.
 
@@ -1276,13 +1350,15 @@ def run_serving(
     :mod:`repro.serving.control`); calibration still sizes the rate against
     the *configured* ``num_chips``, so an autoscaled run is comparable to the
     fixed fleet it elasticised.  ``peak_factor`` only matters for the ramp
-    arrival process.
+    arrival process.  ``observe`` threads an
+    :class:`~repro.serving.observe.Instrumentation` hub through the run
+    (span traces + metrics); instrumenting never changes the report.
     """
     config = config or FleetConfig()
     graph = load_dataset(dataset, seed=seed)
     model = build_model(model_name, input_length=graph.feature_length)
     simulator = ServingSimulator(graph, model, config, dataset_name=dataset,
-                                 control=control)
+                                 control=control, observe=observe)
     if arrival == "trace":
         if rate_rps is None:
             times = trace_arrival_times(trace or [], num_requests)

@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import heapq
 import json
+import logging
 
 import numpy as np
 
@@ -71,6 +72,7 @@ from .fleet import (
     _COMPLETION,
     _CONTROL,
     _FLUSH,
+    _METRICS,
     _SLO_SERVICE_MULTIPLE,
     _TIMEOUT_SERVICE_MULTIPLE,
     Chip,
@@ -113,6 +115,8 @@ __all__ = [
 
 #: EWMA weight for the per-tenant batch-cost estimate the WFQ stage uses.
 _COST_EWMA_ALPHA = 0.3
+
+logger = logging.getLogger("repro.serving.tenancy")
 
 
 @dataclass(frozen=True)
@@ -391,7 +395,12 @@ class MultiTenantSimulator:
 
     def __init__(self, tenants: Sequence[TenantConfig],
                  fleet: Optional[FleetConfig] = None,
-                 control: Optional[ControlConfig] = None):
+                 control: Optional[ControlConfig] = None,
+                 observe=None):
+        #: Observability hub (:class:`repro.serving.observe.Instrumentation`)
+        #: or ``None``; hooks are guarded so an uninstrumented run executes
+        #: no observability code.
+        self.observe = observe
         if not tenants:
             raise ValueError("need at least one tenant")
         names = [t.name for t in tenants]
@@ -529,8 +538,11 @@ class MultiTenantSimulator:
                      for n in self.tenant_names},
             reports={},
         )
+        observe = self.observe
         for rt in self.runtimes.values():
             rt.arrivals_left = 0
+            if observe is not None:
+                rt.batcher.instrumentation = observe
         for request in requests:
             if request.tenant not in self.runtimes:
                 raise ValueError(f"request tagged with unknown tenant "
@@ -573,6 +585,8 @@ class MultiTenantSimulator:
             chip.ready_s = t0
         if self.control_config is not None and requests:
             control = ControlPlane(self.control_config)
+            if observe is not None:
+                control.instrumentation = observe
             min_probe_s = min(rt.probe_service_s
                               for rt in self.runtimes.values())
             control.bind(
@@ -627,6 +641,41 @@ class MultiTenantSimulator:
                 chooser.retire_victim if chooser is not None
                 else drain_victim,
                 shape_chooser=chooser)
+
+        # ---------------- metrics scraping (instrumented runs) ------------ #
+        metrics_interval_s = 0.0
+        if observe is not None and observe.wants_metrics and requests:
+            from .observe import METRICS_PROBE_MULTIPLE
+            metrics_interval_s = observe.metrics_interval_s \
+                if observe.metrics_interval_s is not None \
+                else METRICS_PROBE_MULTIPLE * min(
+                    rt.probe_service_s for rt in self.runtimes.values())
+            heapq.heappush(events, (t0 + metrics_interval_s, seq,
+                                    _METRICS, None))
+            seq += 1
+
+        def metrics_snapshot(now: float) -> Dict:
+            gauges: Dict = {
+                "repro_queue_depth": sum(
+                    rt.batcher.pending_count
+                    for rt in self.runtimes.values()),
+                "repro_in_flight_requests": in_flight,
+                "repro_in_flight_batches": self.scheduler.pending_batches
+                + sum(1 for c in self.chips if c.busy),
+            }
+            for name, rt in self.runtimes.items():
+                gauges[("repro_tenant_queue_depth",
+                        (("tenant", name),))] = rt.batcher.pending_count
+                gauges[("repro_overlap_ratio_ewma",
+                        (("tenant", name),))] = rt.overlap_ewma
+            elapsed = now - t0
+            if elapsed > 0:
+                for shape in self._shapes:
+                    members = [c for c in self.chips if c.shape == shape]
+                    busy = sum(c.stats.busy_s for c in members)
+                    gauges[("repro_busy_fraction", (("shape", shape),))] = \
+                        busy / (elapsed * len(members)) if members else 0.0
+            return gauges
 
         def schedule_flush(rt: TenantRuntime, now: float) -> None:
             nonlocal seq
@@ -752,6 +801,9 @@ class MultiTenantSimulator:
                 if now - request.arrival_time_s > rt.slo_s:
                     violations_interval += 1
                 backlog_cost_s -= request_cost_s.pop(request.request_id, 0.0)
+            if observe is not None:
+                observe.on_batch_complete(now, chip, batch, admitted,
+                                          started, tenant=rt.name)
             if chip.state == "draining":
                 scaler.retire(chip, now)
             pump(now)
@@ -795,6 +847,17 @@ class MultiTenantSimulator:
 
         while events:
             now, _, kind, payload = heapq.heappop(events)
+            if kind == _METRICS:
+                # handled before the in-flight integral update so the
+                # float accounting (and hence the report) stays bit-for-bit
+                # identical to an uninstrumented run
+                observe.scrape(now, metrics_snapshot(now))
+                if in_flight > 0 or any(rt.arrivals_left > 0
+                                        for rt in self.runtimes.values()):
+                    heapq.heappush(events, (now + metrics_interval_s, seq,
+                                            _METRICS, None))
+                    seq += 1
+                continue
             in_flight_area += in_flight * (now - last_t)
             last_t = now
             if kind == _ARRIVAL:
@@ -814,6 +877,9 @@ class MultiTenantSimulator:
                         cache_hit=True,
                         tenant=rt.name,
                     ))
+                    if observe is not None:
+                        observe.on_cache_hit(now, request, done,
+                                             tenant=rt.name)
                 else:
                     admitted = True
                     if control is not None:
@@ -879,8 +945,15 @@ class MultiTenantSimulator:
         # ------------------------------------------------------------------
         # Roll the tagged records up into per-tenant report slices
         # ------------------------------------------------------------------
+        if observe is not None and observe.wants_metrics and requests:
+            # closing scrape (outside the loop, so it cannot perturb the
+            # integral): even a run shorter than the interval gets >= 1 row
+            observe.scrape(last_t, metrics_snapshot(last_t))
         span = (last_t - t0) if requests else 0.0
         report.avg_in_flight = in_flight_area / span if span > 0 else 0.0
+        logger.info("served %d requests for %d tenants on %d chips in "
+                    "%.6f s simulated", len(requests),
+                    len(self.tenant_names), len(self.chips), span)
         report.chips = [chip.stats for chip in self.chips]
         if hetero_stats is not None:
             for chip in self.chips:
@@ -922,6 +995,7 @@ def run_multi_tenant(
     utilization_target: float = 0.7,
     include_isolation_baseline: bool = True,
     control: Optional[ControlConfig] = None,
+    observe=None,
 ) -> MultiTenantReport:
     """End-to-end multi-tenant run: specs -> shared fleet -> report.
 
@@ -934,10 +1008,13 @@ def run_multi_tenant(
 
     ``control`` arms the elastic control plane for the *shared* run only: the
     isolation baselines stay fixed-fleet, so p99 inflation keeps comparing
-    against the uncontrolled contract the tenant was promised.
+    against the uncontrolled contract the tenant was promised.  ``observe``
+    likewise instruments only the shared run -- the solo baselines would
+    otherwise emit duplicate spans for the same request ids.
     """
     fleet = fleet or FleetConfig()
-    shared = MultiTenantSimulator(tenants, fleet, control=control)
+    shared = MultiTenantSimulator(tenants, fleet, control=control,
+                                  observe=observe)
     rates = shared.calibrate_rates(utilization_target)
     streams = shared.tenant_streams(rates)
     report = shared.run(merge_tenant_streams(streams), rates)

@@ -10,9 +10,9 @@ the repo's own (numpy, via importing the package).  Two checks:
 2. ``python -m repro --help`` and every subcommand's ``--help`` exit 0, and
    every subcommand is mentioned in docs/cli.md — so the CLI page cannot
    silently drift from the argparse surface;
-3. every long option of ``repro serve`` (read from the argparse parser, not
-   from help text) appears in docs/cli.md — flag-level coverage, so adding
-   a serve flag without documenting it fails CI;
+3. every long option of ``repro serve`` and ``repro trace-report`` (read
+   from the argparse parser, not from help text) appears in docs/cli.md —
+   flag-level coverage, so adding a flag without documenting it fails CI;
 4. every name in the serving-policy registries (batch policies, dispatch
    policies, autoscale policies, chip-shape presets, shape mixes,
    scale-shape policies — imported from the package, not hard-coded)
@@ -79,18 +79,23 @@ def cli_subcommands() -> list:
     return sorted(_subparser_map())
 
 
-def serve_cli_flags() -> list:
-    """Every long option string of ``repro serve``, from the parser."""
-    serve = _subparser_map().get("serve")
-    if serve is None:
+#: Subcommands held to flag-level docs coverage (the ones with flags that
+#: tune behaviour; ``sweep``/``info`` only take positional choices).
+FLAG_CHECKED_SUBCOMMANDS = ("serve", "trace-report")
+
+
+def subcommand_cli_flags(name: str) -> list:
+    """Every long option string of ``repro <name>``, from the parser."""
+    sub = _subparser_map().get(name)
+    if sub is None:
         return []
-    flags = {opt for action in serve._actions
+    flags = {opt for action in sub._actions
              for opt in action.option_strings if opt.startswith("--")}
     return sorted(flags)
 
 
-def check_serve_flag_coverage(flags: list) -> list:
-    """Every ``serve`` flag must appear verbatim in docs/cli.md.
+def check_flag_coverage(name: str, flags: list) -> list:
+    """Every flag of ``repro <name>`` must appear verbatim in docs/cli.md.
 
     Matches on the flag followed by a non-word character so ``--admission``
     is not satisfied by a mention of ``--admission-rate``.
@@ -102,7 +107,7 @@ def check_serve_flag_coverage(flags: list) -> list:
     failures = []
     for flag in flags:
         if not re.search(re.escape(flag) + r"(?![-\w])", text):
-            failures.append(f"docs/cli.md does not document serve flag "
+            failures.append(f"docs/cli.md does not document {name} flag "
                             f"{flag}")
     return failures
 
@@ -186,10 +191,13 @@ def main() -> int:
         failures.append("could not enumerate CLI subcommands")
     failures += check_cli_help(subcommands)
     failures += check_cli_docs(subcommands)
-    flags = serve_cli_flags()
-    if not flags:
-        failures.append("could not enumerate `repro serve` flags")
-    failures += check_serve_flag_coverage(flags)
+    num_flags = 0
+    for name in FLAG_CHECKED_SUBCOMMANDS:
+        flags = subcommand_cli_flags(name)
+        if not flags:
+            failures.append(f"could not enumerate `repro {name}` flags")
+        failures += check_flag_coverage(name, flags)
+        num_flags += len(flags)
     registries = policy_registries()
     failures += check_registry_coverage(registries)
     if failures:
@@ -200,8 +208,8 @@ def main() -> int:
     checked = len(markdown_files())
     names = sum(len(v) for v in registries.values())
     print(f"docs check: OK ({checked} markdown files, "
-          f"{len(subcommands)} CLI subcommands, {len(flags)} serve flags, "
-          f"{names} registry names)")
+          f"{len(subcommands)} CLI subcommands, {num_flags} documented "
+          f"flags, {names} registry names)")
     return 0
 
 
