@@ -1,6 +1,7 @@
 """Graph substrate: data structures, synthetic datasets, partitioning, sampling."""
 
 from .graph import CSCMatrix, CSRMatrix, Graph, GraphStats, merge_graphs
+from .csc import CSCGraph, from_csc, graphs_equal, to_csc
 from .generators import (
     community_graph,
     erdos_renyi_graph,
@@ -14,9 +15,13 @@ from .sampling import NeighborSampler, SamplingConfig, sample_graph
 from .io import export_edge_list, import_edge_list, load_graph, save_graph
 
 __all__ = [
+    "CSCGraph",
     "CSCMatrix",
     "CSRMatrix",
     "Graph",
+    "from_csc",
+    "graphs_equal",
+    "to_csc",
     "GraphStats",
     "merge_graphs",
     "community_graph",

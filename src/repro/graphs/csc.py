@@ -1,0 +1,140 @@
+"""Array-native CSC graph core.
+
+:class:`CSCGraph` is the contiguous-array layout the hot paths run on: one
+``colptr`` offset array, one ``row`` index array (together the in-neighbour
+CSC adjacency -- column ``v``'s slice ``row[colptr[v]:colptr[v+1]]`` is the
+in-neighbour list of ``v``) and one C-contiguous feature matrix.  It is the
+layout both reference stacks converge on (PyG ``sampler/utils.py::to_csc``,
+DGL ``csc_sampling_graph.py``) because k-hop sampling over it is pure array
+slicing: no per-vertex Python objects, no dict unions.
+
+Memory layout::
+
+    colptr   int64[V + 1]   monotone, colptr[0] == 0, colptr[V] == E
+    row      int64[E]       source vertex of each in-edge, grouped by dst
+    features float64[V, F]  one contiguous matrix, row v = vertex v
+
+``CSCGraph`` subclasses :class:`~repro.graphs.graph.Graph`, so every
+existing consumer (models, cycle model, partitioner, serving) works
+unchanged; the samplers (:mod:`repro.graphs.sampling`,
+:mod:`repro.serving.sampler`) check :attr:`Graph.is_csc` and dispatch to
+vectorized array paths that are **bit-for-bit equivalent** to the object
+paths -- same seeded phase-stream consumption, same local-id assignment,
+same canonical CSR output -- which is what the differential suite in
+``tests/graphs/test_csc_equivalence.py`` proves.
+
+Conversion shims:
+
+* :func:`to_csc` -- wrap any :class:`Graph` into a :class:`CSCGraph`
+  (idempotent; shares the feature matrix, derives the CSC arrays once);
+* :func:`from_csc` -- unwrap back to a plain object-core :class:`Graph`
+  sharing the same structure and features (the differential tests' twin).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .graph import CSCMatrix, CSRMatrix, Graph
+
+__all__ = ["CSCGraph", "to_csc", "from_csc", "graphs_equal"]
+
+
+class CSCGraph(Graph):
+    """A :class:`Graph` whose primary storage is the in-neighbour CSC arrays.
+
+    Parameters
+    ----------
+    colptr / row:
+        In-neighbour CSC adjacency: ``row[colptr[v]:colptr[v+1]]`` are the
+        source vertices of ``v``'s in-edges.  Both are forced to contiguous
+        ``int64`` arrays.
+    features:
+        ``(num_vertices, feature_length)`` matrix, forced C-contiguous.
+    csr:
+        Optional pre-built out-neighbour CSR view.  When omitted it is
+        derived by transposing the CSC structure (exactly what
+        :attr:`Graph.csc` does in the other direction).
+    """
+
+    is_csc = True
+
+    def __init__(self, colptr: np.ndarray, row: np.ndarray,
+                 features: np.ndarray, name: str = "graph",
+                 csr: Optional[CSRMatrix] = None):
+        self.colptr = np.ascontiguousarray(colptr, dtype=np.int64)
+        self.row = np.ascontiguousarray(row, dtype=np.int64)
+        num_vertices = len(self.colptr) - 1
+        csc = CSCMatrix(self.colptr, self.row, num_vertices)
+        if csr is None:
+            # CSC is the CSR of the transposed structure: transpose back
+            csr = csc._csr.transpose()
+        super().__init__(csr, np.ascontiguousarray(features), name=name)
+        self._csc = csc
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """In-neighbours of ``v`` as a direct slice of the ``row`` array."""
+        return self.row[self.colptr[v]:self.colptr[v + 1]]
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every vertex (``diff(colptr)``)."""
+        return np.diff(self.colptr)
+
+    def with_features(self, features: np.ndarray,
+                      name: Optional[str] = None) -> "CSCGraph":
+        """Same structure, different features -- stays CSC-backed."""
+        return CSCGraph(self.colptr, self.row, features,
+                        name=name or self.name, csr=self.csr)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSCGraph(name={self.name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges}, feature_length={self.feature_length})"
+        )
+
+
+def to_csc(graph: Graph) -> CSCGraph:
+    """Return a CSC-backed view of ``graph`` (idempotent).
+
+    The feature matrix is shared (made contiguous if it was not); the CSC
+    arrays come from the graph's own :attr:`~repro.graphs.graph.Graph.csc`
+    view, so structure is preserved exactly and the conversion costs one
+    transpose at most.
+    """
+    if isinstance(graph, CSCGraph):
+        return graph
+    csc = graph.csc
+    return CSCGraph(csc.indptr, csc.indices, graph.features,
+                    name=graph.name, csr=graph.csr)
+
+
+def from_csc(graph: Graph) -> Graph:
+    """Return a plain object-core :class:`Graph` twin of ``graph``.
+
+    Shares the CSR structure and feature matrix; only the type (and hence
+    which sampler code path runs) changes.  ``from_csc(to_csc(g))`` is
+    structurally identical to ``g``.
+    """
+    if not isinstance(graph, CSCGraph):
+        return graph
+    return Graph(graph.csr, graph.features, name=graph.name)
+
+
+def graphs_equal(a: Graph, b: Graph) -> bool:
+    """Structural + feature equality (layout-agnostic).
+
+    Two graphs are equal when their canonical CSR structure, vertex count
+    and feature matrices match exactly; whether either side is CSC-backed
+    is irrelevant.  This is the equality the round-trip property tests and
+    the differential suite assert.
+    """
+    return (
+        a.num_vertices == b.num_vertices
+        and a.num_edges == b.num_edges
+        and np.array_equal(a.csr.indptr, b.csr.indptr)
+        and np.array_equal(a.csr.indices, b.csr.indices)
+        and a.features.shape == b.features.shape
+        and np.array_equal(a.features, b.features)
+    )

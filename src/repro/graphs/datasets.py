@@ -8,6 +8,11 @@ simulator cannot sweep a 115-million-edge graph in CI; the scaling preserves
 average degree and feature length, which are the properties the accelerator's
 behaviour depends on.  The per-experiment effect of the scaling is recorded in
 ``EXPERIMENTS.md``.
+
+Datasets come back CSC-backed (:class:`~repro.graphs.csc.CSCGraph`, via the
+generators): structure and features are identical to the historical
+object-core build, but the samplers' vectorized array paths engage on them
+by default.  ``from_csc(load_dataset(...))`` recovers the object-core twin.
 """
 
 from __future__ import annotations

@@ -106,6 +106,57 @@ class CSRMatrix:
         return CSRMatrix(indptr, row_of_edge[order], self.num_rows)
 
     @classmethod
+    def from_arrays(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        num_rows: int,
+        num_cols: Optional[int] = None,
+        deduplicate: bool = True,
+    ) -> "CSRMatrix":
+        """Trusted vectorized constructor from parallel ``rows``/``cols`` arrays.
+
+        Produces exactly the structure :meth:`from_edges` would for the same
+        edge multiset (same lexicographic canonical order, same optional
+        dedup), but skips the per-call bounds validation -- callers (the
+        array-native sampler cores) guarantee ``0 <= rows < num_rows`` and
+        ``0 <= cols < num_cols`` by construction.  The canonical
+        ``(row, col)`` sort runs on the fused key ``row * num_cols + col``
+        (one unstable single-key sort, roughly twice as fast as the
+        two-pass stable ``lexsort``, and order-equivalent because the key
+        map is a strictly monotone bijection); ``lexsort`` remains as the
+        fallback for matrices wide enough to overflow the fused key.
+        """
+        num_cols = num_rows if num_cols is None else num_cols
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        if num_cols and num_rows <= (2 ** 62) // num_cols:
+            key = np.sort(rows * num_cols + cols)
+            if deduplicate and len(key):
+                keep = np.ones(len(key), dtype=bool)
+                keep[1:] = key[1:] != key[:-1]
+                key = key[keep]
+            rows = key // num_cols
+            cols = key - rows * num_cols
+        else:
+            order = np.lexsort((cols, rows))
+            rows, cols = rows[order], cols[order]
+            if deduplicate and len(rows):
+                keep = np.ones(len(rows), dtype=bool)
+                keep[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+                rows, cols = rows[keep], cols[keep]
+        indptr = np.zeros(num_rows + 1, dtype=np.int64)
+        if len(rows):
+            np.cumsum(np.bincount(rows + 1, minlength=num_rows + 1),
+                      out=indptr)
+        self = cls.__new__(cls)
+        self.indptr = indptr
+        self.indices = cols
+        self.num_rows = int(num_rows)
+        self.num_cols = int(num_cols)
+        return self
+
+    @classmethod
     def from_edges(
         cls,
         edges: Iterable[Tuple[int, int]],
@@ -207,7 +258,15 @@ class Graph:
         ``(num_vertices, feature_length)`` float matrix ``X``.
     name:
         Optional dataset name for reporting.
+
+    The class attribute :attr:`is_csc` is the samplers' dispatch flag: the
+    array-native subclass :class:`~repro.graphs.csc.CSCGraph` flips it to
+    ``True``, which routes k-hop extraction, fusion and edge sampling onto
+    the vectorized ``colptr``/``row`` paths (see ``docs/core.md``).
     """
+
+    #: True only for CSC-backed graphs (:class:`~repro.graphs.csc.CSCGraph`).
+    is_csc = False
 
     def __init__(self, csr: CSRMatrix, features: np.ndarray, name: str = "graph"):
         features = np.asarray(features, dtype=np.float64)

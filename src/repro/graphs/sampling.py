@@ -90,6 +90,8 @@ class NeighborSampler:
         """
         if not self.config.enabled:
             return graph
+        if getattr(graph, "is_csc", False):
+            return self._sample_graph_arrays(graph)
         edges = []
         for v in range(graph.num_vertices):
             kept = self.sample_neighbors(graph.in_neighbors(v))
@@ -97,6 +99,63 @@ class NeighborSampler:
         csr = CSRMatrix.from_edges(edges, graph.num_vertices, deduplicate=False) \
             if edges else CSRMatrix.from_edges([], graph.num_vertices)
         return Graph(csr, graph.features, name=f"{graph.name}[sampled]")
+
+    def _sample_graph_arrays(self, graph: Graph) -> Graph:
+        """Array-core :meth:`sample_graph` for CSC-backed graphs.
+
+        Bit-for-bit equivalent to the object path: the shared RNG is
+        consulted once per vertex whose kept-count is below its in-degree
+        (in ascending vertex order, exactly when the object path's
+        :meth:`sample_neighbors` draws), while every fully-kept neighbour
+        list is gathered in one vectorized shot.  The edge multiset is then
+        canonicalised by the same
+        :meth:`~repro.graphs.graph.CSRMatrix.from_edges` sort the object
+        path ends in, so the sampled structure is identical.  The result
+        stays CSC-backed so downstream samplers keep their array paths.
+        """
+        from .csc import to_csc
+
+        cfg = self.config
+        colptr, row = graph.colptr, graph.row
+        num_vertices = graph.num_vertices
+        degs = np.diff(colptr)
+        keep = degs.copy()
+        if cfg.sampling_factor > 1:
+            keep = np.maximum(1, degs // cfg.sampling_factor)
+        if cfg.max_neighbors is not None:
+            keep = np.minimum(keep, cfg.max_neighbors)
+        # zero-degree vertices keep their (empty) lists untouched
+        keep = np.where(degs == 0, 0, keep)
+        sampled = np.nonzero(keep < degs)[0]
+        full_counts = np.where(keep < degs, 0, degs)
+        total_full = int(full_counts.sum())
+        excl = np.zeros(num_vertices, dtype=np.int64)
+        if num_vertices:
+            excl[1:] = np.cumsum(full_counts[:-1])
+        rel = np.arange(total_full) - np.repeat(excl, full_counts)
+        src_parts = [row[np.repeat(colptr[:-1], full_counts) + rel]]
+        dst_parts = [np.repeat(np.arange(num_vertices), full_counts)]
+        for v in sampled:
+            neighbors = row[colptr[v]:colptr[v + 1]]
+            k = int(keep[v])
+            if cfg.strategy == "uniform":
+                idx = self._rng.choice(len(neighbors), size=k, replace=False)
+                idx.sort()
+            else:
+                idx = np.linspace(0, len(neighbors) - 1,
+                                  num=k).astype(np.int64)
+                idx = np.unique(idx)
+            src_parts.append(neighbors[idx])
+            dst_parts.append(np.full(len(idx), v, dtype=np.int64))
+        src = np.concatenate(src_parts)
+        dst = np.concatenate(dst_parts)
+        if src.size:
+            csr = CSRMatrix.from_arrays(src, dst, num_vertices,
+                                        deduplicate=False)
+        else:
+            csr = CSRMatrix.from_edges([], num_vertices)
+        return to_csc(Graph(csr, graph.features,
+                            name=f"{graph.name}[sampled]"))
 
     def sampled_degree_map(self, graph: Graph) -> Dict[int, int]:
         """Per-vertex sampled in-degree without materialising the graph."""

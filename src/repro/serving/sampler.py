@@ -7,14 +7,32 @@ layer needs the k-hop in-neighbourhood of that vertex to compute it.  The
 rest of the stack -- the batcher, the fleet, the HyGCN simulator -- can treat
 a request exactly like any other workload graph.
 
-The per-hop fan-out cap mirrors GraphSage-style sampled serving (and reuses
-the same uniform-selection semantics as :mod:`repro.graphs.sampling`): at most
+The per-hop fan-out cap mirrors GraphSage-style sampled serving: at most
 ``fanout`` in-neighbours of each frontier vertex are expanded.  Extraction is
 deterministic per ``(seed, target, num_hops, fanout)`` regardless of request
 order -- the control plane's degradation ladder passes per-call hop/fanout
 overrides, and each override shape is memoised under its own key -- which
 keeps the result-cache semantics honest, and an internal LRU memo avoids
 re-extracting hot vertices.
+
+**Determinism contract (random-phase strided selection).**  Over-fanout
+selection uses the HyGCN Sampler unit's interval-strided index mode
+(Section 4.2) with a seeded random phase: an over-fanout vertex of
+in-degree ``d`` keeps the neighbours at positions
+``floor((u + j) * d / fanout)`` for ``j = 0..fanout-1``, where ``u`` is one
+uniform phase drawn per over-fanout vertex.  Positions are strictly
+increasing (``d / fanout > 1``), so exactly ``fanout`` distinct neighbours
+survive and every neighbour's inclusion probability is ``fanout / d`` --
+a classic systematic sample.  The phase stream is
+``rng = default_rng((seed, target))`` (constructed lazily on the first hop
+that needs it) drawing ``rng.random(n)`` per hop, ``n`` = that hop's
+over-fanout frontier-vertex count in frontier order; under-fanout vertices
+keep their full lists and never consume entropy.  One phase per vertex --
+not one draw per candidate edge -- keeps selection O(fanout) even at the
+1e4-degree hubs of power-law graphs, and the whole hop vectorizes into a
+handful of array ops; any implementation consuming the same phase stream
+reproduces the selection bit for bit, which is what makes the two cores
+below provably interchangeable.
 
 On top of extraction, this module provides the two primitives the
 overlap-aware batching subsystem (:mod:`repro.serving.batching`) is built on:
@@ -33,11 +51,24 @@ overlap-aware batching subsystem (:mod:`repro.serving.batching`) is built on:
 
 All of it is deterministic under the sampler ``seed`` and memoised in
 bounded LRUs (``memo_size`` entries each for samples and signatures).
+
+**Two cores, one contract.**  When the base graph is CSC-backed
+(:class:`~repro.graphs.csc.CSCGraph` -- what :func:`~repro.graphs.datasets.\
+load_dataset` returns), extraction, ``fused_size`` and ``fuse`` run on the
+**array core**: frontier expansion is ``colptr``/``row`` slicing, local-id
+assignment and dedup are sort-free scatter/gather passes over index arrays,
+and edge lists are assembled as contiguous arrays instead of Python tuples.  On a plain
+:class:`~repro.graphs.graph.Graph` the original object core runs.  The two
+are **bit-for-bit equivalent** -- identical phase-stream consumption,
+identical elementwise position arithmetic, identical local-id order,
+identical canonical CSR output -- which
+``tests/graphs/test_csc_equivalence.py`` proves differentially and
+``benchmarks/bench_core_speed.py`` shows is >= 10x faster.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -77,6 +108,11 @@ class SubgraphSample:
     target_vertex: int
     vertices: Tuple[int, ...]
     graph: Graph
+    #: Array-core twin of ``vertices`` (same ids, same order); ``None`` for
+    #: object-core samples.  Excluded from equality so samples from the two
+    #: cores compare equal when their contents do.
+    vertex_ids: Optional[np.ndarray] = field(default=None, compare=False,
+                                             repr=False)
 
     @property
     def num_vertices(self) -> int:
@@ -85,6 +121,13 @@ class SubgraphSample:
     @property
     def num_edges(self) -> int:
         return self.graph.num_edges
+
+    @property
+    def vertex_array(self) -> np.ndarray:
+        """Global vertex ids as an ``int64`` array (either core)."""
+        if self.vertex_ids is not None:
+            return self.vertex_ids
+        return np.asarray(self.vertices, dtype=np.int64)
 
 
 class SubgraphSampler:
@@ -108,6 +151,20 @@ class SubgraphSampler:
         self.seed = int(seed)
         self._memo = LRUCache(memo_size)
         self._sig_memo = LRUCache(memo_size)
+        #: True when the base graph is CSC-backed and the vectorized array
+        #: core handles extraction / fusion (bit-identical to the object
+        #: core -- see the module docstring).
+        self.array_core = bool(getattr(graph, "is_csc", False))
+        if self.array_core:
+            self._colptr = graph.colptr
+            self._row = graph.row
+            # global id -> local id scratch table, -1 = unseen; reset to -1
+            # for exactly the touched entries after every extraction, so
+            # each extract pays O(subgraph), not O(graph)
+            self._local_lut = np.full(graph.num_vertices, -1, dtype=np.int64)
+            # first-occurrence scratch for _first_seen; never reset -- every
+            # query overwrites the entries it reads before reading them
+            self._pos_lut = np.empty(graph.num_vertices, dtype=np.int64)
         # Seeded universal-hash family for the minhash signatures: odd 64-bit
         # multipliers (bijective mod 2^64) plus xor masks, fixed per sampler
         # seed so signatures are comparable across the whole run.
@@ -117,6 +174,19 @@ class SubgraphSampler:
             | np.uint64(1)
         self._sig_xor = rng.integers(0, 2 ** 62, size=SIGNATURE_HASHES,
                                      dtype=np.uint64)
+
+    def _first_seen(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of the first occurrence of each value in ``values``.
+
+        Sort-free O(n) dedup: scattering positions in *reverse* makes the
+        earliest index win, so an element is a first occurrence exactly
+        when the scratch table still holds its own index.  Stale scratch
+        entries are harmless -- only entries in ``values`` are read, and
+        those were all just written.
+        """
+        pos = self._pos_lut
+        pos[values[::-1]] = np.arange(values.size - 1, -1, -1)
+        return pos[values] == np.arange(values.size)
 
     def extract(self, target_vertex: int, num_hops: Optional[int] = None,
                 fanout: Optional[int] = None) -> SubgraphSample:
@@ -143,7 +213,10 @@ class SubgraphSampler:
         cached = self._memo.get(key)
         if cached is not None:
             return cached
-        sample = self._extract(target_vertex, hops, fan)
+        if self.array_core:
+            sample = self._extract_arrays(target_vertex, hops, fan)
+        else:
+            sample = self._extract(target_vertex, hops, fan)
         self._memo.put(key, sample)
         return sample
 
@@ -172,7 +245,7 @@ class SubgraphSampler:
         if cached is not None:
             return cached
         sample = self.extract(target_vertex, num_hops=hops, fanout=fan)
-        vertices = np.asarray(sample.vertices, dtype=np.uint64)
+        vertices = sample.vertex_array.astype(np.uint64)
         # h_j(v) = ((v + 1) * mult_j) ^ xor_j over Z_2^64; the signature is
         # the per-hash minimum over the neighbourhood's vertex set.
         hashed = ((vertices[:, None] + np.uint64(1))
@@ -200,6 +273,17 @@ class SubgraphSampler:
         with it.  Uses the extraction memo, so pricing a batch of hot
         targets costs dictionary lookups, not re-extraction.
         """
+        if self.array_core:
+            arrays: List[np.ndarray] = []
+            naive = 0
+            for target, hops, fan in shapes:
+                sample = self.extract(target, num_hops=hops, fanout=fan)
+                naive += sample.num_vertices
+                arrays.append(sample.vertex_array)
+            if not arrays:
+                return 0, 0
+            concat = np.concatenate(arrays)
+            return int(self._first_seen(concat).sum()), naive
         union = set()
         naive = 0
         for target, hops, fan in shapes:
@@ -225,6 +309,8 @@ class SubgraphSampler:
         """
         if not samples:
             raise ValueError("fuse requires at least one sample")
+        if self.array_core:
+            return self._fuse_arrays(samples, name)
         local_of = {}
         order: List[int] = []
         for sample in samples:
@@ -253,21 +339,172 @@ class SubgraphSampler:
         fused.memoize_workloads = False
         return fused
 
+    def _fuse_arrays(self, samples: Sequence[SubgraphSample],
+                     name: str) -> Graph:
+        """Array-core :meth:`fuse`: index-array dedup instead of dict unions.
+
+        Local ids follow first-seen order over ``samples`` (the sort-free
+        :meth:`_first_seen` mask over the concatenated vertex arrays) and
+        global->fused-local mapping is one gather through the scratch LUT;
+        the union edge set is canonicalised by the same
+        :meth:`~repro.graphs.graph.CSRMatrix.from_edges` sort/dedup the
+        object core ends in -- so the fused graph is identical bit for bit.
+        """
+        concat = np.concatenate([s.vertex_array for s in samples])
+        order = concat[self._first_seen(concat)]
+        lut = self._local_lut
+        lut[order] = np.arange(order.size)
+        rows_parts: List[np.ndarray] = []
+        cols_parts: List[np.ndarray] = []
+        for sample in samples:
+            csr = sample.graph.csr
+            if csr.nnz == 0:
+                continue
+            vid = sample.vertex_array
+            # sample-local (v -> u) out-edges mapped to fused local ids
+            v_global = vid[np.repeat(np.arange(csr.num_rows),
+                                     np.diff(csr.indptr))]
+            u_global = vid[csr.indices]
+            rows_parts.append(lut[v_global])
+            cols_parts.append(lut[u_global])
+        lut[order] = -1  # reset only the touched scratch entries
+        if rows_parts:
+            csr = CSRMatrix.from_arrays(np.concatenate(rows_parts),
+                                        np.concatenate(cols_parts),
+                                        order.size)
+        else:
+            csr = CSRMatrix.from_edges([], order.size)
+        features = self.graph.features[order]
+        fused = Graph(csr, features, name=name)
+        fused.memoize_workloads = False
+        return fused
+
     # ------------------------------------------------------------------ #
+    def _extract_arrays(self, target_vertex: int, num_hops: int,
+                        fanout: int) -> SubgraphSample:
+        """Array-core k-hop extraction over ``colptr``/``row`` slices.
+
+        Bit-identical to :meth:`_extract`: both cores consume the per-hop
+        phase stream of the module-level determinism contract (one uniform
+        per over-fanout frontier vertex; under-fanout vertices never touch
+        the RNG) and compute the strided positions with the same
+        elementwise float64 arithmetic, and new vertices take local ids in
+        first-seen order over the concatenated per-hop neighbour stream --
+        the same order the object core's dict scan assigns.
+        """
+        rng = None
+        colptr, row = self._colptr, self._row
+        lut = self._local_lut
+        lut[target_vertex] = 0
+        order_parts = [np.array([target_vertex], dtype=np.int64)]
+        num_local = 1
+        rows_parts: List[np.ndarray] = []   # edge sources, local ids
+        cols_parts: List[np.ndarray] = []   # edge destinations, local ids
+        frontier = order_parts[0]
+        frontier_base = 0  # frontier local ids are always consecutive
+        for _ in range(num_hops):
+            starts = colptr[frontier]
+            degs = colptr[frontier + 1] - starts
+            counts = np.minimum(degs, fanout)
+            seg_end = np.cumsum(counts)
+            total = int(seg_end[-1])
+            if total == 0:
+                break
+            seg_start = seg_end - counts
+            over = np.nonzero(degs > fanout)[0]
+            if over.size == 0:
+                # every frontier vertex keeps its full list: the segment
+                # layout equals the slice layout, so one gather suffices --
+                # position j of segment i reads row[starts[i] + j]
+                rel = np.arange(total) - np.repeat(seg_start, counts)
+                neigh = row[np.repeat(starts, counts) + rel]
+            else:
+                full = np.nonzero(degs <= fanout)[0]
+                neigh = np.empty(total, dtype=np.int64)
+                if full.size:
+                    f_counts = counts[full]
+                    f_end = np.cumsum(f_counts)
+                    rel = np.arange(int(f_end[-1])) - np.repeat(
+                        f_end - f_counts, f_counts)
+                    neigh[np.repeat(seg_start[full], f_counts) + rel] = \
+                        row[np.repeat(starts[full], f_counts) + rel]
+                if rng is None:
+                    rng = np.random.default_rng((self.seed, target_vertex))
+                # random-phase strided selection, whole hop at once: the
+                # phase u and the position arithmetic are elementwise
+                # identical to the object core's per-vertex expression
+                u = rng.random(over.size)
+                step = degs[over] / fanout
+                offs = (u[:, None] * step[:, None]
+                        + np.arange(fanout)[None, :] * step[:, None]
+                        ).astype(np.int64)
+                pos = (seg_start[over][:, None] + np.arange(fanout)).ravel()
+                neigh[pos] = row[(starts[over][:, None] + offs).ravel()]
+            dst_local = np.repeat(
+                np.arange(frontier_base, frontier_base + frontier.size),
+                counts)
+            src_local = lut[neigh]
+            unseen = src_local < 0
+            fresh = neigh[unseen]
+            if fresh.size:
+                new_globals = fresh[self._first_seen(fresh)]
+                lut[new_globals] = num_local + np.arange(new_globals.size)
+                # patch only the previously-unseen entries instead of
+                # re-gathering lut over the whole hop
+                src_local[unseen] = lut[fresh]
+                frontier_base = num_local
+                num_local += new_globals.size
+                order_parts.append(new_globals)
+                frontier = new_globals
+            else:
+                frontier = np.empty(0, dtype=np.int64)
+            rows_parts.append(src_local)
+            cols_parts.append(dst_local)
+            if frontier.size == 0:
+                break
+        order = np.concatenate(order_parts) if len(order_parts) > 1 \
+            else order_parts[0]
+        lut[order] = -1  # reset only the touched scratch entries
+        if rows_parts:
+            csr = CSRMatrix.from_arrays(np.concatenate(rows_parts),
+                                        np.concatenate(cols_parts), num_local)
+        else:
+            csr = CSRMatrix.from_edges([], num_local)
+        features = self.graph.features[order]
+        graph = Graph(csr, features,
+                      name=f"{self.graph.name}[v{target_vertex}]")
+        order.setflags(write=False)
+        return SubgraphSample(target_vertex=target_vertex,
+                              vertices=tuple(order.tolist()), graph=graph,
+                              vertex_ids=order)
+
     def _extract(self, target_vertex: int, num_hops: int,
                  fanout: int) -> SubgraphSample:
-        rng = np.random.default_rng((self.seed, target_vertex))
+        # Seeding a Generator costs ~25us and consumes no entropy, so both
+        # cores construct it lazily on the first hop that draws; the key
+        # stream is identical to eager construction.
+        rng = None
         local_of = {target_vertex: 0}
         order: List[int] = [target_vertex]
         edges: List[Tuple[int, int]] = []
         frontier = [target_vertex]
         for _ in range(num_hops):
             next_frontier: List[int] = []
-            for v in frontier:
-                neighbors = self.graph.in_neighbors(v)
+            lists = [self.graph.in_neighbors(v) for v in frontier]
+            num_over = sum(1 for n in lists if len(n) > fanout)
+            if num_over:
+                if rng is None:
+                    rng = np.random.default_rng((self.seed, target_vertex))
+                # one uniform phase per over-fanout vertex, frontier order
+                phases = rng.random(num_over)
+            pos = 0
+            for v, neighbors in zip(frontier, lists):
                 if len(neighbors) > fanout:
-                    idx = rng.choice(len(neighbors), size=fanout, replace=False)
-                    idx.sort()
+                    u = phases[pos]
+                    pos += 1
+                    step = len(neighbors) / fanout
+                    idx = (u * step
+                           + np.arange(fanout) * step).astype(np.int64)
                     neighbors = neighbors[idx]
                 v_local = local_of[v]
                 for u in neighbors:

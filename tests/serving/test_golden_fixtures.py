@@ -1,0 +1,84 @@
+"""Golden-fixture regression tests for the serving and trace reports.
+
+The differential suite proves the two sampler cores agree with *each
+other*; these fixtures pin what both of them actually produce.  A fixed
+seed, dataset and fleet shape must yield bit-for-bit the JSON committed
+under ``tests/serving/fixtures/`` -- so any hot-path refactor (sampler
+cores, batching, cycle model, observability) that shifts numbers fails
+here explicitly instead of sliding through as a silent behaviour change.
+
+When a change *intentionally* alters the numbers (e.g. a new sampling
+determinism contract), regenerate with::
+
+    PYTHONPATH=src python tests/serving/test_golden_fixtures.py
+
+and commit the diff alongside the change that explains it.
+"""
+
+import json
+import os
+
+from repro.graphs import load_dataset
+from repro.models.model_zoo import clear_workloads_cache
+from repro.serving.fleet import FleetConfig, clear_probe_cache, run_serving
+from repro.serving.observe import Instrumentation, trace_report
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
+SERVE_FIXTURE = os.path.join(FIXTURE_DIR, "serve_report_ib_seed5.json")
+TRACE_FIXTURE = os.path.join(FIXTURE_DIR, "trace_report_ib_seed5.json")
+
+DATASET = "IB"
+NUM_REQUESTS = 64
+RATE_RPS = 40.0
+SEED = 5
+
+
+def _build_payloads():
+    """One deterministic serving run -> (serve report, trace report) JSON."""
+    clear_probe_cache()
+    clear_workloads_cache()
+    load_dataset.cache_clear()
+    observe = Instrumentation()
+    report = run_serving(dataset=DATASET, num_requests=NUM_REQUESTS,
+                         rate_rps=RATE_RPS,
+                         config=FleetConfig(batch_policy="overlap"),
+                         seed=SEED, observe=observe)
+    serve_json = json.dumps(report.to_dict(), sort_keys=True, indent=2,
+                            default=float)
+    events = observe.trace_payload()["traceEvents"]
+    trace_json = json.dumps(trace_report(events), sort_keys=True, indent=2,
+                            default=float)
+    return serve_json, trace_json
+
+
+def test_serve_report_matches_golden_fixture():
+    with open(SERVE_FIXTURE) as handle:
+        expected = handle.read()
+    serve_json, _ = _build_payloads()
+    assert serve_json == expected.rstrip("\n"), (
+        "serving report diverged from the committed fixture; if the change "
+        "is intentional, regenerate via "
+        "`PYTHONPATH=src python tests/serving/test_golden_fixtures.py`"
+    )
+
+
+def test_trace_report_matches_golden_fixture():
+    with open(TRACE_FIXTURE) as handle:
+        expected = handle.read()
+    _, trace_json = _build_payloads()
+    assert trace_json == expected.rstrip("\n"), (
+        "trace report diverged from the committed fixture; if the change "
+        "is intentional, regenerate via "
+        "`PYTHONPATH=src python tests/serving/test_golden_fixtures.py`"
+    )
+
+
+if __name__ == "__main__":
+    os.makedirs(FIXTURE_DIR, exist_ok=True)
+    serve_json, trace_json = _build_payloads()
+    with open(SERVE_FIXTURE, "w") as handle:
+        handle.write(serve_json + "\n")
+    with open(TRACE_FIXTURE, "w") as handle:
+        handle.write(trace_json + "\n")
+    print(f"wrote {SERVE_FIXTURE} ({len(serve_json)} bytes)")
+    print(f"wrote {TRACE_FIXTURE} ({len(trace_json)} bytes)")

@@ -1,0 +1,82 @@
+"""Regression test: process-wide caches must not leak across test modules.
+
+The probe cache (:data:`repro.serving.fleet._PROBE_CACHE`) and the
+workload cache (:data:`repro.models.model_zoo._WORKLOADS_CACHE`) are
+process-wide memos.  ``tests/conftest.py`` installs an autouse
+module-scoped fixture that clears both at every module boundary; this
+file proves the fixture actually fires by running a miniature two-module
+pytest session under the *real* repo conftest -- module A pollutes both
+caches, module B asserts it starts cold.  If someone deletes or weakens
+the conftest fixture, the inner session (and hence this test) fails.
+"""
+
+import os
+
+import pytest
+
+pytest_plugins = ["pytester"]
+
+_CONFTEST_PATH = os.path.join(os.path.dirname(__file__), "conftest.py")
+
+_MODULE_A = """
+from repro.graphs import load_dataset
+from repro.models import model_zoo
+from repro.models.model_zoo import build_model, workloads_for
+from repro.serving import fleet
+
+
+def test_pollute_caches():
+    graph = load_dataset("IB", seed=0, scale_factor=16)
+    model = build_model("GCN", input_length=graph.feature_length)
+    workloads_for(model, graph)
+    fleet._PROBE_CACHE[("sentinel",)] = 1.0
+    assert model_zoo._WORKLOADS_CACHE
+    assert fleet._PROBE_CACHE
+"""
+
+_MODULE_B = """
+from repro.models import model_zoo
+from repro.serving import fleet
+
+
+def test_starts_with_cold_caches():
+    assert not model_zoo._WORKLOADS_CACHE
+    assert not fleet._PROBE_CACHE
+"""
+
+
+def test_module_boundary_clears_process_caches(pytester):
+    with open(_CONFTEST_PATH) as handle:
+        pytester.makeconftest(handle.read())
+    pytester.makepyfile(test_a_pollutes=_MODULE_A, test_b_cold=_MODULE_B)
+    result = pytester.runpytest_inprocess("-p", "no:cacheprovider", "-q")
+    result.assert_outcomes(passed=2)
+
+
+def test_clear_helpers_empty_the_caches():
+    """The clear functions themselves must fully empty both caches."""
+    from repro.graphs import load_dataset
+    from repro.models import model_zoo
+    from repro.models.model_zoo import (build_model, clear_workloads_cache,
+                                        workloads_for)
+    from repro.serving import fleet
+    from repro.serving.fleet import clear_probe_cache
+
+    graph = load_dataset("IB", seed=0, scale_factor=16)
+    model = build_model("GCN", input_length=graph.feature_length)
+    workloads_for(model, graph)
+    fleet._PROBE_CACHE[("sentinel",)] = 1.0
+    assert model_zoo._WORKLOADS_CACHE and fleet._PROBE_CACHE
+    clear_workloads_cache()
+    clear_probe_cache()
+    assert not model_zoo._WORKLOADS_CACHE
+    assert not fleet._PROBE_CACHE
+
+
+@pytest.fixture(autouse=True)
+def _leave_clean():
+    yield
+    from repro.models.model_zoo import clear_workloads_cache
+    from repro.serving.fleet import clear_probe_cache
+    clear_probe_cache()
+    clear_workloads_cache()
