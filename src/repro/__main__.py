@@ -51,11 +51,14 @@ from .serving import (
     ARRIVAL_PROCESSES,
     AUTOSCALE_POLICIES,
     DISPATCH_POLICIES,
+    PARTITIONERS,
     SCALE_SHAPE_POLICIES,
     SHAPE_MIXES,
     ControlConfig,
     FleetConfig,
     Instrumentation,
+    InterconnectConfig,
+    ShardingConfig,
     fleet_spec_for_mix,
     format_trace_report,
     load_fleet_spec,
@@ -166,6 +169,27 @@ def _build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="named shape mix sized to --chips "
                              "(mixed = 50/50 agg_heavy/comb_heavy)")
+    sharding = serve.add_argument_group(
+        "sharded execution",
+        "partition the dataset across the whole fleet and serve every "
+        "request on the resulting chip group (see docs/sharding.md); "
+        "--shards arms it (overriding --chips with the group size) and "
+        "the remaining flags tune an armed group and error without one; "
+        "incompatible with the elastic control plane")
+    sharding.add_argument("--shards", type=int, default=None,
+                          help="number of graph shards = chips in the "
+                               "group (1 reproduces the unsharded report "
+                               "bit-for-bit)")
+    sharding.add_argument("--partitioner", choices=sorted(PARTITIONERS),
+                          default=None,
+                          help="dataset partitioner (default locality, "
+                               "the greedy edge-cut minimiser)")
+    sharding.add_argument("--halo-cache-mb", type=float, default=None,
+                          help="per-chip ghost-feature cache in MiB "
+                               "(default 4; 0 disables it)")
+    sharding.add_argument("--interconnect-gbps", type=float, default=None,
+                          help="chip-to-chip link bandwidth in GB/s for "
+                               "halo exchange and gather (default 24)")
     serve.add_argument("--hops", type=int, default=2,
                        help="k-hop neighbourhood depth per request")
     serve.add_argument("--fanout", type=int, default=8,
@@ -338,6 +362,35 @@ def _control_config_from_args(args: argparse.Namespace
     )
 
 
+def _sharding_config_from_args(args: argparse.Namespace
+                               ) -> Optional[ShardingConfig]:
+    """Build a ShardingConfig when --shards arms sharded execution.
+
+    Raises ValueError (-> `error: ...`, exit 2) when tuning flags are given
+    without the arming flag, mirroring the control-plane idiom.
+    """
+    if args.shards is None:
+        tuning = [flag for flag, given in (
+            ("--partitioner", args.partitioner is not None),
+            ("--halo-cache-mb", args.halo_cache_mb is not None),
+            ("--interconnect-gbps", args.interconnect_gbps is not None),
+        ) if given]
+        if tuning:
+            raise ValueError(
+                f"{', '.join(tuning)} tune sharded execution but nothing "
+                f"arms it; add --shards N")
+        return None
+    interconnect = InterconnectConfig() if args.interconnect_gbps is None \
+        else InterconnectConfig(link_gbps=args.interconnect_gbps)
+    overrides = {}
+    if args.partitioner is not None:
+        overrides["partitioner"] = args.partitioner
+    if args.halo_cache_mb is not None:
+        overrides["halo_cache_mb"] = args.halo_cache_mb
+    return ShardingConfig(num_shards=args.shards, interconnect=interconnect,
+                          seed=args.seed, **overrides)
+
+
 def _fleet_spec_from_args(args: argparse.Namespace):
     """Resolve --fleet-spec / --shape-mix into a FleetSpec (or None).
 
@@ -473,9 +526,13 @@ def _run_serve_tenants(args: argparse.Namespace) -> int:
     try:
         control = _control_config_from_args(args)
         observe = _instrumentation_from_args(args)
-        fleet = FleetConfig(num_chips=args.chips, seed=args.seed,
+        sharding = _sharding_config_from_args(args)
+        fleet = FleetConfig(num_chips=args.shards if sharding is not None
+                            else args.chips,
+                            seed=args.seed,
                             dispatch=args.dispatch,
                             fleet_spec=_fleet_spec_from_args(args),
+                            sharding=sharding,
                             **_batching_overrides(args, tenants_mode=True))
         report = run_multi_tenant(
             tenants, fleet, utilization_target=args.utilization,
@@ -506,6 +563,9 @@ def _run_serve_tenants(args: argparse.Namespace) -> int:
     if batching_rows:
         print_table(batching_rows,
                     title="batch formation per tenant (docs/batching.md)")
+    if report.sharding is not None:
+        print_table([report.sharding.summary()],
+                    title="sharded execution (docs/sharding.md)")
     if report.control is not None:
         _print_control_tables(report.control)
     print_table([{
@@ -540,9 +600,11 @@ def _run_serve(args: argparse.Namespace) -> int:
     try:
         control = _control_config_from_args(args)
         observe = _instrumentation_from_args(args)
+        sharding = _sharding_config_from_args(args)
         config = FleetConfig(
-            num_chips=args.chips,
+            num_chips=args.shards if sharding is not None else args.chips,
             fleet_spec=_fleet_spec_from_args(args),
+            sharding=sharding,
             dispatch=args.dispatch,
             batch_policy=args.batch_policy,
             max_batch_size=args.max_batch,
@@ -598,6 +660,9 @@ def _run_serve(args: argparse.Namespace) -> int:
     if report.batching is not None:
         print_table([report.batching.summary()],
                     title="batch formation (docs/batching.md)")
+    if report.sharding is not None:
+        print_table([report.sharding.summary()],
+                    title="sharded execution (docs/sharding.md)")
     if report.control is not None:
         _print_control_tables(report.control)
     print_table([{

@@ -17,6 +17,11 @@ axis: fleets may mix HyGCN chip *shapes* (aggregation-heavy,
 combination-heavy, balanced) described by a :class:`FleetSpec`, with
 ``shape-aware`` dispatch routing each batch to the shape that serves its
 profile fastest and the control plane choosing which shape to scale.
+:mod:`repro.serving.sharding` opens the *dataset* axis: one graph
+partitioned across the whole fleet (``hash``/``locality`` behind the
+:data:`PARTITIONERS` registry), every batch split into per-shard
+sub-batches that execute concurrently with modelled halo-exchange
+traffic and per-chip halo caches.
 """
 
 from .batcher import (
@@ -98,6 +103,15 @@ from .sampler import (
     SubgraphSampler,
     estimate_jaccard,
 )
+from .sharding import (
+    PARTITIONERS,
+    InterconnectConfig,
+    ShardExecutor,
+    ShardingConfig,
+    ShardTiming,
+    clear_shard_plan_cache,
+    shard_plan_for,
+)
 from .stats import (
     AdmissionStats,
     BatchingStats,
@@ -107,6 +121,7 @@ from .stats import (
     MultiTenantReport,
     RequestRecord,
     ServingReport,
+    ShardingStats,
     percentile,
 )
 from .tenancy import (
@@ -136,6 +151,7 @@ __all__ = [
     "BATCHING_POLICIES",
     "BATCH_POLICIES",
     "DISPATCH_POLICIES",
+    "PARTITIONERS",
     "SCALE_SHAPE_POLICIES",
     "SHAPE_MIXES",
     "SHAPE_PRESETS",
@@ -155,6 +171,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "Instrumentation",
+    "InterconnectConfig",
     "LateJoin",
     "MetricsRegistry",
     "OverlapBatcher",
@@ -179,6 +196,10 @@ __all__ = [
     "ShapeChooser",
     "ShapeScorer",
     "ShapeSpec",
+    "ShardExecutor",
+    "ShardTiming",
+    "ShardingConfig",
+    "ShardingStats",
     "SizeCappedBatcher",
     "SLOAwareBatcher",
     "SubgraphSample",
@@ -196,6 +217,7 @@ __all__ = [
     "build_batcher",
     "bursty_arrival_times",
     "clear_probe_cache",
+    "clear_shard_plan_cache",
     "default_degradation_ladder",
     "estimate_jaccard",
     "fleet_spec_for_mix",
@@ -218,6 +240,7 @@ __all__ = [
     "ramp_arrival_times",
     "run_multi_tenant",
     "run_serving",
+    "shard_plan_for",
     "split_tenant_stream",
     "trace_arrival_times",
 ]

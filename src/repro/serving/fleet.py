@@ -86,6 +86,7 @@ from .hetero import (
     make_profile_fn,
 )
 from .sampler import SubgraphSampler
+from .sharding import ShardExecutor, ShardingConfig, shard_plan_for
 from .stats import (
     BatchingStats,
     ChipStats,
@@ -150,6 +151,14 @@ class FleetConfig:
     configured value is overridden).  Without a spec every chip runs
     ``hw``.  The ``shape-aware`` dispatch policy works on either -- on a
     homogeneous fleet it degenerates to backlog comparison.
+
+    ``sharding`` turns the fleet into a *chip group* executing every batch
+    across all chips (:mod:`repro.serving.sharding`): the dataset is
+    partitioned one shard per chip, so ``num_chips`` must equal
+    ``sharding.num_shards``; chip 0 is the group leader (the only
+    schedulable chip) and the rest serve sub-batches off its clock.
+    Incompatible with the elastic control plane (a group cannot grow or
+    shrink mid-run).
     """
 
     num_chips: int = 4
@@ -172,6 +181,7 @@ class FleetConfig:
     seed: int = 0
     hw: HyGCNConfig = field(default_factory=HyGCNConfig)
     fleet_spec: Optional[FleetSpec] = None
+    sharding: Optional[ShardingConfig] = None
 
     def __post_init__(self) -> None:
         if self.fleet_spec is not None:
@@ -209,6 +219,12 @@ class FleetConfig:
             raise ValueError("join_window_s must be positive when set")
         if self.staleness_s is not None and self.staleness_s <= 0:
             raise ValueError("staleness_s must be positive when set")
+        if self.sharding is not None \
+                and self.sharding.num_shards != self.num_chips:
+            raise ValueError(
+                f"sharded execution needs one chip per shard: "
+                f"num_chips={self.num_chips} but "
+                f"sharding.num_shards={self.sharding.num_shards}")
 
     @property
     def signature_hops(self) -> int:
@@ -793,6 +809,24 @@ class ServingSimulator:
         self._next_chip_id = initial_chips
         self._shapes = cfg.distinct_shapes()
         self.result_cache = LRUCache(cfg.cache_size)
+        #: Sharded-execution driver (:mod:`repro.serving.sharding`), or
+        #: ``None`` on an unsharded fleet.  Chip 0 is the group leader and
+        #: stays ``active``; the other chips become non-schedulable
+        #: ``member`` chips serving sub-batches off the leader's clock.
+        self.shard_executor: Optional[ShardExecutor] = None
+        if cfg.sharding is not None:
+            if self.control_config is not None:
+                raise ValueError(
+                    "sharded execution cannot be combined with the elastic "
+                    "control plane (a chip group cannot scale mid-run)")
+            plan = shard_plan_for(graph, cfg.sharding)
+            for chip in self.chips[1:]:
+                chip.state = "member"
+            self.shard_executor = ShardExecutor(
+                plan, self.chips, self.sampler, self.model,
+                self.dataset_name, cfg.sharding,
+                feature_bytes=graph.feature_length
+                * graph.features.dtype.itemsize)
         # shape tracking: a mixed roster always accounts shapes; the
         # shape-aware policy additionally scores with them (and works on a
         # homogeneous fleet, where it degenerates to least-loaded)
@@ -908,7 +942,18 @@ class ServingSimulator:
     def batch_service_time_s(self, chip: Chip, batch: Batch,
                              account: bool = True) -> float:
         """Simulated execution time of the fused subgraph batch on ``chip``
-        (see :func:`fused_batch_service_time_s`)."""
+        (see :func:`fused_batch_service_time_s`).
+
+        On a sharded fleet (>1 shard) the batch executes across the whole
+        chip group instead (:meth:`ShardExecutor.service_time_s`); a
+        one-shard group takes this single-chip path verbatim, which is what
+        makes its report bit-for-bit identical to an unsharded run.
+        """
+        if self.shard_executor is not None \
+                and self.shard_executor.plan.num_shards > 1:
+            return self.shard_executor.service_time_s(
+                batch, reuse_discount=self.config.reuse_discount,
+                account=account)
         return fused_batch_service_time_s(
             chip, self.sampler, self.model, batch,
             dataset_name=self.dataset_name,
@@ -1070,6 +1115,12 @@ class ServingSimulator:
                     for c in self.chips),
                 "repro_overlap_ratio_ewma": overlap_ewma,
             }
+            if self.shard_executor is not None:
+                shard_stats = self.shard_executor.stats
+                gauges["repro_halo_hit_rate"] = shard_stats.halo_hit_rate
+                gauges["repro_halo_bytes_moved"] = shard_stats.halo_bytes_moved
+                gauges["repro_shard_load_imbalance"] = \
+                    shard_stats.load_imbalance
             elapsed = now - t0
             if elapsed > 0:
                 for shape in self._shapes:
@@ -1168,6 +1219,7 @@ class ServingSimulator:
             if observe is not None:
                 observe.on_batch_complete(now, chip, batch, dispatched,
                                           started)
+                observe.on_shard_batch_complete(now, batch, started)
             if chip.queue:
                 start_service(chip, now)
             elif chip.state == "draining":
@@ -1318,6 +1370,12 @@ class ServingSimulator:
                 hetero_stats.fallback_batches = self._dispatch.fallback
             hetero_stats.rates = self.scorer.snapshot()
             report.hetero = hetero_stats
+        if self.shard_executor is not None:
+            shard_stats = self.shard_executor.stats
+            shard_stats.p50_s = report.p50_latency_s
+            shard_stats.p95_s = report.p95_latency_s
+            shard_stats.p99_s = report.p99_latency_s
+            report.sharding = shard_stats
         if control is not None:
             report.control = control.finalize(last_t, self.chips)
         return report

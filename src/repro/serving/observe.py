@@ -456,6 +456,49 @@ class Instrumentation:
             self._span("service", "request", started_s, now,
                        PID_REQUESTS, tid, dict(common))
 
+    def on_shard_batch_complete(self, now: float, batch,
+                                started_s: float) -> None:
+        """A sharded batch finished; emit per-shard sub-batch spans.
+
+        Called right after :meth:`on_batch_complete` for batches served by
+        a chip group.  Purely a reader of ``batch.shard_timings`` — it
+        must never mutate simulation state, so a traced sharded run stays
+        bit-for-bit identical to an untraced one.
+        """
+        timings = getattr(batch, "shard_timings", None)
+        if not timings:
+            return
+        registry = self.registry
+        registry.counter("repro_shard_sub_batches_total",
+                         "Per-shard sub-batches executed").inc(len(timings))
+        registry.counter(
+            "repro_halo_misses_total",
+            "Ghost-feature lookups that missed the halo cache").inc(
+                sum(t.halo_misses for t in timings))
+        registry.counter(
+            "repro_halo_hits_total",
+            "Ghost-feature lookups served from a halo cache").inc(
+                sum(t.halo_hits for t in timings))
+        if not self.trace_enabled:
+            return
+        for t in timings:
+            self._name_thread(PID_FLEET, t.chip_id, f"chip {t.chip_id}")
+            args = {
+                "batch_id": batch.batch_id, "shard": t.shard,
+                "requests": t.requests,
+                "fused_vertices": t.fused_vertices,
+                "ghost_vertices": t.ghost_vertices,
+                "halo_hits": t.halo_hits, "halo_misses": t.halo_misses,
+            }
+            boundary_s = started_s + t.exchange_s
+            if t.exchange_s > 0.0:
+                self._span(f"halo exchange s{t.shard}", "shard",
+                           started_s, boundary_s, PID_FLEET, t.chip_id,
+                           dict(args))
+            self._span(f"sub-batch s{t.shard}", "shard", boundary_s,
+                       boundary_s + t.compute_s, PID_FLEET, t.chip_id,
+                       dict(args))
+
     # -- metrics scraping ---------------------------------------------- #
     @property
     def wants_metrics(self) -> bool:

@@ -1,0 +1,382 @@
+"""Sharded execution of one request across a multi-chip group.
+
+The paper's Fig. 18 scales HyGCN by partitioning the graph over several
+chips (Section 4.3.2's interval/shard tiling applied across dies).  This
+module takes that story online: a *chip group* of ``num_shards`` chips
+holds one dataset partitioned by vertex ownership
+(:class:`~repro.graphs.partition.ShardPlan`), and every served batch is
+split into per-shard **sub-batches** that execute concurrently on their
+owning chips:
+
+1. the sampler splits a batch's requests by the owner of their target
+   vertex; each shard's sub-batch fuses (deduped union) and runs through
+   the owning chip's cycle model exactly like a single-chip batch;
+2. fused sub-batch vertices owned by *other* shards are **ghosts**: their
+   features travel as modelled halo-exchange traffic -- a DRAM read at the
+   owner plus a transfer over the :class:`InterconnectConfig` link
+   (parameterised like :class:`repro.hw.dram.HBMConfig`: bandwidth in
+   GB/s == bytes/ns, a per-message latency, a message payload size);
+3. each chip keeps a **halo cache** (LRU over ghost vertex ids) so hot
+   ghost features are exchanged once while warm, with hit/byte accounting
+   in :class:`~repro.serving.stats.ShardingStats`;
+4. the batch completes at a **gather barrier**: max over shards of
+   (exchange + compute), plus one gather transfer returning the non-leader
+   shards' target outputs to the group leader (chip 0, the only
+   schedulable chip of a sharded fleet).
+
+Partitioners live behind the :data:`PARTITIONERS` registry (``hash``
+baseline vs. ``locality`` greedy edge-cut minimiser, both in
+:mod:`repro.graphs.partition`); plans are memoised process-wide in
+:data:`_SHARD_PLAN_CACHE` (cleared by :func:`clear_shard_plan_cache`, the
+test-isolation hook mirroring ``clear_probe_cache``).
+
+A one-shard plan is a degenerate group: the fleet bypasses this module's
+arithmetic entirely and the report is bit-for-bit identical to an
+unsharded run (asserted in ``tests/serving/test_sharding.py``).  See
+``docs/sharding.md`` for the cost model with a worked example.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.graph import Graph
+from ..graphs.partition import (
+    ShardPlan,
+    build_shard_plan,
+    hash_partition,
+    locality_partition,
+)
+from .cache import LRUCache
+from .stats import ShardingStats
+
+__all__ = [
+    "PARTITIONERS",
+    "InterconnectConfig",
+    "ShardingConfig",
+    "ShardExecutor",
+    "ShardTiming",
+    "shard_plan_for",
+    "clear_shard_plan_cache",
+]
+
+logger = logging.getLogger("repro.serving.sharding")
+
+#: Partitioner registry: name -> ``(graph, num_shards, seed) -> owner`` array.
+#: ``hash`` is the locality-oblivious baseline; ``locality`` the LDG greedy
+#: edge-cut minimiser the acceptance experiment measures against it.
+PARTITIONERS = {
+    "hash": hash_partition,
+    "locality": locality_partition,
+}
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """Chip-to-chip link model (the halo-exchange fabric).
+
+    Parameterised like :class:`~repro.hw.dram.HBMConfig`: bandwidth is in
+    GB/s, which equals bytes per nanosecond, so transfer time in ns is
+    simply ``bytes / link_gbps``.  A transfer additionally pays
+    ``latency_ns`` per message of up to ``message_bytes`` payload --
+    small exchanges are latency-bound, large ones bandwidth-bound.
+    """
+
+    #: per-link bandwidth in GB/s (bytes/ns); PCIe-5 x16-ish by default,
+    #: an order of magnitude under the 256 GB/s on-board HBM so crossing
+    #: the cut is visibly more expensive than staying home.
+    link_gbps: float = 24.0
+    #: per-message latency in nanoseconds (serialisation + hop).
+    latency_ns: float = 600.0
+    #: maximum payload per message in bytes.
+    message_bytes: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.link_gbps <= 0:
+            raise ValueError("link_gbps must be positive")
+        if self.latency_ns < 0:
+            raise ValueError("latency_ns must be >= 0")
+        if self.message_bytes < 1:
+            raise ValueError("message_bytes must be >= 1")
+
+    def transfer_time_s(self, num_bytes: float) -> float:
+        """Seconds to move ``num_bytes`` over one link (0 bytes is free)."""
+        if num_bytes <= 0:
+            return 0.0
+        messages = -(-int(num_bytes) // self.message_bytes)
+        return (messages * self.latency_ns + num_bytes / self.link_gbps) * 1e-9
+
+
+@dataclass(frozen=True)
+class ShardingConfig:
+    """Arming/tuning knobs of sharded execution (``--shards`` et al.).
+
+    ``num_shards`` must equal the fleet's chip count (one shard per chip);
+    ``halo_cache_mb`` sizes each chip's ghost-feature LRU in mebibytes
+    (0 disables it); ``seed`` feeds the partitioner (only ``hash`` consumes
+    it) and keys the plan memo.
+    """
+
+    num_shards: int
+    partitioner: str = "locality"
+    halo_cache_mb: float = 4.0
+    interconnect: InterconnectConfig = InterconnectConfig()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if self.partitioner not in PARTITIONERS:
+            raise ValueError(
+                f"partitioner must be one of {sorted(PARTITIONERS)}, "
+                f"got {self.partitioner!r}")
+        if self.halo_cache_mb < 0:
+            raise ValueError("halo_cache_mb must be >= 0")
+
+
+#: Shard-plan memo keyed on (graph identity, structure fingerprint, shards,
+#: partitioner, seed).  Partitioning is pure preprocessing -- repeated runs
+#: (benchmark sweeps, hash-vs-locality comparisons, per-tenant plans over a
+#: shared dataset) pay for each plan once.  ``clear_shard_plan_cache`` is
+#: the test-isolation hook (see ``tests/conftest.py``).
+_SHARD_PLAN_CACHE: Dict[Tuple, ShardPlan] = {}
+
+
+def clear_shard_plan_cache() -> None:
+    """Drop all memoised shard plans (test isolation hook)."""
+    _SHARD_PLAN_CACHE.clear()
+
+
+def shard_plan_for(graph: Graph, config: ShardingConfig) -> ShardPlan:
+    """The (memoised) :class:`ShardPlan` of ``graph`` under ``config``.
+
+    The key includes ``id(graph)`` *and* the structural fingerprint
+    (name, vertex and edge counts), so a recycled object id for a
+    different graph cannot alias a stale plan.
+    """
+    key = (id(graph), graph.name, graph.num_vertices, graph.num_edges,
+           config.num_shards, config.partitioner, config.seed)
+    plan = _SHARD_PLAN_CACHE.get(key)
+    if plan is None:
+        owner = PARTITIONERS[config.partitioner](
+            graph, config.num_shards, config.seed)
+        plan = build_shard_plan(graph, owner,
+                                partitioner=config.partitioner,
+                                seed=config.seed)
+        _SHARD_PLAN_CACHE[key] = plan
+        logger.info(
+            "partitioned %s into %d shards (%s): edge-cut %d/%d (%.1f%%), "
+            "%d halo vertices", graph.name, plan.num_shards,
+            plan.partitioner, plan.edge_cut, plan.num_edges,
+            100.0 * plan.edge_cut_fraction, plan.halo_vertices)
+    return plan
+
+
+@dataclass(frozen=True)
+class ShardTiming:
+    """Cost breakdown of one shard's sub-batch (one span pair in traces)."""
+
+    shard: int
+    chip_id: int
+    requests: int
+    fused_vertices: int
+    ghost_vertices: int
+    halo_hits: int
+    halo_misses: int
+    exchange_s: float
+    compute_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.exchange_s + self.compute_s
+
+
+class ShardExecutor:
+    """Drives one batch across the chip group and accounts the exchange.
+
+    One executor per (run, tenant): it owns the plan and the sampler/model
+    binding, while the per-chip halo caches may be shared across tenants
+    (the multi-tenant path passes one cache list for the whole fleet and a
+    ``key_fn`` mapping vertex ids to ``(tenant, vertex)`` keys, mirroring
+    the feature-cache convention).
+
+    The executor never touches the event loop: the fleet calls
+    :meth:`service_time_s` exactly where the unsharded path calls
+    :func:`~repro.serving.fleet.fused_batch_service_time_s`, and everything
+    else (dispatch, queues, completions) happens on the group leader.
+    """
+
+    def __init__(self, plan: ShardPlan, chips: Sequence, sampler, model,
+                 dataset_name: str, config: ShardingConfig,
+                 feature_bytes: int, stats: Optional[ShardingStats] = None,
+                 halo_caches: Optional[List[LRUCache]] = None,
+                 key_fn=None):
+        if len(chips) < plan.num_shards:
+            raise ValueError(
+                f"chip group of {len(chips)} cannot host {plan.num_shards} "
+                f"shards (need one chip per shard)")
+        self.plan = plan
+        self.chips = list(chips)[:plan.num_shards]
+        self.sampler = sampler
+        self.model = model
+        self.dataset_name = dataset_name
+        self.config = config
+        #: bytes of one vertex's feature vector (feature_length * itemsize).
+        self.feature_bytes = int(feature_bytes)
+        self.stats = stats if stats is not None else ShardingStats(
+            num_shards=plan.num_shards, partitioner=plan.partitioner)
+        if not self.stats.shard_busy_s:
+            self.stats.shard_busy_s = [0.0] * plan.num_shards
+            self.stats.shard_requests = [0] * plan.num_shards
+        self.stats.fold_plan(plan)
+        if halo_caches is None:
+            capacity = int(config.halo_cache_mb * (1 << 20)
+                           / max(self.feature_bytes, 1))
+            halo_caches = [LRUCache(capacity) for _ in range(plan.num_shards)]
+        self.halo_caches = halo_caches
+        self._key_fn = key_fn if key_fn is not None else (lambda v: v)
+
+    # ------------------------------------------------------------------ #
+    def _halo_exchange_s(self, shard: int, ghosts: np.ndarray,
+                         hbm_gbps: float, account: bool) -> Tuple[float, int, int]:
+        """Exchange time for ``ghosts`` arriving at ``shard``.
+
+        Misses cost a DRAM read at the owner (``bytes / hbm_gbps`` ns) plus
+        the interconnect transfer; hits are served from the halo cache for
+        free.  Returns ``(seconds, hits, misses)``.
+        """
+        cache = self.halo_caches[shard]
+        key = self._key_fn
+        hits = 0
+        if account:
+            misses_list = []
+            for v in ghosts:
+                if cache.get(key(int(v))) is not None:
+                    hits += 1
+                else:
+                    misses_list.append(int(v))
+            for v in misses_list:
+                cache.put(key(v), True)
+            misses = len(misses_list)
+        else:
+            # read-only peek: probes must not warm the caches
+            hits = sum(1 for v in ghosts if key(int(v)) in cache)
+            misses = int(ghosts.size) - hits
+        moved = misses * self.feature_bytes
+        dram_s = moved / hbm_gbps * 1e-9 if moved else 0.0
+        return dram_s + self.config.interconnect.transfer_time_s(moved), \
+            hits, misses
+
+    def service_time_s(self, batch, reuse_discount: float,
+                       account: bool = True) -> float:
+        """Simulated group service time of ``batch`` (the gather barrier).
+
+        Splits the batch by target ownership, runs every shard's fused
+        sub-batch on its chip, prices the halo exchange each sub-batch
+        needs, and returns ``max_s(exchange_s + compute_s) + gather_s``.
+        Stamps the batch exactly like the unsharded path
+        (``fused_vertices`` / ``naive_vertices`` / ``overlap_ratio`` /
+        ``phase_cycles``, summed over shards) plus ``shard_timings`` for
+        the observability layer's sub-batch spans.
+        """
+        plan = self.plan
+        owner = plan.owner
+        groups: Dict[int, List] = {}
+        for request in batch.requests:
+            groups.setdefault(int(owner[request.target_vertex]),
+                              []).append(request)
+        prefix = f"{batch.tenant}-" if batch.tenant else ""
+        timings: List[ShardTiming] = []
+        phase_cycles = {"total": 0, "aggregation": 0, "combination": 0,
+                       "dram_busy": 0}
+        fused_total = naive_total = 0
+        for shard in sorted(groups):
+            requests = groups[shard]
+            chip = self.chips[shard]
+            request_shapes = [(r.target_vertex, r.degrade_hops,
+                               r.degrade_fanout) for r in requests]
+            shapes = list(dict.fromkeys(request_shapes))
+            by_shape = {s: self.sampler.extract(s[0], num_hops=s[1],
+                                                fanout=s[2]) for s in shapes}
+            samples = [by_shape[s] for s in shapes]
+            naive = sum(by_shape[s].num_vertices for s in request_shapes)
+            if len(samples) == 1:
+                fused = samples[0].graph
+            else:
+                fused = self.sampler.fuse(
+                    samples, name=f"{prefix}batch{batch.batch_id}s{shard}")
+            union = samples[0].vertex_array if len(samples) == 1 else \
+                np.unique(np.concatenate([s.vertex_array for s in samples]))
+            ghosts = union[owner[union] != shard]
+            exchange_s, hits, misses = self._halo_exchange_s(
+                shard, ghosts, chip.hw.hbm.peak_bandwidth_gbps, account)
+            report = chip.simulator.run_model(self.model, fused,
+                                              dataset_name=self.dataset_name)
+            phase_cycles["total"] += report.total_cycles
+            phase_cycles["aggregation"] += report.aggregation_cycles
+            phase_cycles["combination"] += report.combination_cycles
+            phase_cycles["dram_busy"] += report.dram_stats.busy_cycles
+            # per-chip feature-cache reuse, same semantics as the unsharded
+            # path: warm features skip their DRAM stream on this chip
+            key = self._key_fn
+            if account:
+                feature_hits = sum(
+                    1 for v in union
+                    if chip.feature_cache.get(key(int(v))) is not None)
+                for v in union:
+                    chip.feature_cache.put(key(int(v)), True)
+            else:
+                feature_hits = sum(1 for v in union if key(int(v))
+                                   in chip.feature_cache)
+            reuse_fraction = feature_hits / union.size if union.size else 0.0
+            compute_s = report.execution_time_s \
+                * (1.0 - reuse_discount * reuse_fraction)
+            timings.append(ShardTiming(
+                shard=shard, chip_id=chip.chip_id, requests=len(requests),
+                fused_vertices=fused.num_vertices,
+                ghost_vertices=int(ghosts.size),
+                halo_hits=hits, halo_misses=misses,
+                exchange_s=exchange_s, compute_s=compute_s))
+            fused_total += fused.num_vertices
+            naive_total += naive
+            if account:
+                chip.stats.vertices_simulated += fused.num_vertices
+                chip.stats.feature_lookups += int(union.size)
+                chip.stats.feature_hits += feature_hits
+        batch.fused_vertices = fused_total
+        batch.naive_vertices = naive_total
+        batch.overlap_ratio = 1.0 - fused_total / naive_total \
+            if naive_total else 0.0
+        batch.phase_cycles = phase_cycles
+        batch.shard_timings = timings
+        # the gather barrier: non-leader shards return their targets'
+        # output features to the group leader over the interconnect
+        gather_bytes = sum(t.requests for t in timings if t.shard != 0) \
+            * self.feature_bytes
+        gather_s = self.config.interconnect.transfer_time_s(gather_bytes)
+        service_s = max(t.total_s for t in timings) + gather_s
+        if account:
+            stats = self.stats
+            stats.sharded_batches += 1
+            stats.sub_batches += len(timings)
+            stats.gather_s += gather_s
+            for t in timings:
+                stats.halo_lookups += t.ghost_vertices
+                stats.halo_hits += t.halo_hits
+                stats.halo_bytes_moved += t.halo_misses * self.feature_bytes
+                stats.halo_bytes_saved += t.halo_hits * self.feature_bytes
+                stats.exchange_s += t.exchange_s
+                stats.shard_busy_s[t.shard] += t.total_s
+                stats.shard_requests[t.shard] += t.requests
+                # member chips do real work off the leader's clock: account
+                # their busy time manually (the leader's own busy_s is the
+                # full barrier time, added by the event loop)
+                if t.shard != 0:
+                    self.chips[t.shard].stats.busy_s += t.total_s
+                    self.chips[t.shard].stats.batches_served += 1
+                    self.chips[t.shard].stats.requests_served += t.requests
+        return service_s

@@ -44,7 +44,7 @@ from .cache import CacheStats
 __all__ = ["percentile", "chip_utilization_rows", "shape_utilization_rows",
            "RequestRecord", "ChipStats", "ServingReport", "MultiTenantReport",
            "ScaleEvent", "ControlSample", "AdmissionStats", "ControlStats",
-           "BatchingStats", "HeteroStats"]
+           "BatchingStats", "HeteroStats", "ShardingStats"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -277,6 +277,118 @@ class BatchingStats:
             "dedup_saved_vertices": self.dedup_saved_vertices,
             "late_joins": self.late_joins,
             "late_join_rejects": self.late_join_rejects,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Sharded-execution accounting (multi-chip groups, repro.serving.sharding)
+# --------------------------------------------------------------------------- #
+@dataclass
+class ShardingStats:
+    """Aggregate sharded-execution accounting of one serving run.
+
+    Attached to a report only when the fleet runs as a chip group
+    (``FleetConfig.sharding`` armed -- see :mod:`repro.serving.sharding`
+    and ``docs/sharding.md``).  The plan-derived fields (``edge_cut`` /
+    ``num_edges`` / ``halo_vertices`` / ``size_imbalance``) are folded in
+    once per shard plan via :meth:`fold_plan` -- multi-tenant runs fold one
+    plan per tenant, so the edge-cut fraction is the traffic-blended cut
+    over every partitioned dataset.
+
+    The halo counters distinguish traffic *moved* (cache-missing ghost
+    features paying DRAM + interconnect) from traffic *saved* (ghosts
+    served from a warm halo cache); ``load_imbalance`` is the max-over-mean
+    of per-shard busy seconds, the measured analogue of the plan's static
+    ``size_imbalance``.  The latency percentiles are stamped from the
+    report's records at finalisation so the sharded tail is readable from
+    this one block.
+    """
+
+    num_shards: int
+    partitioner: str
+    edge_cut: int = 0
+    num_edges: int = 0
+    halo_vertices: int = 0
+    size_imbalance: float = 0.0
+    sharded_batches: int = 0
+    sub_batches: int = 0
+    halo_lookups: int = 0
+    halo_hits: int = 0
+    halo_bytes_moved: float = 0.0
+    halo_bytes_saved: float = 0.0
+    exchange_s: float = 0.0
+    gather_s: float = 0.0
+    shard_busy_s: List[float] = field(default_factory=list)
+    shard_requests: List[int] = field(default_factory=list)
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    p99_s: float = 0.0
+
+    def fold_plan(self, plan) -> None:
+        """Fold one :class:`~repro.graphs.partition.ShardPlan`'s static
+        stats in (idempotence is the caller's concern: once per plan)."""
+        self.edge_cut += plan.edge_cut
+        self.num_edges += plan.num_edges
+        self.halo_vertices += plan.halo_vertices
+        self.size_imbalance = max(self.size_imbalance, plan.size_imbalance)
+
+    @property
+    def edge_cut_fraction(self) -> float:
+        """Fraction of directed edges crossing shard boundaries."""
+        return self.edge_cut / self.num_edges if self.num_edges else 0.0
+
+    @property
+    def halo_hit_rate(self) -> float:
+        """Fraction of ghost-feature lookups served by the halo caches."""
+        return self.halo_hits / self.halo_lookups if self.halo_lookups else 0.0
+
+    @property
+    def load_imbalance(self) -> float:
+        """Busiest shard's sub-batch seconds over the mean (1.0 = balanced)."""
+        busy = [b for b in self.shard_busy_s]
+        if not busy or sum(busy) == 0:
+            return 0.0
+        return max(busy) / (sum(busy) / len(busy))
+
+    def summary(self) -> Dict[str, object]:
+        """One table row for the CLI's sharded-execution section."""
+        return {
+            "partitioner": self.partitioner,
+            "shards": self.num_shards,
+            "edge_cut_pct": round(100.0 * self.edge_cut_fraction, 2),
+            "halo_moved_kb": round(self.halo_bytes_moved / 1024.0, 1),
+            "halo_saved_kb": round(self.halo_bytes_saved / 1024.0, 1),
+            "halo_hit_rate_pct": round(100.0 * self.halo_hit_rate, 2),
+            "load_imbalance": round(self.load_imbalance, 3),
+            "p50_ms": round(self.p50_s * 1e3, 4),
+            "p95_ms": round(self.p95_s * 1e3, 4),
+            "p99_ms": round(self.p99_s * 1e3, 4),
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "num_shards": self.num_shards,
+            "partitioner": self.partitioner,
+            "edge_cut": self.edge_cut,
+            "num_edges": self.num_edges,
+            "edge_cut_fraction": self.edge_cut_fraction,
+            "halo_vertices": self.halo_vertices,
+            "size_imbalance": self.size_imbalance,
+            "sharded_batches": self.sharded_batches,
+            "sub_batches": self.sub_batches,
+            "halo_lookups": self.halo_lookups,
+            "halo_hits": self.halo_hits,
+            "halo_hit_rate": self.halo_hit_rate,
+            "halo_bytes_moved": self.halo_bytes_moved,
+            "halo_bytes_saved": self.halo_bytes_saved,
+            "exchange_s": self.exchange_s,
+            "gather_s": self.gather_s,
+            "shard_busy_s": list(self.shard_busy_s),
+            "shard_requests": list(self.shard_requests),
+            "load_imbalance": self.load_imbalance,
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
         }
 
 
@@ -617,6 +729,7 @@ class ServingReport:
     control: Optional[ControlStats] = None
     batching: Optional[BatchingStats] = None
     hetero: Optional[HeteroStats] = None
+    sharding: Optional[ShardingStats] = None
     _latencies: np.ndarray = field(default=None, init=False, repr=False,
                                    compare=False)
 
@@ -796,6 +909,7 @@ class ServingReport:
             "control": self.control.to_dict() if self.control else None,
             "batching": self.batching.as_dict() if self.batching else None,
             "hetero": self.hetero.as_dict() if self.hetero else None,
+            "sharding": self.sharding.as_dict() if self.sharding else None,
         }
         if include_records:
             payload["records"] = [
@@ -851,6 +965,7 @@ class MultiTenantReport:
     max_backlog_batches: int = 0
     control: Optional[ControlStats] = None
     hetero: Optional[HeteroStats] = None
+    sharding: Optional[ShardingStats] = None
 
     # ------------------------------------------------------------------ #
     # Aggregates over all tenants
@@ -1020,6 +1135,7 @@ class MultiTenantReport:
             "chips": [c.as_dict() for c in self.chips],
             "control": self.control.to_dict() if self.control else None,
             "hetero": self.hetero.as_dict() if self.hetero else None,
+            "sharding": self.sharding.as_dict() if self.sharding else None,
             "reports": {name: rep.to_dict(include_records=include_records)
                         for name, rep in self.reports.items()},
             "solo": {name: rep.to_dict(include_records=False)

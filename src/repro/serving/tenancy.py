@@ -91,12 +91,15 @@ from .hetero import (
     make_profile_fn,
 )
 from .sampler import SubgraphSampler
+from .sharding import ShardExecutor, shard_plan_for
 from .stats import (
     BatchingStats,
     HeteroStats,
     MultiTenantReport,
     RequestRecord,
     ServingReport,
+    ShardingStats,
+    percentile,
 )
 from .workload import (
     Request,
@@ -323,6 +326,9 @@ class TenantRuntime:
         # Admission-control cost model: EWMA of service seconds per request
         # (duplicates included -- backlog accounting is per request).
         self.cost_per_request_s = self.probe_service_s / self.probe_batch_size
+        # Sharded execution (repro.serving.sharding): bound by the
+        # simulator when the fleet arms a ShardingConfig.
+        self.shard_executor: Optional[ShardExecutor] = None
         # Accounting
         self.busy_s = 0.0
         self.contended_busy_s = 0.0
@@ -432,6 +438,41 @@ class MultiTenantSimulator:
         self._track_shapes = self.fleet.heterogeneous \
             or self.fleet.dispatch == "shape-aware"
         self._shape_aware = self.fleet.dispatch == "shape-aware"
+        #: Fleet-wide sharded-execution stats (None on an unsharded fleet);
+        #: per-tenant executors live on the runtimes and all fold into this
+        #: one object, because the chip group is shared fleet state.
+        self.sharding_stats: Optional[ShardingStats] = None
+        if self.fleet.sharding is not None:
+            if self.control_config is not None:
+                raise ValueError(
+                    "sharded execution cannot be combined with the elastic "
+                    "control plane (a chip group cannot scale mid-run)")
+            sharding = self.fleet.sharding
+            # the group leader (chip 0) is the only schedulable chip; the
+            # members execute sub-batches off the leader's clock
+            for chip in self.chips[1:]:
+                chip.state = "member"
+            self.sharding_stats = ShardingStats(
+                num_shards=sharding.num_shards,
+                partitioner=sharding.partitioner)
+            # one halo-cache list for the whole fleet, keyed (tenant,
+            # vertex) like the feature caches; capacity is sized by the
+            # largest tenant's feature vector so no tenant over-fits it
+            feature_bytes = {
+                name: rt.graph.feature_length
+                * rt.graph.features.dtype.itemsize
+                for name, rt in self.runtimes.items()}
+            capacity = int(sharding.halo_cache_mb * (1 << 20)
+                           / max(max(feature_bytes.values()), 1))
+            halo_caches = [LRUCache(capacity)
+                           for _ in range(sharding.num_shards)]
+            for name, rt in self.runtimes.items():
+                rt.shard_executor = ShardExecutor(
+                    shard_plan_for(rt.graph, sharding), self.chips,
+                    rt.sampler, rt.model, rt.config.dataset, sharding,
+                    feature_bytes=feature_bytes[name],
+                    stats=self.sharding_stats, halo_caches=halo_caches,
+                    key_fn=lambda v, name=name: (name, v))
         quantum_s = 0.5 * min(rt.probe_service_s
                               for rt in self.runtimes.values())
         self.scheduler = WFQScheduler(
@@ -514,8 +555,16 @@ class MultiTenantSimulator:
 
         The shared single-tenant model, except the chip's feature cache is
         keyed by ``(tenant, vertex)``: vertex ids from different tenants'
-        graphs alias numerically but never share features.
+        graphs alias numerically but never share features.  On a sharded
+        fleet the tenant's executor runs the batch across the chip group
+        instead (``chip`` is always the group leader there); a one-shard
+        plan keeps this path verbatim so its report stays bit-for-bit
+        identical to an unsharded run.
         """
+        if rt.shard_executor is not None \
+                and rt.shard_executor.plan.num_shards > 1:
+            return rt.shard_executor.service_time_s(
+                batch, reuse_discount=self.fleet.reuse_discount)
         return fused_batch_service_time_s(
             chip, rt.sampler, rt.model, batch,
             dataset_name=rt.config.dataset,
@@ -668,6 +717,11 @@ class MultiTenantSimulator:
                         (("tenant", name),))] = rt.batcher.pending_count
                 gauges[("repro_overlap_ratio_ewma",
                         (("tenant", name),))] = rt.overlap_ewma
+            if self.sharding_stats is not None:
+                stats = self.sharding_stats
+                gauges["repro_halo_hit_rate"] = stats.halo_hit_rate
+                gauges["repro_halo_bytes_moved"] = stats.halo_bytes_moved
+                gauges["repro_shard_load_imbalance"] = stats.load_imbalance
             elapsed = now - t0
             if elapsed > 0:
                 for shape in self._shapes:
@@ -804,6 +858,7 @@ class MultiTenantSimulator:
             if observe is not None:
                 observe.on_batch_complete(now, chip, batch, admitted,
                                           started, tenant=rt.name)
+                observe.on_shard_batch_complete(now, batch, started)
             if chip.state == "draining":
                 scaler.retire(chip, now)
             pump(now)
@@ -968,6 +1023,12 @@ class MultiTenantSimulator:
             report.hetero = hetero_stats
         if control is not None:
             report.control = control.finalize(last_t, self.chips)
+        if self.sharding_stats is not None:
+            latencies = [r.latency_s for r in records]
+            self.sharding_stats.p50_s = percentile(latencies, 50)
+            self.sharding_stats.p95_s = percentile(latencies, 95)
+            self.sharding_stats.p99_s = percentile(latencies, 99)
+            report.sharding = self.sharding_stats
         for name in self.tenant_names:
             rt = self.runtimes[name]
             slice_report = ServingReport(

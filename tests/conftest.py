@@ -1,9 +1,11 @@
 """Repo-wide pytest fixtures.
 
-The serving stack keeps two process-wide memo caches: the hardware probe
-cache (:func:`repro.serving.fleet.clear_probe_cache`) and the per-graph
-workload cache (:func:`repro.models.model_zoo.clear_workloads_cache`).
-Both are keyed carefully enough that leakage *should* be impossible, but a
+The serving stack keeps three process-wide memo caches: the hardware probe
+cache (:func:`repro.serving.fleet.clear_probe_cache`), the per-graph
+workload cache (:func:`repro.models.model_zoo.clear_workloads_cache`) and
+the shard-plan cache
+(:func:`repro.serving.sharding.clear_shard_plan_cache`).
+All are keyed carefully enough that leakage *should* be impossible, but a
 stale entry surviving from one test module into the next turns any keying
 bug into an action-at-a-distance failure in an unrelated file.  The
 autouse fixture below draws the line at module boundaries: every test
@@ -16,6 +18,7 @@ import pytest
 
 from repro.models.model_zoo import clear_workloads_cache
 from repro.serving.fleet import clear_probe_cache
+from repro.serving.sharding import clear_shard_plan_cache
 
 
 @pytest.fixture(autouse=True, scope="module")
@@ -23,6 +26,8 @@ def _fresh_process_caches():
     """Clear the process-wide serving caches at every module boundary."""
     clear_probe_cache()
     clear_workloads_cache()
+    clear_shard_plan_cache()
     yield
     clear_probe_cache()
     clear_workloads_cache()
+    clear_shard_plan_cache()

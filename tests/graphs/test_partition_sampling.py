@@ -158,3 +158,53 @@ class TestSampling:
         g = power_law_graph(48, 512, feature_length=4, seed=seed)
         sampled = sample_graph(g, SamplingConfig(sampling_factor=factor, seed=seed))
         assert sampled.num_edges <= g.num_edges
+
+
+class TestEdgeShardGuards:
+    """Division edge cases of EdgeShard.density / occupancy / is_empty."""
+
+    def _shard(self, src_start, src_stop, edges):
+        from repro.graphs.partition import EdgeShard
+        return EdgeShard(interval_index=0, src_start=src_start,
+                         src_stop=src_stop,
+                         edges=np.asarray(edges, dtype=np.int64).reshape(-1, 2))
+
+    def test_density_counts_occupied_cells(self):
+        shard = self._shard(0, 4, [(0, 0), (1, 1), (2, 0)])
+        assert shard.density(interval_size=2) == pytest.approx(3 / 8)
+
+    def test_density_zero_size_interval_is_zero(self):
+        shard = self._shard(0, 4, [(0, 0)])
+        assert shard.density(interval_size=0) == 0.0
+
+    def test_density_zero_height_shard_is_zero(self):
+        shard = self._shard(3, 3, [])
+        assert shard.density(interval_size=8) == 0.0
+
+    def test_is_empty(self):
+        assert self._shard(0, 4, []).is_empty
+        assert not self._shard(0, 4, [(1, 0)]).is_empty
+        np.testing.assert_array_equal(
+            self._shard(0, 4, []).source_vertices(),
+            np.empty(0, dtype=np.int64))
+
+    def test_occupancy_empty_graph_is_zero(self):
+        empty = Graph.from_edge_list([], num_vertices=0, feature_length=4)
+        part = partition_graph(empty, interval_size=4, shard_height=4)
+        assert part.num_intervals == 0
+        assert part.num_row_blocks == 0
+        assert part.total_edges() == 0
+        assert part.occupancy() == 0.0
+
+    def test_occupancy_edgeless_graph_is_zero(self):
+        edgeless = Graph.from_edge_list([], num_vertices=8, feature_length=4)
+        part = partition_graph(edgeless, interval_size=4, shard_height=4)
+        assert part.total_edges() == 0
+        assert part.occupancy() == 0.0
+
+    def test_occupancy_matches_hand_count(self):
+        g = small_graph(seed=3)
+        part = partition_graph(g, interval_size=8, shard_height=8)
+        cells = sum(s.height * part.intervals[s.interval_index].size
+                    for s in part.iter_shards())
+        assert part.occupancy() == pytest.approx(g.num_edges / cells)

@@ -1,0 +1,350 @@
+"""Tests for sharded multi-chip serving (:mod:`repro.serving.sharding`).
+
+Covers the partitioner properties (exclusive ownership, halo/owned
+disjointness, edge-cut recomputation, per-seed determinism), the
+interconnect cost model, the three acceptance criteria of the subsystem
+(1-shard bit-for-bit equality with the unsharded simulator, traced ==
+untraced bit-for-bit, locality beating hash on edge-cut AND p99 on a
+4-shard group under zipf-1.2 traffic) and the CLI arming-flag contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.__main__ import main
+from repro.graphs import erdos_renyi_graph, power_law_graph
+from repro.graphs.partition import build_shard_plan
+from repro.serving import (
+    PARTITIONERS,
+    FleetConfig,
+    Instrumentation,
+    InterconnectConfig,
+    ShardingConfig,
+    ShardingStats,
+    TenantConfig,
+    clear_probe_cache,
+    clear_shard_plan_cache,
+    run_multi_tenant,
+    run_serving,
+    shard_plan_for,
+)
+from repro.serving.sharding import _SHARD_PLAN_CACHE
+
+
+def _fresh():
+    clear_probe_cache()
+    clear_shard_plan_cache()
+
+
+def _serve(num_chips, sharding, *, requests=40, observe=None, skew=1.2,
+           rate=200.0):
+    _fresh()
+    cfg = FleetConfig(num_chips=num_chips, sharding=sharding, seed=0)
+    return run_serving(dataset="IB", model_name="GCN", num_requests=requests,
+                       rate_rps=rate, popularity_skew=skew, config=cfg,
+                       seed=0, observe=observe, utilization_target=0.7)
+
+
+# --------------------------------------------------------------------------- #
+# Partitioner properties
+# --------------------------------------------------------------------------- #
+_graphs = st.builds(
+    erdos_renyi_graph,
+    st.sampled_from([24, 40, 64]),
+    st.sampled_from([96, 160]),
+    feature_length=st.just(4),
+    seed=st.integers(min_value=0, max_value=3),
+)
+
+
+class TestPartitionerProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(graph=_graphs, num_shards=st.integers(min_value=1, max_value=5),
+           name=st.sampled_from(sorted(PARTITIONERS)),
+           seed=st.integers(min_value=0, max_value=7))
+    def test_every_vertex_owned_by_exactly_one_shard(self, graph, num_shards,
+                                                     name, seed):
+        owner = PARTITIONERS[name](graph, num_shards, seed)
+        plan = build_shard_plan(graph, owner, partitioner=name, seed=seed)
+        assert owner.shape == (graph.num_vertices,)
+        assert owner.min() >= 0 and owner.max() < num_shards
+        assert int(plan.shard_sizes.sum()) == graph.num_vertices
+        covered = np.concatenate([plan.owned(s)
+                                  for s in range(plan.num_shards)])
+        np.testing.assert_array_equal(np.sort(covered),
+                                      np.arange(graph.num_vertices))
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=_graphs, num_shards=st.integers(min_value=2, max_value=5),
+           name=st.sampled_from(sorted(PARTITIONERS)),
+           seed=st.integers(min_value=0, max_value=7))
+    def test_halo_sets_disjoint_from_owned_sets(self, graph, num_shards,
+                                                name, seed):
+        owner = PARTITIONERS[name](graph, num_shards, seed)
+        plan = build_shard_plan(graph, owner)
+        for s in range(plan.num_shards):
+            assert np.intersect1d(plan.halo[s], plan.owned(s)).size == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(graph=_graphs, num_shards=st.integers(min_value=1, max_value=5),
+           name=st.sampled_from(sorted(PARTITIONERS)),
+           seed=st.integers(min_value=0, max_value=7))
+    def test_edge_cut_identical_when_recomputed(self, graph, num_shards,
+                                                name, seed):
+        owner = PARTITIONERS[name](graph, num_shards, seed)
+        plan = build_shard_plan(graph, owner)
+        indptr = np.asarray(graph.csc.indptr)
+        indices = np.asarray(graph.csc.indices)
+        dst_owner = np.repeat(plan.owner, np.diff(indptr))
+        recomputed = int(np.count_nonzero(plan.owner[indices] != dst_owner))
+        assert plan.edge_cut == recomputed
+        assert plan.num_edges == graph.num_edges
+        # the halo sets are exactly the cut edges' foreign sources
+        assert plan.halo_vertices == sum(
+            np.unique(indices[(plan.owner[indices] != dst_owner)
+                              & (dst_owner == s)]).size
+            for s in range(plan.num_shards))
+
+    @settings(max_examples=10, deadline=None)
+    @given(num_shards=st.integers(min_value=2, max_value=4),
+           name=st.sampled_from(sorted(PARTITIONERS)),
+           seed=st.integers(min_value=0, max_value=7))
+    def test_deterministic_per_seed(self, num_shards, name, seed):
+        graph = power_law_graph(48, 6, feature_length=4, seed=1)
+        first = PARTITIONERS[name](graph, num_shards, seed)
+        second = PARTITIONERS[name](graph, num_shards, seed)
+        np.testing.assert_array_equal(first, second)
+
+    def test_hash_seed_changes_assignment(self):
+        graph = erdos_renyi_graph(64, 256, feature_length=4, seed=0)
+        a = PARTITIONERS["hash"](graph, 4, seed=0)
+        b = PARTITIONERS["hash"](graph, 4, seed=1)
+        assert not np.array_equal(a, b)
+
+    def test_locality_respects_capacity(self):
+        graph = power_law_graph(50, 5, feature_length=4, seed=2)
+        owner = PARTITIONERS["locality"](graph, 4)
+        sizes = np.bincount(owner, minlength=4)
+        assert sizes.max() <= -(-graph.num_vertices // 4)
+
+    def test_locality_beats_hash_on_edge_cut(self):
+        graph = power_law_graph(128, 8, feature_length=4, seed=0)
+        cuts = {}
+        for name in PARTITIONERS:
+            plan = build_shard_plan(graph, PARTITIONERS[name](graph, 4))
+            cuts[name] = plan.edge_cut
+        assert cuts["locality"] < cuts["hash"]
+
+    def test_build_shard_plan_validates_owner(self):
+        graph = erdos_renyi_graph(16, 32, feature_length=4, seed=0)
+        with pytest.raises(ValueError, match="shape"):
+            build_shard_plan(graph, np.zeros(4, dtype=np.int64))
+        with pytest.raises(ValueError, match=">= 0"):
+            build_shard_plan(graph,
+                             np.full(graph.num_vertices, -1, dtype=np.int64))
+
+
+# --------------------------------------------------------------------------- #
+# Configs and the interconnect cost model
+# --------------------------------------------------------------------------- #
+class TestConfigs:
+    def test_transfer_time_zero_bytes_is_free(self):
+        assert InterconnectConfig().transfer_time_s(0) == 0.0
+        assert InterconnectConfig().transfer_time_s(-5) == 0.0
+
+    def test_transfer_time_worked_example(self):
+        link = InterconnectConfig(link_gbps=1.0, latency_ns=100.0,
+                                  message_bytes=100)
+        # 250 bytes -> 3 messages of latency, 250 ns of serialisation
+        assert link.transfer_time_s(250) == pytest.approx(
+            (3 * 100.0 + 250.0) * 1e-9)
+
+    def test_interconnect_validation(self):
+        with pytest.raises(ValueError):
+            InterconnectConfig(link_gbps=0.0)
+        with pytest.raises(ValueError):
+            InterconnectConfig(latency_ns=-1.0)
+        with pytest.raises(ValueError):
+            InterconnectConfig(message_bytes=0)
+
+    def test_sharding_config_validation(self):
+        with pytest.raises(ValueError):
+            ShardingConfig(num_shards=0)
+        with pytest.raises(ValueError):
+            ShardingConfig(num_shards=2, partitioner="metis")
+        with pytest.raises(ValueError):
+            ShardingConfig(num_shards=2, halo_cache_mb=-1.0)
+
+    def test_fleet_requires_one_chip_per_shard(self):
+        with pytest.raises(ValueError, match="one chip per shard"):
+            FleetConfig(num_chips=2, sharding=ShardingConfig(num_shards=4))
+
+    def test_sharding_excludes_control_plane(self):
+        from repro.serving import ControlConfig
+        cfg = FleetConfig(num_chips=2, sharding=ShardingConfig(num_shards=2))
+        with pytest.raises(ValueError, match="control plane"):
+            _fresh()
+            run_serving(dataset="IB", num_requests=4, rate_rps=100.0,
+                        config=cfg, seed=0,
+                        control=ControlConfig(autoscale="threshold"))
+
+    def test_shard_plan_memoised(self):
+        from repro.graphs import load_dataset
+        _fresh()
+        graph = load_dataset("IB", seed=0, scale_factor=16)
+        cfg = ShardingConfig(num_shards=2)
+        plan = shard_plan_for(graph, cfg)
+        assert shard_plan_for(graph, cfg) is plan
+        assert len(_SHARD_PLAN_CACHE) == 1
+        clear_shard_plan_cache()
+        assert not _SHARD_PLAN_CACHE
+
+    def test_sharding_stats_empty_rates(self):
+        stats = ShardingStats(num_shards=2, partitioner="hash")
+        assert stats.halo_hit_rate == 0.0
+        assert stats.load_imbalance == 0.0
+        assert stats.edge_cut_fraction == 0.0
+        assert "edge_cut_pct" in stats.summary()
+
+
+# --------------------------------------------------------------------------- #
+# Acceptance criteria
+# --------------------------------------------------------------------------- #
+class TestAcceptance:
+    def test_one_shard_plan_matches_unsharded_report_bit_for_bit(self):
+        unsharded = _serve(1, None)
+        sharded = _serve(1, ShardingConfig(num_shards=1))
+        expected = unsharded.to_dict()
+        got = sharded.to_dict()
+        # the sharded run carries its (degenerate) ShardingStats; every
+        # other byte of the payload must be identical
+        assert expected.pop("sharding") is None
+        assert got.pop("sharding") is not None
+        assert got == expected
+
+    def test_traced_sharded_run_equals_untraced_bit_for_bit(self):
+        plain = _serve(2, ShardingConfig(num_shards=2))
+        observe = Instrumentation(trace=True, metrics=True)
+        traced = _serve(2, ShardingConfig(num_shards=2), observe=observe)
+        assert traced.to_dict() == plain.to_dict()
+        assert any(e.get("cat") == "shard" for e in observe.events)
+
+    def test_locality_beats_hash_on_edge_cut_and_p99(self):
+        # identical zipf-1.2 traffic at a calibrated utilization: the
+        # partitioners see the same arrival stream (same seed, rate
+        # calibration is sharding-oblivious), so the tails differ only
+        # through edge-cut-driven halo traffic
+        reports = {}
+        for name in ("hash", "locality"):
+            reports[name] = _serve(
+                4, ShardingConfig(num_shards=4, partitioner=name),
+                requests=200, rate=None)
+        hash_stats = reports["hash"].sharding
+        locality_stats = reports["locality"].sharding
+        assert locality_stats.edge_cut < hash_stats.edge_cut
+        assert reports["locality"].p99_latency_s \
+            < reports["hash"].p99_latency_s
+        # the report stamps the sharded percentiles it serves
+        assert locality_stats.p99_s == reports["locality"].p99_latency_s
+
+    def test_sharded_report_accounting(self):
+        report = _serve(2, ShardingConfig(num_shards=2), requests=60)
+        stats = report.sharding
+        assert stats.sharded_batches > 0
+        assert stats.sub_batches >= stats.sharded_batches
+        assert stats.halo_lookups >= stats.halo_hits
+        feature_bytes = 136 * 8  # IB: feature_length 136, float64
+        assert stats.halo_bytes_moved == \
+            (stats.halo_lookups - stats.halo_hits) * feature_bytes
+        assert stats.halo_bytes_saved == stats.halo_hits * feature_bytes
+        assert len(stats.shard_busy_s) == 2
+        # the leader's requests_served counts every batched request once;
+        # the executor's per-shard split must cover the same population
+        assert sum(stats.shard_requests) == report.chips[0].requests_served
+        payload = report.to_dict()
+        assert payload["sharding"]["num_shards"] == 2
+
+    def test_halo_cache_saves_bytes(self):
+        warm = _serve(2, ShardingConfig(num_shards=2, halo_cache_mb=8.0),
+                      requests=80)
+        cold = _serve(2, ShardingConfig(num_shards=2, halo_cache_mb=0.0),
+                      requests=80)
+        assert cold.sharding.halo_hits == 0
+        assert cold.sharding.halo_bytes_saved == 0.0
+        assert warm.sharding.halo_hits > 0
+        assert warm.sharding.halo_bytes_saved > 0.0
+        assert warm.sharding.halo_bytes_moved \
+            < cold.sharding.halo_bytes_moved
+
+    def test_member_chips_do_work(self):
+        report = _serve(4, ShardingConfig(num_shards=4), requests=120)
+        # the leader serves every batch; the members' busy time is the
+        # sub-batch work the executor accounted to them
+        busy = [c.busy_s for c in report.chips]
+        assert busy[0] > 0.0
+        assert any(b > 0.0 for b in busy[1:])
+
+
+# --------------------------------------------------------------------------- #
+# Multi-tenant sharding
+# --------------------------------------------------------------------------- #
+class TestMultiTenantSharding:
+    def test_shared_fleet_sharded_run(self):
+        _fresh()
+        fleet = FleetConfig(num_chips=2,
+                            sharding=ShardingConfig(num_shards=2), seed=0)
+        tenants = [TenantConfig(name="a", dataset="IB", num_requests=25),
+                   TenantConfig(name="b", dataset="IB", num_requests=25)]
+        report = run_multi_tenant(tenants, fleet,
+                                  include_isolation_baseline=False)
+        stats = report.sharding
+        assert stats is not None
+        assert stats.sharded_batches > 0
+        assert stats.p99_s > 0.0
+        assert report.to_dict()["sharding"]["partitioner"] == "locality"
+
+    def test_control_plane_rejected_on_sharded_fleet(self):
+        from repro.serving import ControlConfig
+        _fresh()
+        fleet = FleetConfig(num_chips=2,
+                            sharding=ShardingConfig(num_shards=2), seed=0)
+        with pytest.raises(ValueError, match="control plane"):
+            run_multi_tenant([TenantConfig(name="a", dataset="IB",
+                                           num_requests=10)],
+                             fleet, include_isolation_baseline=False,
+                             control=ControlConfig(autoscale="threshold"))
+
+
+# --------------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------------- #
+class TestShardingCLI:
+    def test_tuning_flags_error_without_arming_flag(self, capsys):
+        assert main(["serve", "--partitioner", "hash",
+                     "--requests", "4"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_sharded_serve_prints_table(self, capsys):
+        _fresh()
+        code = main(["serve", "--dataset", "IB", "--shards", "2",
+                     "--requests", "10", "--rate", "200", "--seed", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sharded execution (docs/sharding.md)" in out
+        assert "edge_cut_pct" in out
+
+    def test_shards_overrides_chips(self, capsys):
+        _fresh()
+        code = main(["serve", "--dataset", "IB", "--shards", "2",
+                     "--chips", "7", "--requests", "10", "--rate", "200"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 chips" in out
+
+    def test_shards_with_control_plane_exits_2(self, capsys):
+        _fresh()
+        assert main(["serve", "--dataset", "IB", "--shards", "2",
+                     "--requests", "10", "--rate", "200",
+                     "--autoscale", "threshold"]) == 2
+        assert "control plane" in capsys.readouterr().err

@@ -1,13 +1,15 @@
 """Regression test: process-wide caches must not leak across test modules.
 
-The probe cache (:data:`repro.serving.fleet._PROBE_CACHE`) and the
-workload cache (:data:`repro.models.model_zoo._WORKLOADS_CACHE`) are
+The probe cache (:data:`repro.serving.fleet._PROBE_CACHE`), the
+workload cache (:data:`repro.models.model_zoo._WORKLOADS_CACHE`) and the
+shard-plan cache (:data:`repro.serving.sharding._SHARD_PLAN_CACHE`) are
 process-wide memos.  ``tests/conftest.py`` installs an autouse
-module-scoped fixture that clears both at every module boundary; this
-file proves the fixture actually fires by running a miniature two-module
-pytest session under the *real* repo conftest -- module A pollutes both
-caches, module B asserts it starts cold.  If someone deletes or weakens
-the conftest fixture, the inner session (and hence this test) fails.
+module-scoped fixture that clears all three at every module boundary;
+this file proves the fixture actually fires by running a miniature
+two-module pytest session under the *real* repo conftest -- module A
+pollutes the caches, module B asserts it starts cold.  If someone
+deletes or weakens the conftest fixture, the inner session (and hence
+this test) fails.
 """
 
 import os
@@ -22,7 +24,7 @@ _MODULE_A = """
 from repro.graphs import load_dataset
 from repro.models import model_zoo
 from repro.models.model_zoo import build_model, workloads_for
-from repro.serving import fleet
+from repro.serving import fleet, sharding
 
 
 def test_pollute_caches():
@@ -30,18 +32,21 @@ def test_pollute_caches():
     model = build_model("GCN", input_length=graph.feature_length)
     workloads_for(model, graph)
     fleet._PROBE_CACHE[("sentinel",)] = 1.0
+    sharding._SHARD_PLAN_CACHE[("sentinel",)] = object()
     assert model_zoo._WORKLOADS_CACHE
     assert fleet._PROBE_CACHE
+    assert sharding._SHARD_PLAN_CACHE
 """
 
 _MODULE_B = """
 from repro.models import model_zoo
-from repro.serving import fleet
+from repro.serving import fleet, sharding
 
 
 def test_starts_with_cold_caches():
     assert not model_zoo._WORKLOADS_CACHE
     assert not fleet._PROBE_CACHE
+    assert not sharding._SHARD_PLAN_CACHE
 """
 
 
@@ -54,23 +59,28 @@ def test_module_boundary_clears_process_caches(pytester):
 
 
 def test_clear_helpers_empty_the_caches():
-    """The clear functions themselves must fully empty both caches."""
+    """The clear functions themselves must fully empty every cache."""
     from repro.graphs import load_dataset
     from repro.models import model_zoo
     from repro.models.model_zoo import (build_model, clear_workloads_cache,
                                         workloads_for)
-    from repro.serving import fleet
+    from repro.serving import fleet, sharding
     from repro.serving.fleet import clear_probe_cache
+    from repro.serving.sharding import clear_shard_plan_cache
 
     graph = load_dataset("IB", seed=0, scale_factor=16)
     model = build_model("GCN", input_length=graph.feature_length)
     workloads_for(model, graph)
     fleet._PROBE_CACHE[("sentinel",)] = 1.0
+    sharding._SHARD_PLAN_CACHE[("sentinel",)] = object()
     assert model_zoo._WORKLOADS_CACHE and fleet._PROBE_CACHE
+    assert sharding._SHARD_PLAN_CACHE
     clear_workloads_cache()
     clear_probe_cache()
+    clear_shard_plan_cache()
     assert not model_zoo._WORKLOADS_CACHE
     assert not fleet._PROBE_CACHE
+    assert not sharding._SHARD_PLAN_CACHE
 
 
 @pytest.fixture(autouse=True)
@@ -78,5 +88,7 @@ def _leave_clean():
     yield
     from repro.models.model_zoo import clear_workloads_cache
     from repro.serving.fleet import clear_probe_cache
+    from repro.serving.sharding import clear_shard_plan_cache
     clear_probe_cache()
     clear_workloads_cache()
+    clear_shard_plan_cache()

@@ -15,7 +15,8 @@ the repo's own (numpy, via importing the package).  Two checks:
    flag-level coverage, so adding a flag without documenting it fails CI;
 4. every name in the serving-policy registries (batch policies, dispatch
    policies, autoscale policies, chip-shape presets, shape mixes,
-   scale-shape policies — imported from the package, not hard-coded)
+   scale-shape policies, dataset partitioners — imported from the
+   package, not hard-coded)
    appears in docs/cli.md — registry-level coverage, so adding a policy
    without documenting it fails CI.
 
@@ -140,6 +141,7 @@ def policy_registries() -> dict:
         ALL_BATCH_POLICIES,
         AUTOSCALE_POLICIES,
         DISPATCH_POLICIES,
+        PARTITIONERS,
         SCALE_SHAPE_POLICIES,
         SHAPE_MIXES,
         SHAPE_PRESETS,
@@ -151,6 +153,7 @@ def policy_registries() -> dict:
         "chip-shape preset": sorted(SHAPE_PRESETS),
         "shape mix": sorted(SHAPE_MIXES),
         "scale-shape policy": list(SCALE_SHAPE_POLICIES),
+        "partitioner": sorted(PARTITIONERS),
     }
 
 
