@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the common workflows without writing a script:
+Seven commands cover the common workflows without writing a script:
 
 * ``simulate`` -- run one model on one dataset on the HyGCN simulator and
   print the report (optionally comparing against the CPU/GPU baselines);
@@ -14,10 +14,18 @@ Five commands cover the common workflows without writing a script:
   and ``--dispatch shape-aware`` routes each batch to the shape that
   serves it fastest; ``--trace-out`` records per-request spans as Chrome
   trace-event JSON and ``--metrics-out`` scrapes a metrics registry on the
-  simulated clock (docs/observability.md); ``--json`` emits the full
+  simulated clock (docs/observability.md); ``--trace-capture`` records the
+  offered request stream into a compact binary trace and ``--replay``
+  serves a captured trace back, reproducing the original report
+  bit-for-bit (docs/loadtest.md); ``--json`` emits the full
   machine-readable report;
 * ``trace-report`` -- summarize a trace written by ``serve --trace-out``:
   per-phase p50/p99 time-in-phase and the slowest requests' span trees;
+* ``trace-stats`` -- characterise a request trace written by
+  ``serve --trace-capture``: arrival burstiness, Zipf popularity fit,
+  per-tenant shares and the overlap-potential histogram;
+* ``loadtest`` -- sweep arrival rate to the SLO knee (max sustainable
+  RPS) per chip count and write the ``BENCH_loadtest.json`` trajectory;
 * ``sweep``    -- run one of the named ablation/scalability sweeps;
 * ``info``     -- print the dataset registry (Table 4), the model zoo
   (Table 5) and the default accelerator configuration (Table 6/7 view).
@@ -58,15 +66,21 @@ from .serving import (
     FleetConfig,
     Instrumentation,
     InterconnectConfig,
+    LoadTestConfig,
     ShardingConfig,
+    TraceWriter,
     fleet_spec_for_mix,
     format_trace_report,
+    format_trace_stats,
     load_fleet_spec,
+    load_request_trace,
     load_tenant_specs,
     load_trace,
+    run_loadtest,
     run_multi_tenant,
     run_serving,
     trace_report,
+    trace_stats,
     validate_trace,
 )
 
@@ -265,6 +279,24 @@ def _build_parser() -> argparse.ArgumentParser:
     observe.add_argument("--log-level", choices=_LOG_LEVELS, default=None,
                          help="emit stdlib-logging diagnostics from the "
                               "serving/control paths to stderr at this level")
+    capture = serve.add_argument_group(
+        "request-trace capture / replay",
+        "record the offered request stream into a compact binary trace, "
+        "or serve a captured trace back (see docs/loadtest.md); replaying "
+        "a capture under the same configuration reproduces the original "
+        "report bit-for-bit, single- and multi-tenant alike")
+    capture.add_argument("--trace-capture", default=None, metavar="TRACE.BIN",
+                         help="record every offered request (arrival time, "
+                              "target vertex, tenant, degradation stamps) "
+                              "plus the workload metadata a replay needs; "
+                              "characterise the file with "
+                              "`repro trace-stats`")
+    capture.add_argument("--replay", default=None, metavar="TRACE.BIN",
+                         help="serve a trace captured with --trace-capture "
+                              "instead of generating traffic (--requests/"
+                              "--rate/--arrival/--skew are then taken from "
+                              "the trace; multi-tenant traces also need the "
+                              "capturing run's --tenants spec)")
     serve.add_argument("--json", default=None, metavar="PATH",
                        help="also serialize the full report as JSON to PATH "
                             "('-' writes JSON to stdout instead of tables)")
@@ -279,6 +311,83 @@ def _build_parser() -> argparse.ArgumentParser:
     tracerep.add_argument("--top-k", type=int, default=5,
                           help="number of slowest requests to detail "
                                "(default 5)")
+
+    tracestats = sub.add_parser(
+        "trace-stats",
+        help="characterise a request trace written by serve --trace-capture")
+    tracestats.add_argument("trace", metavar="TRACE.BIN",
+                            help="binary request trace produced by "
+                                 "`repro serve --trace-capture`")
+    tracestats.add_argument("--top-k", type=int, default=8,
+                            help="most-popular targets to list (default 8)")
+    tracestats.add_argument("--windows", type=int, default=20,
+                            help="count windows for the index-of-dispersion "
+                                 "burstiness estimate (default 20)")
+    tracestats.add_argument("--max-targets", type=int, default=64,
+                            help="most-popular targets to compute minhash "
+                                 "signatures for in the overlap histogram "
+                                 "(default 64)")
+    tracestats.add_argument("--max-pairs", type=int, default=256,
+                            help="popularity-weighted target pairs scored "
+                                 "for the overlap histogram (default 256)")
+    tracestats.add_argument("--no-overlap", action="store_true",
+                            help="skip the overlap-potential histogram "
+                                 "(no dataset load)")
+    tracestats.add_argument("--json", default=None, metavar="PATH",
+                            help="also serialize the statistics as JSON to "
+                                 "PATH ('-' writes JSON to stdout instead "
+                                 "of text)")
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="sweep arrival rate to the SLO knee per chip count")
+    loadtest.add_argument("--model", type=str.upper, choices=MODEL_NAMES,
+                          default="GCN")
+    loadtest.add_argument("--dataset", type=str.upper,
+                          choices=sorted(DATASETS), default="IB")
+    loadtest.add_argument("--chips", type=int, nargs="+", default=[1, 2, 4],
+                          help="chip counts to sweep (default: 1 2 4)")
+    loadtest.add_argument("--requests", type=int, default=768,
+                          help="requests per chip per measurement; each "
+                               "sweep serves requests x chips so every "
+                               "chip count faces the same per-chip "
+                               "pressure (default 768)")
+    loadtest.add_argument("--slo-target", type=float, default=0.99,
+                          help="required SLO attainment at the knee "
+                               "(default 0.99)")
+    loadtest.add_argument("--slo-ms", type=float, default=None,
+                          help="latency SLO in milliseconds (default: "
+                               "adaptive; the adaptive SLO derives from a "
+                               "chip-count-independent probe, so knees "
+                               "stay comparable across the sweep)")
+    loadtest.add_argument("--batch-policy", choices=ALL_BATCH_POLICIES,
+                          default="size",
+                          help="flush trigger or formation policy "
+                               "(default size, see docs/batching.md)")
+    loadtest.add_argument("--max-batch", type=int, default=32)
+    loadtest.add_argument("--dispatch", choices=DISPATCH_POLICIES,
+                          default="round-robin")
+    loadtest.add_argument("--hops", type=int, default=2,
+                          help="k-hop neighbourhood depth per request")
+    loadtest.add_argument("--fanout", type=int, default=8,
+                          help="max sampled in-neighbours per hop")
+    loadtest.add_argument("--skew", type=float, default=0.8,
+                          help="Zipf exponent of target popularity")
+    loadtest.add_argument("--cache-size", type=int, default=0,
+                          help="result-cache entries (default 0: the knee "
+                               "measures chip capacity, not cache luck)")
+    loadtest.add_argument("--rel-tol", type=float, default=0.1,
+                          help="stop bisecting when the bracket is within "
+                               "this fraction of the knee (default 0.1)")
+    loadtest.add_argument("--start-utilization", type=float, default=0.4,
+                          help="utilisation seeding the first probed rate "
+                               "(default 0.4)")
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--json", default="BENCH_loadtest.json",
+                          metavar="PATH",
+                          help="knee/p99-vs-rate trajectory output "
+                               "(default BENCH_loadtest.json; '-' writes "
+                               "JSON to stdout instead of tables)")
 
     sweep = sub.add_parser("sweep", help="run an ablation / scalability sweep")
     sweep.add_argument("name", choices=sorted(_SWEEPS))
@@ -491,6 +600,20 @@ def _write_observability(observe: Optional[Instrumentation],
               f"{prom_path} (Prometheus text)", file=out)
 
 
+def _write_capture(capture: Optional[TraceWriter],
+                   args: argparse.Namespace) -> None:
+    """Flush --trace-capture after a serve run (both tenancy modes)."""
+    if capture is None:
+        return
+    # keep stdout pure JSON under --json -
+    out = sys.stderr if args.json == "-" else sys.stdout
+    trace = capture.write(args.trace_capture)
+    print(f"wrote request trace: {args.trace_capture} "
+          f"({trace.num_requests} requests; replay with "
+          f"`repro serve --replay {args.trace_capture}`, characterise with "
+          f"`repro trace-stats {args.trace_capture}`)", file=out)
+
+
 def _emit_json(report, args: argparse.Namespace) -> None:
     """Write the report's to_dict() to --json PATH ('-' = stdout)."""
     payload = report.to_dict()
@@ -515,7 +638,7 @@ def _print_control_tables(control) -> None:
                     title="control plane: admission / degradation")
 
 
-def _run_serve_tenants(args: argparse.Namespace) -> int:
+def _run_serve_tenants(args: argparse.Namespace, replay=None) -> int:
     """Multi-tenant serving: shared fleet, WFQ scheduling, isolation report."""
     try:
         tenants = load_tenant_specs(args.tenants)
@@ -523,6 +646,7 @@ def _run_serve_tenants(args: argparse.Namespace) -> int:
         print(f"error: cannot load tenant spec {args.tenants!r}: {exc}",
               file=sys.stderr)
         return 2
+    capture = TraceWriter() if args.trace_capture is not None else None
     try:
         control = _control_config_from_args(args)
         observe = _instrumentation_from_args(args)
@@ -537,11 +661,13 @@ def _run_serve_tenants(args: argparse.Namespace) -> int:
         report = run_multi_tenant(
             tenants, fleet, utilization_target=args.utilization,
             include_isolation_baseline=not args.no_isolation,
-            control=control, observe=observe)
+            control=control, observe=observe,
+            capture=capture, replay=replay)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     _write_observability(observe, args)
+    _write_capture(capture, args)
     if args.json == "-":
         _emit_json(report, args)
         return 0
@@ -583,8 +709,25 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.log_level is not None:
         logging.basicConfig(level=getattr(logging, args.log_level.upper()),
                             stream=sys.stderr, force=True)
+    replay = None
+    if args.replay is not None:
+        if args.arrival == "trace":
+            print("error: --replay already carries arrival timestamps; "
+                  "drop --arrival trace (that path replays bare timestamp "
+                  "files via --trace-file)", file=sys.stderr)
+            return 2
+        if args.trace_file is not None:
+            print("error: --trace-file feeds --arrival trace, not --replay; "
+                  "give exactly one replay source", file=sys.stderr)
+            return 2
+        try:
+            replay = load_request_trace(args.replay)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read request trace {args.replay!r}: {exc}",
+                  file=sys.stderr)
+            return 2
     if args.tenants is not None:
-        return _run_serve_tenants(args)
+        return _run_serve_tenants(args, replay)
     trace = None
     if args.arrival == "trace":
         if args.trace_file is None:
@@ -597,6 +740,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             print(f"error: cannot read trace file {args.trace_file!r}: {exc}",
                   file=sys.stderr)
             return 2
+    capture = TraceWriter() if args.trace_capture is not None else None
     try:
         control = _control_config_from_args(args)
         observe = _instrumentation_from_args(args)
@@ -630,11 +774,14 @@ def _run_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             control=control,
             observe=observe,
+            capture=capture,
+            replay=replay,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     _write_observability(observe, args)
+    _write_capture(capture, args)
     if args.json == "-":
         _emit_json(report, args)
         return 0
@@ -693,6 +840,73 @@ def _run_trace_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_trace_stats(args: argparse.Namespace) -> int:
+    try:
+        trace = load_request_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read request trace {args.trace!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        stats = trace_stats(trace, windows=args.windows, top_k=args.top_k,
+                            max_targets=args.max_targets,
+                            max_pairs=args.max_pairs,
+                            include_overlap=not args.no_overlap)
+    except (KeyError, ValueError) as exc:
+        print(f"error: cannot characterise {args.trace!r}: {exc} "
+              f"(corrupt capture metadata? --no-overlap skips the section "
+              f"that needs it)", file=sys.stderr)
+        return 2
+    if args.json == "-":
+        json.dump(stats, sys.stdout, indent=2, default=float)
+        sys.stdout.write("\n")
+        return 0
+    print(format_trace_stats(stats))
+    if args.json is not None:
+        with open(args.json, "w") as handle:
+            json.dump(stats, handle, indent=2, default=float)
+    return 0
+
+
+def _run_loadtest(args: argparse.Namespace) -> int:
+    try:
+        fleet = FleetConfig(
+            batch_policy=args.batch_policy,
+            max_batch_size=args.max_batch,
+            dispatch=args.dispatch,
+            num_hops=args.hops,
+            fanout=args.fanout,
+            cache_size=args.cache_size,
+            slo_s=None if args.slo_ms is None else args.slo_ms * 1e-3,
+            seed=args.seed,
+        )
+        config = LoadTestConfig(
+            dataset=args.dataset, model_name=args.model,
+            num_requests=args.requests, chip_counts=tuple(args.chips),
+            slo_target=args.slo_target, popularity_skew=args.skew,
+            seed=args.seed, rel_tol=args.rel_tol,
+            start_utilization=args.start_utilization, fleet=fleet)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # keep stdout pure JSON under --json -
+    out = sys.stderr if args.json == "-" else sys.stdout
+    report = run_loadtest(config, progress=lambda line: print(line, file=out))
+    if args.json == "-":
+        json.dump(report.to_dict(), sys.stdout, indent=2, default=float)
+        sys.stdout.write("\n")
+        return 0
+    print_table(report.summary_rows(),
+                title=f"loadtest: {args.model} on {args.dataset}, knee = max "
+                      f"RPS with SLO attainment >= {args.slo_target:g}")
+    with open(args.json, "w") as handle:
+        json.dump(report.to_dict(), handle, indent=2, default=float)
+    print(f"wrote knee trajectory: {args.json} "
+          f"({sum(len(s['points']) for s in report.sweeps)} measurements "
+          f"in {report.wall_time_s:.1f}s)")
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     if args.name == "ablation":
         rows: List[dict] = []
@@ -731,6 +945,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_serve(args)
     if args.command == "trace-report":
         return _run_trace_report(args)
+    if args.command == "trace-stats":
+        return _run_trace_stats(args)
+    if args.command == "loadtest":
+        return _run_loadtest(args)
     if args.command == "sweep":
         return _run_sweep(args)
     return _run_info()

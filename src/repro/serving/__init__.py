@@ -21,7 +21,12 @@ profile fastest and the control plane choosing which shape to scale.
 partitioned across the whole fleet (``hash``/``locality`` behind the
 :data:`PARTITIONERS` registry), every batch split into per-shard
 sub-batches that execute concurrently with modelled halo-exchange
-traffic and per-chip halo caches.
+traffic and per-chip halo caches.  :mod:`repro.serving.trace` makes the
+offered request stream a first-class artifact -- capture
+(:class:`TraceWriter`), a versioned compact on-disk codec, bit-for-bit
+replay and workload characterisation -- and
+:mod:`repro.serving.loadtest` drives the simulator open-loop to the SLO
+knee (max sustainable RPS), the repo's measured capacity trajectory.
 """
 
 from .batcher import (
@@ -69,6 +74,14 @@ from .fleet import (
     clear_probe_cache,
     probe_targets,
     run_serving,
+)
+from .loadtest import (
+    KneeResult,
+    LoadPoint,
+    LoadTestConfig,
+    LoadTestReport,
+    find_knee,
+    run_loadtest,
 )
 from .hetero import (
     SCALE_SHAPE_POLICIES,
@@ -124,6 +137,16 @@ from .stats import (
     ShardingStats,
     percentile,
 )
+from .trace import (
+    TRACE_VERSION,
+    RequestTrace,
+    TraceFormatError,
+    TraceWriter,
+    format_trace_stats,
+    load_request_trace,
+    save_request_trace,
+    trace_stats,
+)
 from .tenancy import (
     MultiTenantSimulator,
     TenantConfig,
@@ -156,6 +179,7 @@ __all__ = [
     "SHAPE_MIXES",
     "SHAPE_PRESETS",
     "SIGNATURE_HASHES",
+    "TRACE_VERSION",
     "AdmissionStats",
     "AutoscalePolicy",
     "Batch",
@@ -184,6 +208,10 @@ __all__ = [
     "FleetConfig",
     "FleetSpec",
     "HeteroStats",
+    "KneeResult",
+    "LoadPoint",
+    "LoadTestConfig",
+    "LoadTestReport",
     "LRUCache",
     "MultiTenantReport",
     "MultiTenantSimulator",
@@ -191,6 +219,7 @@ __all__ = [
     "Request",
     "RequestGenerator",
     "RequestRecord",
+    "RequestTrace",
     "ServingReport",
     "ServingSimulator",
     "ShapeChooser",
@@ -210,6 +239,8 @@ __all__ = [
     "ThresholdPolicy",
     "TimeoutBatcher",
     "TokenBucket",
+    "TraceFormatError",
+    "TraceWriter",
     "WFQScheduler",
     "WorkloadConfig",
     "build_autoscale_policy",
@@ -220,12 +251,17 @@ __all__ = [
     "clear_shard_plan_cache",
     "default_degradation_ladder",
     "estimate_jaccard",
+    "find_knee",
     "fleet_spec_for_mix",
     "format_trace_report",
+    "format_trace_stats",
     "load_fleet_spec",
+    "load_request_trace",
     "load_tenant_specs",
     "load_trace",
+    "save_request_trace",
     "trace_report",
+    "trace_stats",
     "validate_trace",
     "make_profile_fn",
     "make_signature_fn",
@@ -238,6 +274,7 @@ __all__ = [
     "poisson_arrival_times",
     "probe_targets",
     "ramp_arrival_times",
+    "run_loadtest",
     "run_multi_tenant",
     "run_serving",
     "shard_plan_for",

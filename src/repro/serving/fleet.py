@@ -778,12 +778,17 @@ class ServingSimulator:
     def __init__(self, graph: Graph, model, config: Optional[FleetConfig] = None,
                  dataset_name: Optional[str] = None,
                  control: Optional[ControlConfig] = None,
-                 observe=None):
+                 observe=None, capture=None):
         self.config = config or FleetConfig()
         #: Observability hub (:class:`repro.serving.observe.Instrumentation`)
         #: or ``None``; hooks are guarded so an uninstrumented run executes
         #: no observability code.
         self.observe = observe
+        #: Request-trace capture hub (:class:`repro.serving.trace.TraceWriter`)
+        #: or ``None``.  Records every *offered* request at its arrival
+        #: event -- before the cache lookup and before the control plane's
+        #: admission/degradation gate -- so a capture replays bit-for-bit.
+        self.capture = capture
         self.graph = graph
         self.model = model
         self.dataset_name = dataset_name or graph.name
@@ -1277,6 +1282,8 @@ class ServingSimulator:
                 arrivals_left -= 1
                 arrivals_interval += 1
                 request: Request = payload
+                if self.capture is not None:
+                    self.capture.record(request)
                 if self.result_cache.get(request.target_vertex) is not None:
                     done = now + cfg.cache_hit_latency_s
                     report.records.append(RequestRecord(
@@ -1395,6 +1402,8 @@ def run_serving(
     control: Optional[ControlConfig] = None,
     peak_factor: float = 4.0,
     observe=None,
+    capture=None,
+    replay=None,
 ) -> ServingReport:
     """End-to-end convenience: dataset -> traffic -> fleet -> report.
 
@@ -1411,12 +1420,37 @@ def run_serving(
     arrival process.  ``observe`` threads an
     :class:`~repro.serving.observe.Instrumentation` hub through the run
     (span traces + metrics); instrumenting never changes the report.
+
+    ``capture`` threads a :class:`~repro.serving.trace.TraceWriter` through
+    the run (every offered request is recorded, and the workload/sampling
+    parameters a replay needs are stamped into ``capture.meta``); capturing
+    never changes the report.  ``replay`` takes a
+    :class:`~repro.serving.trace.RequestTrace` and serves its exact request
+    stream instead of generating one -- with the same ``config``/``seed``
+    the replayed report is bit-for-bit identical to the captured run's.
     """
     config = config or FleetConfig()
     graph = load_dataset(dataset, seed=seed)
     model = build_model(model_name, input_length=graph.feature_length)
     simulator = ServingSimulator(graph, model, config, dataset_name=dataset,
-                                 control=control, observe=observe)
+                                 control=control, observe=observe,
+                                 capture=capture)
+    if replay is not None:
+        if replay.multi_tenant:
+            raise ValueError(
+                f"trace was captured from a multi-tenant run (tenants: "
+                f"{', '.join(replay.tenant_names)}); replay it through "
+                f"run_multi_tenant / `serve --tenants ... --replay`")
+        arrival = "trace"
+        num_requests = replay.num_requests
+        if rate_rps is None:
+            # the capturing run stamped its resolved rate so the replayed
+            # report's rate_rps field matches bit-for-bit; fall back to the
+            # trace's own mean arrival rate for hand-built traces
+            stamped = replay.meta.get("rate_rps")
+            rate_rps = float(stamped) if stamped is not None \
+                else (replay.mean_rate_rps or 1.0)
+        trace = replay
     if arrival == "trace":
         if rate_rps is None:
             times = trace_arrival_times(trace or [], num_requests)
@@ -1426,6 +1460,24 @@ def run_serving(
                 else float(max(1, times.size))
     elif rate_rps is None:
         rate_rps = simulator.calibrate_rate(utilization_target)
+    if capture is not None:
+        # everything `serve --replay` / `trace-stats` needs to reproduce
+        # and characterise this run, stamped before serving begins
+        capture.meta.update({
+            "kind": "serve", "dataset": dataset, "model": model_name,
+            "num_hops": config.num_hops, "fanout": config.fanout,
+            "seed": seed, "popularity_skew": popularity_skew,
+            "arrival": arrival, "rate_rps": rate_rps,
+            "num_chips": config.num_chips,
+            "slo_s": simulator.slo_s,
+        })
+        if replay is not None:
+            # re-capturing a replay keeps the original workload's
+            # provenance (the offered process, not the replay mechanism),
+            # so the new trace file is byte-identical to the one replayed
+            for key in ("arrival", "popularity_skew", "seed"):
+                if key in replay.meta:
+                    capture.meta[key] = replay.meta[key]
     workload = WorkloadConfig(num_requests=num_requests, rate_rps=rate_rps,
                               arrival=arrival, popularity_skew=popularity_skew,
                               peak_factor=peak_factor, seed=seed)

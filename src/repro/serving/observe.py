@@ -555,6 +555,13 @@ def load_trace(path: str) -> List[Dict]:
     """Read a Chrome trace-event file; accepts both JSON container forms
     (the ``{"traceEvents": [...]}`` object this module writes, or a bare
     event array)."""
+    with open(path, "rb") as check:
+        if check.read(2) == b"\x1f\x8b":
+            raise ValueError(
+                f"{path}: gzip-framed binary file -- this looks like a "
+                f"request trace (serve --trace-capture); use `repro "
+                f"trace-stats` or `serve --replay`, span traces come from "
+                f"`serve --trace-out`")
     with open(path) as fh:
         payload = json.load(fh)
     if isinstance(payload, dict):

@@ -796,6 +796,12 @@ class ServingReport:
     def slo_violation_rate(self) -> float:
         return self.slo_violations / self.completed if self.completed else 0.0
 
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of completed requests served inside the SLO (the load
+        harness's pass/fail axis; 1.0 for an empty run)."""
+        return 1.0 - self.slo_violation_rate
+
     # ------------------------------------------------------------------ #
     # Degradation accounting (elastic runs)
     # ------------------------------------------------------------------ #

@@ -106,6 +106,7 @@ from .workload import (
     RequestGenerator,
     WorkloadConfig,
     merge_tenant_streams,
+    split_tenant_stream,
 )
 
 __all__ = [
@@ -188,8 +189,8 @@ class TenantConfig:
         if self.arrival not in ("poisson", "bursty", "ramp"):
             raise ValueError(
                 "per-tenant arrival must be 'poisson', 'bursty' or 'ramp' "
-                "(trace replay is single-tenant only, use "
-                "`serve --arrival trace`)")
+                "(to replay a captured multi-tenant run, pass the whole "
+                "trace: `serve --tenants ... --replay trace.bin`)")
         if self.batch_policy not in ALL_BATCH_POLICIES:
             raise ValueError(f"batch_policy must be one of {ALL_BATCH_POLICIES}, "
                              f"got {self.batch_policy!r}")
@@ -402,11 +403,15 @@ class MultiTenantSimulator:
     def __init__(self, tenants: Sequence[TenantConfig],
                  fleet: Optional[FleetConfig] = None,
                  control: Optional[ControlConfig] = None,
-                 observe=None):
+                 observe=None, capture=None):
         #: Observability hub (:class:`repro.serving.observe.Instrumentation`)
         #: or ``None``; hooks are guarded so an uninstrumented run executes
         #: no observability code.
         self.observe = observe
+        #: Request-trace capture hub (:class:`repro.serving.trace.TraceWriter`)
+        #: or ``None``; records every offered request (tenant tag included)
+        #: at its arrival event, pre-admission, like the single-tenant loop.
+        self.capture = capture
         if not tenants:
             raise ValueError("need at least one tenant")
         names = [t.name for t in tenants]
@@ -920,6 +925,8 @@ class MultiTenantSimulator:
                 rt = self.runtimes[request.tenant]
                 rt.arrivals_left -= 1
                 arrivals_interval += 1
+                if self.capture is not None:
+                    self.capture.record(request)
                 if rt.result_cache.get(request.target_vertex) is not None:
                     done = now + fleet.cache_hit_latency_s
                     records.append(RequestRecord(
@@ -1057,6 +1064,8 @@ def run_multi_tenant(
     include_isolation_baseline: bool = True,
     control: Optional[ControlConfig] = None,
     observe=None,
+    capture=None,
+    replay=None,
 ) -> MultiTenantReport:
     """End-to-end multi-tenant run: specs -> shared fleet -> report.
 
@@ -1072,13 +1081,40 @@ def run_multi_tenant(
     against the uncontrolled contract the tenant was promised.  ``observe``
     likewise instruments only the shared run -- the solo baselines would
     otherwise emit duplicate spans for the same request ids.
+
+    ``capture`` threads a :class:`~repro.serving.trace.TraceWriter` through
+    the *shared* run (tenant-tagged requests plus the resolved per-tenant
+    rates in ``capture.meta``); ``replay`` takes a multi-tenant
+    :class:`~repro.serving.trace.RequestTrace` and serves its exact merged
+    stream against the same tenant specs -- calibration is skipped (rates
+    come from the capture's metadata) and the isolation baselines replay
+    each tenant's slice of the stream, so the whole report reproduces the
+    captured run bit-for-bit.
     """
     fleet = fleet or FleetConfig()
     shared = MultiTenantSimulator(tenants, fleet, control=control,
-                                  observe=observe)
-    rates = shared.calibrate_rates(utilization_target)
-    streams = shared.tenant_streams(rates)
-    report = shared.run(merge_tenant_streams(streams), rates)
+                                  observe=observe, capture=capture)
+    if replay is not None:
+        requests, rates = _replay_stream(replay, shared)
+        streams = split_tenant_stream(requests)
+    else:
+        rates = shared.calibrate_rates(utilization_target)
+        streams = shared.tenant_streams(rates)
+        requests = merge_tenant_streams(streams)
+    if capture is not None:
+        capture.meta.update({
+            "kind": "serve-tenants", "fleet_seed": fleet.seed,
+            "num_chips": fleet.num_chips,
+            "rates": {name: rates[name] for name in shared.tenant_names},
+            "tenants": [{
+                "name": t.name, "dataset": t.dataset, "model": t.model,
+                "num_hops": t.num_hops, "fanout": t.fanout,
+                "popularity_skew": t.popularity_skew,
+                "seed": shared.runtimes[t.name].seed,
+                "slo_s": shared.runtimes[t.name].slo_s,
+            } for t in tenants],
+        })
+    report = shared.run(requests, rates)
     if include_isolation_baseline:
         for tenant in tenants:
             # pin the seed the shared run derived for this tenant, so the
@@ -1086,8 +1122,44 @@ def run_multi_tenant(
             pinned = replace(tenant,
                              seed=shared.runtimes[tenant.name].seed)
             solo_sim = MultiTenantSimulator([pinned], fleet)
+            # under replay `streams` holds the shared stream's per-tenant
+            # slices; re-merging renumbers them 0..n-1 in the same order the
+            # generator emitted, so solo traffic matches the captured run's
             solo_stream = merge_tenant_streams(
-                {tenant.name: streams[tenant.name]})
+                {tenant.name: streams.get(tenant.name, [])})
             solo = solo_sim.run(solo_stream, {tenant.name: rates[tenant.name]})
             report.solo[tenant.name] = solo.reports[tenant.name]
     return report
+
+
+def _replay_stream(replay, shared: MultiTenantSimulator):
+    """Validate a captured multi-tenant trace against the tenant specs and
+    return its merged stream plus the per-tenant rates to report."""
+    if not replay.multi_tenant:
+        raise ValueError(
+            "trace was captured from a single-tenant run; replay it with "
+            "`serve --replay` (no --tenants)")
+    unknown = [n for n in replay.tenant_names if n not in shared.runtimes]
+    if unknown:
+        raise ValueError(
+            f"trace tenants {unknown} not in the tenant spec "
+            f"(spec has: {', '.join(shared.tenant_names)})")
+    requests = replay.to_requests()
+    for r in requests:
+        limit = shared.runtimes[r.tenant].graph.num_vertices
+        if not 0 <= r.target_vertex < limit:
+            raise ValueError(
+                f"trace targets vertex {r.target_vertex} for tenant "
+                f"{r.tenant!r}, outside its graph's {limit} vertices (was "
+                f"the trace captured against a different spec?)")
+    stamped = replay.meta.get("rates") or {}
+    rates: Dict[str, float] = {}
+    for name in shared.tenant_names:
+        if name in stamped:
+            rates[name] = float(stamped[name])
+        else:
+            # hand-built trace: report each tenant's own mean arrival rate
+            times = [r.arrival_time_s for r in requests if r.tenant == name]
+            span = times[-1] - times[0] if len(times) > 1 else 0.0
+            rates[name] = (len(times) - 1) / span if span > 0 else 0.0
+    return requests, rates

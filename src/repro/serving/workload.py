@@ -306,7 +306,19 @@ class RequestGenerator:
         return rank_to_vertex[rank_draws]
 
     def generate(self, trace: Optional[Sequence[float]] = None) -> List[Request]:
-        """Materialise the request stream, sorted by arrival time."""
+        """Materialise the request stream, sorted by arrival time.
+
+        ``trace`` is either a plain timestamp sequence (the classic
+        ``arrival='trace'`` path: targets still come from the popularity
+        law) or a full request trace -- any object with a
+        ``to_requests()`` method, i.e. a
+        :class:`~repro.serving.trace.RequestTrace` -- in which case the
+        captured stream is replayed verbatim: per-request targets, tenant
+        tags and degradation stamps included, after validating it against
+        this generator's configuration.
+        """
+        if trace is not None and hasattr(trace, "to_requests"):
+            return self._replay_requests(trace)
         times = self.arrival_times(trace)
         targets = self.target_vertices()
         return [
@@ -314,6 +326,26 @@ class RequestGenerator:
                     arrival_time_s=float(times[i]))
             for i in range(self.config.num_requests)
         ]
+
+    def _replay_requests(self, trace) -> List[Request]:
+        """Validate and materialise a captured request trace for replay."""
+        cfg = self.config
+        if cfg.arrival != "trace":
+            raise ValueError(
+                f"replaying a request trace requires arrival='trace', "
+                f"got {cfg.arrival!r}")
+        requests: List[Request] = trace.to_requests()
+        if len(requests) != cfg.num_requests:
+            raise ValueError(
+                f"trace has {len(requests)} requests but num_requests is "
+                f"{cfg.num_requests}")
+        for r in requests:
+            if not 0 <= r.target_vertex < self.num_vertices:
+                raise ValueError(
+                    f"trace targets vertex {r.target_vertex}, outside this "
+                    f"graph's {self.num_vertices} vertices (was the trace "
+                    f"captured on a different dataset?)")
+        return requests
 
 
 def merge_tenant_streams(

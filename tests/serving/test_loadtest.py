@@ -1,0 +1,210 @@
+"""Knee-finding load harness: bisection logic, sweep wiring, CLI.
+
+:func:`~repro.serving.loadtest.find_knee` is pure bracket-and-bisect
+over a ``measure(rate) -> LoadPoint`` callable, so its convergence
+properties are pinned here on synthetic monotone attainment curves with
+no simulator in the loop; one small real sweep then checks the wiring
+(per-chip request scaling, monotone knees) and the CLI checks the
+``BENCH_loadtest.json`` emission.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.__main__ import main
+from repro.serving import (
+    FleetConfig,
+    KneeResult,
+    LoadPoint,
+    LoadTestConfig,
+    find_knee,
+    run_loadtest,
+)
+from repro.serving.loadtest import _monotone_knees
+
+
+def step_curve(capacity_rps):
+    """Synthetic open-loop fleet: perfect below capacity, failing above."""
+    def measure(rate):
+        return LoadPoint(rate_rps=rate,
+                         attainment=1.0 if rate <= capacity_rps else 0.5)
+    return measure
+
+
+def sloped_curve(capacity_rps, width=0.5):
+    """Attainment degrades linearly across ``width * capacity`` past the
+    knee -- the realistic shape (queueing pain grows gradually)."""
+    def measure(rate):
+        attainment = 1.0 - max(0.0, rate - capacity_rps) \
+            / (width * capacity_rps)
+        return LoadPoint(rate_rps=rate, attainment=max(0.0, attainment))
+    return measure
+
+
+class TestFindKnee:
+    @pytest.mark.parametrize("capacity", [7.0, 100.0, 12_345.6])
+    def test_converges_to_step_capacity(self, capacity):
+        result = find_knee(step_curve(capacity), 0.99, lo_rps=1.0,
+                           rel_tol=0.01, max_doublings=20,
+                           max_bisections=64)
+        assert result.bracketed
+        assert result.knee_rps <= capacity
+        assert result.knee_rps >= capacity * (1 - 0.011)
+
+    def test_knee_is_a_measured_passing_rate(self):
+        result = find_knee(sloped_curve(50.0), 0.95, lo_rps=2.0)
+        assert result.bracketed
+        measured = {p.rate_rps for p in result.points}
+        assert result.knee_rps in measured
+        assert result.knee_point is not None
+        assert result.knee_point.meets(0.95)
+        # every rate above the knee that was measured, failed
+        for point in result.points:
+            if point.rate_rps > result.knee_rps:
+                assert not point.meets(0.95)
+
+    def test_rel_tol_bounds_the_bracket(self):
+        for rel_tol in (0.25, 0.1, 0.02):
+            result = find_knee(step_curve(40.0), 0.99, lo_rps=1.0,
+                               rel_tol=rel_tol, max_bisections=64)
+            fails = [p.rate_rps for p in result.points
+                     if not p.meets(0.99)]
+            assert min(fails) - result.knee_rps \
+                <= rel_tol * result.knee_rps + 1e-9
+
+    def test_failing_floor_gives_zero_knee(self):
+        result = find_knee(step_curve(0.5), 0.99, lo_rps=1.0)
+        assert result == KneeResult(knee_rps=0.0, bracketed=True,
+                                    iterations=1, points=result.points)
+        assert len(result.points) == 1
+
+    def test_saturation_is_reported_unbracketed(self):
+        result = find_knee(lambda rate: LoadPoint(rate, 1.0), 0.99,
+                           lo_rps=1.0, max_doublings=5)
+        assert not result.bracketed
+        assert result.knee_rps == 32.0  # lo << 5 doublings
+        assert result.iterations == 6
+
+    def test_explicit_hi_seeds_the_bracket(self):
+        calls = []
+
+        def measure(rate):
+            calls.append(rate)
+            return step_curve(10.0)(rate)
+
+        result = find_knee(measure, 0.99, lo_rps=1.0, hi_rps=64.0,
+                           rel_tol=0.05)
+        assert result.bracketed
+        # the failing hi bound replaces the doubling phase entirely
+        assert calls[:2] == [1.0, 64.0]
+        assert all(rate <= 64.0 for rate in calls)
+
+    def test_passing_hi_continues_doubling_from_it(self):
+        result = find_knee(step_curve(100.0), 0.99, lo_rps=1.0,
+                           hi_rps=8.0, rel_tol=0.05)
+        assert result.bracketed
+        assert result.knee_rps >= 95.0
+
+    def test_max_bisections_caps_refinement(self):
+        result = find_knee(step_curve(33.0), 0.99, lo_rps=1.0,
+                           rel_tol=1e-9, max_bisections=3)
+        fails = [p.rate_rps for p in result.points if not p.meets(0.99)]
+        # bracket halves 3 times from [32, 64] and no further
+        assert min(fails) - result.knee_rps \
+            == pytest.approx(32.0 / 2 ** 3)
+
+    def test_iterations_counts_every_measurement(self):
+        result = find_knee(sloped_curve(20.0), 0.9, lo_rps=1.0)
+        assert result.iterations == len(result.points)
+
+    def test_validation(self):
+        measure = step_curve(10.0)
+        with pytest.raises(ValueError, match="lo_rps"):
+            find_knee(measure, 0.99, lo_rps=0.0)
+        with pytest.raises(ValueError, match="slo_target"):
+            find_knee(measure, 0.0, lo_rps=1.0)
+        with pytest.raises(ValueError, match="slo_target"):
+            find_knee(measure, 1.5, lo_rps=1.0)
+
+
+class TestLoadTestConfig:
+    def test_defaults_measure_uncached_capacity(self):
+        config = LoadTestConfig()
+        assert config.fleet.cache_size == 0
+        assert config.chip_counts == (1, 2, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_requests"):
+            LoadTestConfig(num_requests=0)
+        with pytest.raises(ValueError, match="chip_counts"):
+            LoadTestConfig(chip_counts=())
+        with pytest.raises(ValueError, match="chip_counts"):
+            LoadTestConfig(chip_counts=(1, 0))
+        with pytest.raises(ValueError, match="slo_target"):
+            LoadTestConfig(slo_target=1.2)
+        with pytest.raises(ValueError, match="start_utilization"):
+            LoadTestConfig(start_utilization=0.0)
+
+
+class TestRunLoadtest:
+    def test_small_real_sweep_is_monotone_and_bracketed(self):
+        config = LoadTestConfig(num_requests=768, chip_counts=(1, 2),
+                                rel_tol=0.3, max_bisections=2)
+        progress = []
+        report = run_loadtest(config, progress=progress.append)
+        assert [s["num_chips"] for s in report.sweeps] == [1, 2]
+        for sweep in report.sweeps:
+            # requests scale per chip: constant per-chip pressure
+            assert sweep["num_requests"] == 768 * sweep["num_chips"]
+            assert sweep["bracketed"]
+            assert sweep["slo_s"] > 0
+            for point in sweep["points"]:
+                assert point["completed"] == point["offered"] \
+                    == sweep["num_requests"]
+        assert _monotone_knees(report.sweeps)
+        # adaptive SLO is probe-derived, hence identical across chip counts
+        slos = {round(s["slo_s"], 12) for s in report.sweeps}
+        assert len(slos) == 1
+        assert len(progress) == sum(s["iterations"] for s in report.sweeps)
+        payload = report.to_dict()
+        assert payload["kind"] == "loadtest"
+        assert math.isfinite(payload["wall_time_s"])
+        assert len(report.summary_rows()) == 2
+
+    def test_monotone_helper(self):
+        up = [{"num_chips": 2, "knee_rps": 20.0},
+              {"num_chips": 1, "knee_rps": 10.0}]
+        down = [{"num_chips": 1, "knee_rps": 10.0},
+                {"num_chips": 2, "knee_rps": 9.0}]
+        assert _monotone_knees(up)
+        assert not _monotone_knees(down)
+
+
+class TestLoadtestCLI:
+    def test_writes_bench_json(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_loadtest.json")
+        assert main(["loadtest", "--chips", "1", "--requests", "768",
+                     "--rel-tol", "0.3", "--json", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "knee" in stdout
+        with open(out) as handle:
+            payload = json.load(handle)
+        assert payload["kind"] == "loadtest"
+        assert [s["num_chips"] for s in payload["sweeps"]] == [1]
+        assert all(s["bracketed"] for s in payload["sweeps"])
+
+    def test_json_stdout_stays_pure(self, tmp_path, capsys):
+        assert main(["loadtest", "--chips", "1", "--requests", "768",
+                     "--rel-tol", "0.3", "--json", "-"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)  # progress went to stderr
+        assert payload["kind"] == "loadtest"
+        assert "rps" in captured.err
+
+    def test_bad_flags_exit_2(self, capsys):
+        assert main(["loadtest", "--chips", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+        assert main(["loadtest", "--slo-target", "1.5"]) == 2
+        assert "error" in capsys.readouterr().err

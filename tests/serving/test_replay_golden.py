@@ -1,0 +1,107 @@
+"""Golden replay fixtures: a committed request trace must keep replaying
+to a committed report.
+
+``test_trace.py`` proves capture -> replay round-trips *within one
+build*; this pins the contract *across* builds: the binary trace file
+committed under ``tests/serving/fixtures/`` (format version
+:data:`~repro.serving.trace.TRACE_VERSION`) must stay loadable, and
+replaying it must keep producing bit-for-bit the committed report JSON.
+Any change to the codec, the replay path, or the simulator hot path that
+shifts either fails here explicitly.
+
+When a change *intentionally* alters the numbers, regenerate with::
+
+    PYTHONPATH=src python tests/serving/test_replay_golden.py
+
+and commit both fixture diffs alongside the change that explains them.
+"""
+
+import json
+import os
+
+from repro.graphs import load_dataset
+from repro.models.model_zoo import clear_workloads_cache
+from repro.serving.fleet import FleetConfig, clear_probe_cache, run_serving
+from repro.serving.trace import TraceWriter, load_request_trace
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
+TRACE_FIXTURE = os.path.join(FIXTURE_DIR, "request_trace_ib_seed7.bin")
+REPORT_FIXTURE = os.path.join(FIXTURE_DIR, "replay_report_ib_seed7.json")
+
+DATASET = "IB"
+NUM_REQUESTS = 64
+RATE_RPS = 40.0
+SEED = 7
+CONFIG = dict(num_chips=2, cache_size=64)
+
+
+def _clear_caches():
+    clear_probe_cache()
+    clear_workloads_cache()
+    load_dataset.cache_clear()
+
+
+def _replay_committed_trace():
+    """Replay the committed trace -> report JSON (the regression payload)."""
+    _clear_caches()
+    report = run_serving(dataset=DATASET, config=FleetConfig(**CONFIG),
+                         seed=SEED,
+                         replay=load_request_trace(TRACE_FIXTURE))
+    return json.dumps(report.to_dict(), sort_keys=True, indent=2,
+                      default=float)
+
+
+def test_committed_trace_replays_to_golden_report():
+    with open(REPORT_FIXTURE) as handle:
+        expected = handle.read()
+    assert _replay_committed_trace() == expected.rstrip("\n"), (
+        "replaying the committed request trace diverged from the committed "
+        "report; if the change is intentional, regenerate via "
+        "`PYTHONPATH=src python tests/serving/test_replay_golden.py`"
+    )
+
+
+def test_committed_trace_metadata_is_stable():
+    trace = load_request_trace(TRACE_FIXTURE)
+    assert trace.num_requests == NUM_REQUESTS
+    assert not trace.multi_tenant
+    assert trace.meta["dataset"] == DATASET
+    assert trace.meta["seed"] == SEED
+    assert trace.meta["rate_rps"] == RATE_RPS
+
+
+def test_recapture_reproduces_committed_trace_bytes():
+    """The capture path itself is pinned: re-running the original capturing
+    configuration writes byte-for-byte the committed trace file."""
+    capture = TraceWriter()
+    _clear_caches()
+    run_serving(dataset=DATASET, num_requests=NUM_REQUESTS,
+                rate_rps=RATE_RPS, config=FleetConfig(**CONFIG), seed=SEED,
+                capture=capture)
+    rebuilt = os.path.join(FIXTURE_DIR, "_rebuilt.bin")
+    try:
+        capture.write(rebuilt)
+        with open(TRACE_FIXTURE, "rb") as a, open(rebuilt, "rb") as b:
+            assert a.read() == b.read(), (
+                "the capture path no longer reproduces the committed trace; "
+                "if the change is intentional, regenerate via "
+                "`PYTHONPATH=src python tests/serving/test_replay_golden.py`"
+            )
+    finally:
+        if os.path.exists(rebuilt):
+            os.remove(rebuilt)
+
+
+if __name__ == "__main__":
+    os.makedirs(FIXTURE_DIR, exist_ok=True)
+    capture = TraceWriter()
+    _clear_caches()
+    run_serving(dataset=DATASET, num_requests=NUM_REQUESTS,
+                rate_rps=RATE_RPS, config=FleetConfig(**CONFIG), seed=SEED,
+                capture=capture)
+    capture.write(TRACE_FIXTURE)
+    print(f"wrote {TRACE_FIXTURE} ({os.path.getsize(TRACE_FIXTURE)} bytes)")
+    report_json = _replay_committed_trace()
+    with open(REPORT_FIXTURE, "w") as handle:
+        handle.write(report_json + "\n")
+    print(f"wrote {REPORT_FIXTURE} ({len(report_json)} bytes)")

@@ -109,3 +109,62 @@ class TestRequestGenerator:
             WorkloadConfig(arrival="uniform")
         with pytest.raises(ValueError):
             WorkloadConfig(arrival="bursty", burst_factor=100.0, on_fraction=0.5)
+
+
+class TestTraceArrivalEdgeCases:
+    def test_truncates_to_num_requests(self):
+        times = trace_arrival_times([0.0, 1.0, 2.0, 3.0, 4.0],
+                                    num_requests=3)
+        assert times.tolist() == [0.0, 1.0, 2.0]
+
+    def test_truncation_happens_after_sorting(self):
+        # the three *earliest* arrivals survive, not the first three listed
+        times = trace_arrival_times([4.0, 0.0, 3.0, 1.0, 2.0],
+                                    num_requests=3)
+        assert times.tolist() == [0.0, 1.0, 2.0]
+
+    def test_num_requests_longer_than_trace_keeps_every_timestamp(self):
+        times = trace_arrival_times([1.0, 2.0], num_requests=10)
+        assert times.tolist() == [0.0, 1.0]
+
+    def test_zero_length_trace(self):
+        assert trace_arrival_times([]).size == 0
+        assert trace_arrival_times([], num_requests=5).size == 0
+        assert trace_arrival_times([1.0, 2.0], num_requests=0).size == 0
+
+    def test_generator_rejects_trace_shorter_than_stream(self):
+        # the generator needs one timestamp per request even though the
+        # normaliser itself tolerates short traces
+        cfg = WorkloadConfig(num_requests=5, rate_rps=1e4, arrival="trace")
+        with pytest.raises(ValueError):
+            RequestGenerator(64, cfg).generate(trace=[0.0, 1.0, 2.0])
+
+
+class TestRequestTraceReplayBranch:
+    """generate() replaying a captured RequestTrace (serve --replay)."""
+
+    def _trace(self, n=4, target=3):
+        from repro.serving import RequestTrace
+        return RequestTrace.from_requests(
+            [Request(i, target, i * 1e-3) for i in range(n)])
+
+    def test_replays_exact_requests(self):
+        cfg = WorkloadConfig(num_requests=4, rate_rps=1e4, arrival="trace")
+        trace = self._trace()
+        assert RequestGenerator(64, cfg).generate(trace) \
+            == trace.to_requests()
+
+    def test_requires_trace_arrival_mode(self):
+        cfg = WorkloadConfig(num_requests=4, rate_rps=1e4)
+        with pytest.raises(ValueError, match="arrival='trace'"):
+            RequestGenerator(64, cfg).generate(self._trace())
+
+    def test_rejects_length_mismatch(self):
+        cfg = WorkloadConfig(num_requests=9, rate_rps=1e4, arrival="trace")
+        with pytest.raises(ValueError, match="4"):
+            RequestGenerator(64, cfg).generate(self._trace(n=4))
+
+    def test_rejects_targets_outside_the_graph(self):
+        cfg = WorkloadConfig(num_requests=4, rate_rps=1e4, arrival="trace")
+        with pytest.raises(ValueError, match="different dataset"):
+            RequestGenerator(64, cfg).generate(self._trace(target=64))

@@ -82,7 +82,8 @@ def cli_subcommands() -> list:
 
 #: Subcommands held to flag-level docs coverage (the ones with flags that
 #: tune behaviour; ``sweep``/``info`` only take positional choices).
-FLAG_CHECKED_SUBCOMMANDS = ("serve", "trace-report")
+FLAG_CHECKED_SUBCOMMANDS = ("serve", "trace-report", "trace-stats",
+                            "loadtest")
 
 
 def subcommand_cli_flags(name: str) -> list:
