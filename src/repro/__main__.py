@@ -59,6 +59,7 @@ from .serving import (
     ARRIVAL_PROCESSES,
     AUTOSCALE_POLICIES,
     DISPATCH_POLICIES,
+    INVALIDATION_POLICIES,
     PARTITIONERS,
     SCALE_SHAPE_POLICIES,
     SHAPE_MIXES,
@@ -297,6 +298,35 @@ def _build_parser() -> argparse.ArgumentParser:
                               "--rate/--arrival/--skew are then taken from "
                               "the trace; multi-tenant traces also need the "
                               "capturing run's --tenants spec)")
+    streaming = serve.add_argument_group(
+        "streaming graph updates",
+        "interleave live graph mutations (edge inserts, feature writes, "
+        "vertex inserts) with the request stream and invalidate the "
+        "derived-state caches they touch (see docs/streaming.md); "
+        "--update-rate arms it, the remaining flags tune an armed stream "
+        "and error without one; a capture records the update stream too, "
+        "so --replay reproduces mutating runs bit-for-bit")
+    streaming.add_argument("--update-rate", type=float, default=None,
+                           help="graph updates offered per request (0.05 = "
+                                "a 5%% update mix); the stream runs at this "
+                                "fraction of the request rate")
+    streaming.add_argument("--update-mix", default=None,
+                           metavar="KIND=W,...",
+                           help="update-kind weights, e.g. "
+                                "edge=0.8,feature=0.15,vertex=0.05 "
+                                "(default: that mix); omitted kinds get 0")
+    streaming.add_argument("--invalidation",
+                           choices=INVALIDATION_POLICIES, default=None,
+                           help="cache-invalidation policy: targeted drops "
+                                "only entries the update touches (default), "
+                                "flush drops everything on every update, "
+                                "none disables invalidation and counts the "
+                                "stale serves that result")
+    streaming.add_argument("--staleness-budget", type=int, default=None,
+                           metavar="VERSIONS",
+                           help="tolerated staleness in graph versions for "
+                                "the stale_beyond_budget counter (default 0: "
+                                "any stale serve is a violation)")
     serve.add_argument("--json", default=None, metavar="PATH",
                        help="also serialize the full report as JSON to PATH "
                             "('-' writes JSON to stdout instead of tables)")
@@ -500,6 +530,38 @@ def _sharding_config_from_args(args: argparse.Namespace
                           seed=args.seed, **overrides)
 
 
+def _streaming_overrides(args: argparse.Namespace) -> dict:
+    """run_serving / run_multi_tenant kwargs from the streaming-update flags.
+
+    ``--update-rate`` arms the update stream; the tuning flags error without
+    it (mirroring the sharding idiom).  ``--replay`` needs no flags at all --
+    a mutating capture carries its update stream, invalidation policy and
+    staleness budget, and restores them itself.
+    """
+    if args.update_rate is None:
+        tuning = [flag for flag, given in (
+            ("--update-mix", args.update_mix is not None),
+            ("--invalidation", args.invalidation is not None),
+            ("--staleness-budget", args.staleness_budget is not None),
+        ) if given]
+        if tuning:
+            hint = ("--replay restores the capturing run's update stream "
+                    "and policy by itself" if args.replay is not None
+                    else "add --update-rate R")
+            raise ValueError(
+                f"{', '.join(tuning)} tune streaming graph updates but "
+                f"nothing arms them; {hint}")
+        return {}
+    overrides: dict = {"update_rate": args.update_rate}
+    if args.update_mix is not None:
+        overrides["update_mix"] = args.update_mix
+    if args.invalidation is not None:
+        overrides["invalidation"] = args.invalidation
+    if args.staleness_budget is not None:
+        overrides["staleness_budget"] = args.staleness_budget
+    return overrides
+
+
 def _fleet_spec_from_args(args: argparse.Namespace):
     """Resolve --fleet-spec / --shape-mix into a FleetSpec (or None).
 
@@ -662,7 +724,8 @@ def _run_serve_tenants(args: argparse.Namespace, replay=None) -> int:
             tenants, fleet, utilization_target=args.utilization,
             include_isolation_baseline=not args.no_isolation,
             control=control, observe=observe,
-            capture=capture, replay=replay)
+            capture=capture, replay=replay,
+            **_streaming_overrides(args))
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -692,6 +755,9 @@ def _run_serve_tenants(args: argparse.Namespace, replay=None) -> int:
     if report.sharding is not None:
         print_table([report.sharding.summary()],
                     title="sharded execution (docs/sharding.md)")
+    if report.consistency is not None:
+        print_table([report.consistency.summary()],
+                    title="streaming graph updates (docs/streaming.md)")
     if report.control is not None:
         _print_control_tables(report.control)
     print_table([{
@@ -776,6 +842,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             observe=observe,
             capture=capture,
             replay=replay,
+            **_streaming_overrides(args),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -810,6 +877,9 @@ def _run_serve(args: argparse.Namespace) -> int:
     if report.sharding is not None:
         print_table([report.sharding.summary()],
                     title="sharded execution (docs/sharding.md)")
+    if report.consistency is not None:
+        print_table([report.consistency.summary()],
+                    title="streaming graph updates (docs/streaming.md)")
     if report.control is not None:
         _print_control_tables(report.control)
     print_table([{

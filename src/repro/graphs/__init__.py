@@ -2,6 +2,7 @@
 
 from .graph import CSCMatrix, CSRMatrix, Graph, GraphStats, merge_graphs
 from .csc import CSCGraph, from_csc, graphs_equal, to_csc
+from .delta import DeltaGraph
 from .generators import (
     community_graph,
     erdos_renyi_graph,
@@ -18,6 +19,7 @@ __all__ = [
     "CSCGraph",
     "CSCMatrix",
     "CSRMatrix",
+    "DeltaGraph",
     "Graph",
     "from_csc",
     "graphs_equal",

@@ -32,7 +32,7 @@ from .graph import Graph
 
 __all__ = ["VertexInterval", "EdgeShard", "IntervalShardPartition",
            "partition_graph", "ShardPlan", "build_shard_plan",
-           "hash_partition", "locality_partition"]
+           "hash_owner", "hash_partition", "locality_partition"]
 
 
 @dataclass(frozen=True)
@@ -300,17 +300,16 @@ def build_shard_plan(graph: Graph, owner: np.ndarray, *,
                      edge_cut=edge_cut, num_edges=int(indices.shape[0]))
 
 
-def hash_partition(graph: Graph, num_shards: int, seed: int = 0) -> np.ndarray:
-    """Seeded multiplicative-hash ownership (the baseline partitioner).
+def hash_owner(ids: np.ndarray, num_shards: int, seed: int = 0) -> np.ndarray:
+    """Splitmix64 ownership of arbitrary vertex ids (the hash rule itself).
 
-    Every vertex id is mixed through a splitmix64-style avalanche keyed by
-    ``seed`` and reduced modulo ``num_shards``, so ownership is uniform,
-    seed-dependent and completely locality-oblivious -- the edge-cut of a
-    random assignment, which is what ``locality`` is measured against.
+    Factored out of :func:`hash_partition` so streaming runs can assign
+    newly inserted vertices the exact owner a from-scratch repartition
+    would: the rule is a pure function of ``(id, num_shards, seed)``.
     """
     if num_shards < 1:
         raise ValueError("num_shards must be >= 1")
-    ids = np.arange(graph.num_vertices, dtype=np.uint64)
+    ids = np.asarray(ids, dtype=np.uint64)
     with np.errstate(over="ignore"):
         x = ids + np.uint64(seed & 0xFFFFFFFFFFFFFFFF) \
             * np.uint64(0x9E3779B97F4A7C15)
@@ -320,6 +319,18 @@ def hash_partition(graph: Graph, num_shards: int, seed: int = 0) -> np.ndarray:
         x *= np.uint64(0x94D049BB133111EB)
         x ^= x >> np.uint64(31)
     return (x % np.uint64(num_shards)).astype(np.int64)
+
+
+def hash_partition(graph: Graph, num_shards: int, seed: int = 0) -> np.ndarray:
+    """Seeded multiplicative-hash ownership (the baseline partitioner).
+
+    Every vertex id is mixed through a splitmix64-style avalanche keyed by
+    ``seed`` and reduced modulo ``num_shards``, so ownership is uniform,
+    seed-dependent and completely locality-oblivious -- the edge-cut of a
+    random assignment, which is what ``locality`` is measured against.
+    """
+    return hash_owner(np.arange(graph.num_vertices, dtype=np.uint64),
+                      num_shards, seed)
 
 
 def locality_partition(graph: Graph, num_shards: int, seed: int = 0) -> np.ndarray:

@@ -81,7 +81,7 @@ def build_model(
 
 #: Bounded LRU of flattened workloads.  Entries pin the (model, graph) pair
 #: they describe, so an ``id()`` can never be recycled while its key is live.
-_WORKLOADS_CACHE: "OrderedDict[Tuple[int, int], Tuple[AnyModel, Graph, List[LayerWorkload]]]" = OrderedDict()
+_WORKLOADS_CACHE: "OrderedDict[Tuple, Tuple[AnyModel, Graph, List[LayerWorkload]]]" = OrderedDict()
 _WORKLOADS_CACHE_SIZE = 64
 
 
@@ -90,14 +90,17 @@ def workloads_for(model: AnyModel, graph: Graph) -> List[LayerWorkload]:
 
     The cache is keyed by object identity -- workload descriptions embed the
     model's phases and the graph itself, so identity is the only equality that
-    is both cheap and sound.  A fresh list is returned on every call so
-    callers may reorder or filter it without corrupting the cache.
+    is both cheap and sound -- plus the graph's mutation ``version`` when it
+    has one: a streaming delta graph keeps its identity while its structure
+    changes, and an identity-only key would keep serving the flattening of a
+    neighbourhood that no longer exists.  A fresh list is returned on every
+    call so callers may reorder or filter it without corrupting the cache.
     """
     if not getattr(graph, "memoize_workloads", True):
         # one-shot graphs (e.g. fused serving batches) opt out: a cache entry
         # would pin the graph and its feature matrix without ever hitting
         return model.workloads(graph)
-    key = (id(model), id(graph))
+    key = (id(model), id(graph), getattr(graph, "version", None))
     entry = _WORKLOADS_CACHE.get(key)
     if entry is not None and entry[0] is model and entry[1] is graph:
         _WORKLOADS_CACHE.move_to_end(key)

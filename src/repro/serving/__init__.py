@@ -129,6 +129,7 @@ from .stats import (
     AdmissionStats,
     BatchingStats,
     ChipStats,
+    ConsistencyStats,
     ControlStats,
     HeteroStats,
     MultiTenantReport,
@@ -137,8 +138,19 @@ from .stats import (
     ShardingStats,
     percentile,
 )
+from .streaming import (
+    INVALIDATION_POLICIES,
+    UPDATE_KINDS,
+    StreamState,
+    UpdateEvent,
+    UpdateStream,
+    clear_update_stream_cache,
+    generate_update_stream,
+    parse_update_mix,
+)
 from .trace import (
     TRACE_VERSION,
+    TRACE_VERSION_UPDATES,
     RequestTrace,
     TraceFormatError,
     TraceWriter,
@@ -174,12 +186,15 @@ __all__ = [
     "BATCHING_POLICIES",
     "BATCH_POLICIES",
     "DISPATCH_POLICIES",
+    "INVALIDATION_POLICIES",
     "PARTITIONERS",
     "SCALE_SHAPE_POLICIES",
     "SHAPE_MIXES",
     "SHAPE_PRESETS",
     "SIGNATURE_HASHES",
     "TRACE_VERSION",
+    "TRACE_VERSION_UPDATES",
+    "UPDATE_KINDS",
     "AdmissionStats",
     "AutoscalePolicy",
     "Batch",
@@ -189,6 +204,7 @@ __all__ = [
     "CacheStats",
     "Chip",
     "ChipStats",
+    "ConsistencyStats",
     "ContinuousBatcher",
     "Counter",
     "FIFOBatcher",
@@ -231,6 +247,7 @@ __all__ = [
     "ShardingStats",
     "SizeCappedBatcher",
     "SLOAwareBatcher",
+    "StreamState",
     "SubgraphSample",
     "SubgraphSampler",
     "TenantBinding",
@@ -241,6 +258,8 @@ __all__ = [
     "TokenBucket",
     "TraceFormatError",
     "TraceWriter",
+    "UpdateEvent",
+    "UpdateStream",
     "WFQScheduler",
     "WorkloadConfig",
     "build_autoscale_policy",
@@ -249,10 +268,13 @@ __all__ = [
     "bursty_arrival_times",
     "clear_probe_cache",
     "clear_shard_plan_cache",
+    "clear_update_stream_cache",
     "default_degradation_ladder",
     "estimate_jaccard",
     "find_knee",
     "fleet_spec_for_mix",
+    "generate_update_stream",
+    "parse_update_mix",
     "format_trace_report",
     "format_trace_stats",
     "load_fleet_spec",

@@ -90,6 +90,27 @@ class LRUCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
+    def peek(self, key: Hashable, default: Optional[object] = None) -> Optional[object]:
+        """Read ``key`` without touching recency or the hit/miss counters."""
+        return self._entries.get(key, default)
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry if present; returns whether anything was dropped.
+
+        The streaming layer's targeted invalidation hook: neither a hit nor
+        a miss nor an eviction is counted (the entry is not aged out by
+        pressure, it is revoked by an update), so invalidation never
+        perturbs the hit-rate accounting.
+        """
+        if key in self._entries:
+            del self._entries[key]
+            return True
+        return False
+
+    def keys(self):
+        """Snapshot of the cached keys, LRU-first (read-only convenience)."""
+        return list(self._entries.keys())
+
     def clear(self) -> None:
         """Drop every entry (the counters are kept)."""
         self._entries.clear()

@@ -64,6 +64,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Set, Tuple
 from ..core.config import HyGCNConfig
 from ..core.simulator import HyGCNSimulator
 from ..graphs.datasets import load_dataset
+from ..graphs.delta import DeltaGraph
 from ..graphs.graph import Graph
 from ..models.model_zoo import build_model
 from .batcher import Batch
@@ -90,10 +91,13 @@ from .sharding import ShardExecutor, ShardingConfig, shard_plan_for
 from .stats import (
     BatchingStats,
     ChipStats,
+    ConsistencyStats,
     HeteroStats,
     RequestRecord,
     ServingReport,
 )
+from .streaming import StreamState, UpdateStream, generate_update_stream, \
+    parse_update_mix
 from .workload import Request, RequestGenerator, WorkloadConfig, trace_arrival_times
 
 __all__ = [
@@ -110,8 +114,8 @@ __all__ = [
 #: Dispatch-policy names accepted by the CLI and :class:`FleetConfig`.
 DISPATCH_POLICIES = ("round-robin", "least-loaded", "locality", "shape-aware")
 
-_ARRIVAL, _FLUSH, _COMPLETION, _CONTROL, _CHIP_READY, _METRICS = \
-    0, 1, 2, 3, 4, 5
+_ARRIVAL, _FLUSH, _COMPLETION, _CONTROL, _CHIP_READY, _METRICS, _UPDATE = \
+    0, 1, 2, 3, 4, 5, 6
 
 logger = logging.getLogger("repro.serving.fleet")
 
@@ -444,7 +448,8 @@ def _build_dispatch(policy: str, num_vertices: int, num_chips: int,
 # --------------------------------------------------------------------------- #
 def fused_batch_service_time_s(chip: Chip, sampler, model, batch: Batch,
                                dataset_name: str, reuse_discount: float,
-                               cache_key=None, account: bool = True) -> float:
+                               cache_key=None, account: bool = True,
+                               stream=None, now: float = 0.0) -> float:
     """Simulated execution time of the fused subgraph batch on ``chip``.
 
     Requests for the same target (and sampling shape) within a batch share
@@ -499,9 +504,24 @@ def fused_batch_service_time_s(chip: Chip, sampler, model, batch: Batch,
     for sample in samples:
         vertices.update(sample.vertices)
     key = cache_key if cache_key is not None else (lambda v: v)
-    hits = sum(1 for v in vertices if chip.feature_cache.get(key(v)) is not None)
-    for v in vertices:
-        chip.feature_cache.put(key(v), True)
+    if stream is None:
+        hits = sum(1 for v in vertices
+                   if chip.feature_cache.get(key(v)) is not None)
+        for v in vertices:
+            chip.feature_cache.put(key(v), True)
+    else:
+        # streaming run: lines carry the feature version they were filled
+        # at, so a hit can be consistency-checked against the vertex's
+        # current feature version (stale only under --invalidation none)
+        hits = 0
+        for v in vertices:
+            stamp = chip.feature_cache.get(key(v))
+            if stamp is not None:
+                hits += 1
+                stream.on_feature_hit(int(v), stamp, now)
+        for v in vertices:
+            chip.feature_cache.put(key(v),
+                                   stream.graph.feature_version(int(v)))
     reuse_fraction = hits / len(vertices) if vertices else 0.0
     service_s = report.execution_time_s * (1.0 - reuse_discount * reuse_fraction)
     if account:
@@ -549,9 +569,13 @@ def probe_batch_service_time_s(hw: HyGCNConfig, sampler, model,
     scale-up events pay for it once per configuration.
     """
     num = min(max_batch_size, num_vertices)
+    # the graph version belongs in the key: a mutating graph changes the
+    # probe batch's neighbourhoods under a stable (dataset, shape) tuple,
+    # which silently served stale probe times before streaming landed
     key = (repr(hw), getattr(model, "name", model.__class__.__name__),
            dataset_name, num, num_vertices,
-           sampler.num_hops, sampler.fanout, seed)
+           sampler.num_hops, sampler.fanout, seed,
+           getattr(sampler.graph, "version", None))
     cached = _PROBE_CACHE.get(key)
     if cached is not None:
         return cached
@@ -560,9 +584,19 @@ def probe_batch_service_time_s(hw: HyGCNConfig, sampler, model,
         Request(request_id=-1 - i, target_vertex=int(t), arrival_time_s=0.0)
         for i, t in enumerate(targets)], created_time_s=0.0)
     probe_chip = Chip(-1, hw, feature_cache_size=0)
+    # on a mutable graph the probe must not leave sampler-memo residue:
+    # whether this call executes or hits _PROBE_CACHE would otherwise leak
+    # into the run's invalidation accounting (run-to-run nondeterminism)
+    mutable = getattr(sampler, "_mutable", False)
+    memo_before = set(sampler._memo.keys()) | set(sampler._sig_memo.keys()) \
+        if mutable else None
     service_s = fused_batch_service_time_s(probe_chip, sampler, model, probe,
                                            dataset_name=dataset_name,
                                            reuse_discount=0.0, account=False)
+    if mutable:
+        added = (set(sampler._memo.keys())
+                 | set(sampler._sig_memo.keys())) - memo_before
+        sampler.forget(added)
     _PROBE_CACHE[key] = service_s
     return service_s
 
@@ -778,8 +812,18 @@ class ServingSimulator:
     def __init__(self, graph: Graph, model, config: Optional[FleetConfig] = None,
                  dataset_name: Optional[str] = None,
                  control: Optional[ControlConfig] = None,
-                 observe=None, capture=None):
+                 observe=None, capture=None, updates=None):
         self.config = config or FleetConfig()
+        #: Streaming-update hook (:class:`repro.serving.streaming.UpdateStream`)
+        #: or ``None``; arming it wraps the graph in a mutable
+        #: :class:`~repro.graphs.delta.DeltaGraph` and interleaves the
+        #: stream's events with query traffic.  ``updates.events`` may
+        #: still be empty at construction (the end-to-end driver fills
+        #: them once the arrival rate is calibrated); they are read at
+        #: :meth:`run`.
+        self.updates = updates
+        if updates is not None and not isinstance(graph, DeltaGraph):
+            graph = DeltaGraph(graph, compact_every=updates.compact_every)
         #: Observability hub (:class:`repro.serving.observe.Instrumentation`)
         #: or ``None``; hooks are guarded so an uninstrumented run executes
         #: no observability code.
@@ -853,6 +897,18 @@ class ServingSimulator:
         #: tests replay ``ContinuousBatcher.join_log`` through it to prove
         #: the late-join budgets held.
         self.batcher = None
+        #: Streaming applier / consistency tracker, or ``None`` on a
+        #: static run (see :mod:`repro.serving.streaming`).
+        self.stream: Optional[StreamState] = None
+        self.consistency: Optional[ConsistencyStats] = None
+        if updates is not None:
+            self.consistency = ConsistencyStats(
+                policy=updates.policy,
+                budget_versions=updates.staleness_budget_versions)
+            self.stream = StreamState(
+                graph, self.sampler, updates, self.consistency,
+                result_cache=self.result_cache, chips=self.chips,
+                shard_executor=self.shard_executor, observe=observe)
 
     # ------------------------------------------------------------------ #
     # Adaptive time scales
@@ -945,7 +1001,8 @@ class ServingSimulator:
     # Service-time model
     # ------------------------------------------------------------------ #
     def batch_service_time_s(self, chip: Chip, batch: Batch,
-                             account: bool = True) -> float:
+                             account: bool = True,
+                             now: float = 0.0) -> float:
         """Simulated execution time of the fused subgraph batch on ``chip``
         (see :func:`fused_batch_service_time_s`).
 
@@ -958,11 +1015,12 @@ class ServingSimulator:
                 and self.shard_executor.plan.num_shards > 1:
             return self.shard_executor.service_time_s(
                 batch, reuse_discount=self.config.reuse_discount,
-                account=account)
+                account=account, now=now)
         return fused_batch_service_time_s(
             chip, self.sampler, self.model, batch,
             dataset_name=self.dataset_name,
-            reuse_discount=self.config.reuse_discount, account=account)
+            reuse_discount=self.config.reuse_discount, account=account,
+            stream=self.stream, now=now)
 
     def calibrate_rate(self, utilization_target: float = 0.7) -> float:
         """Arrival rate that loads the fleet to ``utilization_target``.
@@ -1030,6 +1088,11 @@ class ServingSimulator:
         for request in requests:
             heapq.heappush(events, (request.arrival_time_s, seq, _ARRIVAL, request))
             seq += 1
+        if self.stream is not None:
+            for event in self.updates.events:
+                heapq.heappush(events, (event.arrival_time_s, seq,
+                                        _UPDATE, event))
+                seq += 1
         arrivals_left = len(requests)
         dispatch_meta: Dict[int, float] = {}      # batch_id -> dispatch time
         start_meta: Dict[int, float] = {}         # batch_id -> service start time
@@ -1164,7 +1227,11 @@ class ServingSimulator:
             batcher.on_service_start(batch)
             chip.current = batch
             start_meta[batch.batch_id] = now
-            service_s = self.batch_service_time_s(chip, batch)
+            if self.stream is not None:
+                # differential consistency check at the moment of service:
+                # observation only, so it cannot change simulated timings
+                self.stream.check_batch(batch, now)
+            service_s = self.batch_service_time_s(chip, batch, now=now)
             if hetero_stats is not None:
                 account_batch_service(
                     self.scorer, hetero_stats, batch, self._profile_fn,
@@ -1216,6 +1283,9 @@ class ServingSimulator:
                 # result cache so later hits never silently inherit the loss
                 if request.degrade_level == 0:
                     self.result_cache.put(request.target_vertex, now)
+                    if self.stream is not None:
+                        self.stream.register_result(request.target_vertex,
+                                                    now)
                 in_flight -= 1
                 completions_interval += 1
                 if now - request.arrival_time_s > self.slo_s:
@@ -1285,6 +1355,8 @@ class ServingSimulator:
                 if self.capture is not None:
                     self.capture.record(request)
                 if self.result_cache.get(request.target_vertex) is not None:
+                    if self.stream is not None:
+                        self.stream.on_result_hit(request.target_vertex, now)
                     done = now + cfg.cache_hit_latency_s
                     report.records.append(RequestRecord(
                         request_id=request.request_id,
@@ -1351,6 +1423,12 @@ class ServingSimulator:
                 schedule_flush(now)
             elif kind == _COMPLETION:
                 complete(payload, now)
+            elif kind == _UPDATE:
+                # recorded before application, mirroring request capture at
+                # arrival, so a captured trace replays the offered stream
+                if self.capture is not None:
+                    self.capture.record_update(payload)
+                self.stream.apply(now, payload)
             elif kind == _CONTROL:
                 control_tick(now)
             else:  # _CHIP_READY
@@ -1385,6 +1463,10 @@ class ServingSimulator:
             report.sharding = shard_stats
         if control is not None:
             report.control = control.finalize(last_t, self.chips)
+        if self.stream is not None:
+            self.stream.finalize()
+            self.consistency.p99_s = report.p99_latency_s
+            report.consistency = self.consistency
         return report
 
 
@@ -1404,6 +1486,11 @@ def run_serving(
     observe=None,
     capture=None,
     replay=None,
+    update_rate: float = 0.0,
+    update_mix: Optional[str] = None,
+    invalidation: str = "targeted",
+    staleness_budget: int = 0,
+    updates=None,
 ) -> ServingReport:
     """End-to-end convenience: dataset -> traffic -> fleet -> report.
 
@@ -1430,11 +1517,30 @@ def run_serving(
     the replayed report is bit-for-bit identical to the captured run's.
     """
     config = config or FleetConfig()
+    if update_rate < 0:
+        raise ValueError("update_rate must be >= 0")
     graph = load_dataset(dataset, seed=seed)
     model = build_model(model_name, input_length=graph.feature_length)
+    # streaming updates: the stream object must exist before the simulator
+    # (it wraps the graph and rebinds the caches), but its events need the
+    # resolved arrival rate -- so they are filled in below, after
+    # calibration / replay resolution, and read at run() time
+    fill_update_events = False
+    if updates is None:
+        replayed_updates = replay is not None and replay.num_updates > 0
+        if update_rate > 0 or replayed_updates:
+            if replayed_updates:
+                # the capturing run's policy is part of what made its
+                # report; replay it bit-for-bit unless it never stamped one
+                invalidation = replay.meta.get("invalidation", invalidation)
+                staleness_budget = int(replay.meta.get(
+                    "staleness_budget", staleness_budget))
+            updates = UpdateStream(events=(), policy=invalidation,
+                                   staleness_budget_versions=staleness_budget)
+            fill_update_events = True
     simulator = ServingSimulator(graph, model, config, dataset_name=dataset,
                                  control=control, observe=observe,
-                                 capture=capture)
+                                 capture=capture, updates=updates)
     if replay is not None:
         if replay.multi_tenant:
             raise ValueError(
@@ -1460,6 +1566,15 @@ def run_serving(
                 else float(max(1, times.size))
     elif rate_rps is None:
         rate_rps = simulator.calibrate_rate(utilization_target)
+    if fill_update_events:
+        if replay is not None and replay.num_updates > 0:
+            updates.events = replay.to_update_events()
+        else:
+            mix = parse_update_mix(update_mix) if update_mix else None
+            updates.events = generate_update_stream(
+                graph.num_vertices,
+                num_updates=int(round(update_rate * num_requests)),
+                rate_ups=update_rate * rate_rps, mix=mix, seed=seed)
     if capture is not None:
         # everything `serve --replay` / `trace-stats` needs to reproduce
         # and characterise this run, stamped before serving begins
@@ -1471,11 +1586,21 @@ def run_serving(
             "num_chips": config.num_chips,
             "slo_s": simulator.slo_s,
         })
+        if updates is not None:
+            capture.meta.update({
+                "update_rate": update_rate,
+                "invalidation": updates.policy,
+                "staleness_budget": updates.staleness_budget_versions,
+            })
+            if update_mix:
+                capture.meta["update_mix"] = update_mix
         if replay is not None:
             # re-capturing a replay keeps the original workload's
             # provenance (the offered process, not the replay mechanism),
             # so the new trace file is byte-identical to the one replayed
-            for key in ("arrival", "popularity_skew", "seed"):
+            for key in ("arrival", "popularity_skew", "seed",
+                        "update_rate", "update_mix", "invalidation",
+                        "staleness_budget"):
                 if key in replay.meta:
                     capture.meta[key] = replay.meta[key]
     workload = WorkloadConfig(num_requests=num_requests, rate_rps=rate_rps,

@@ -499,6 +499,31 @@ class Instrumentation:
                        boundary_s + t.compute_s, PID_FLEET, t.chip_id,
                        dict(args))
 
+    def on_update(self, now: float, event, invalidated: int) -> None:
+        """A streaming graph update was applied by the event loop.
+
+        ``invalidated`` is the number of cache entries the update dropped
+        across every cache layer.  Purely an observer — it must never
+        mutate simulation state, so a traced mutating run stays
+        bit-for-bit identical to an untraced one.
+        """
+        tenant = getattr(event, "tenant", "")
+        tenant_labels = {"tenant": tenant} if tenant else None
+        self.registry.counter(
+            "repro_graph_updates_total",
+            "Streaming graph updates applied",
+            labels=tenant_labels).inc()
+        self.registry.counter(
+            "repro_cache_invalidations_total",
+            "Cache entries dropped by streaming updates",
+            labels=tenant_labels).inc(invalidated)
+        if self.trace_enabled:
+            self._instant(f"update {event.kind}", now, {
+                "update_id": event.update_id, "kind": event.kind,
+                "src": event.src, "dst": event.dst,
+                "invalidated": invalidated,
+            })
+
     # -- metrics scraping ---------------------------------------------- #
     @property
     def wants_metrics(self) -> bool:

@@ -69,7 +69,7 @@ identical canonical CSR output -- which
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -151,6 +151,27 @@ class SubgraphSampler:
         self.seed = int(seed)
         self._memo = LRUCache(memo_size)
         self._sig_memo = LRUCache(memo_size)
+        #: Memo policy on a mutating graph (one with a ``version``
+        #: attribute, i.e. a :class:`~repro.graphs.delta.DeltaGraph`):
+        #: ``"targeted"`` drops exactly the memo entries whose sample
+        #: contains a dirty vertex, ``"flush"`` clears both memos on any
+        #: version change, ``"none"`` keeps stale entries (the serving
+        #: loop's consistency tracker counts the resulting violations).
+        self.invalidation = "targeted"
+        #: graph version the cached arrays/memos were last synced against;
+        #: ``None`` on immutable graphs, where _sync is a cheap no-op.
+        self._graph_version = getattr(graph, "version", None)
+        self._mutable = self._graph_version is not None
+        # reverse index for targeted invalidation: global vertex id -> memo
+        # keys whose cached sample contains it (only maintained on mutable
+        # graphs; static runs pay nothing)
+        self._vertex_keys: Dict[int, Set[Tuple]] = {}
+        # graph version each live memo entry was computed at, and lifetime
+        # drop counters (the consistency tracker folds these into
+        # ConsistencyStats at the end of a run)
+        self._key_versions: Dict[Tuple, int] = {}
+        self.invalidated_samples = 0
+        self.invalidated_signatures = 0
         #: True when the base graph is CSC-backed and the vectorized array
         #: core handles extraction / fusion (bit-identical to the object
         #: core -- see the module docstring).
@@ -174,6 +195,112 @@ class SubgraphSampler:
             | np.uint64(1)
         self._sig_xor = rng.integers(0, 2 ** 62, size=SIGNATURE_HASHES,
                                      dtype=np.uint64)
+
+    # ------------------------------------------------------------------ #
+    # Streaming-graph synchronisation
+    # ------------------------------------------------------------------ #
+    def _sync(self) -> None:
+        """Catch up with a mutated base graph (no-op on immutable graphs).
+
+        Called at every public entry point.  Refreshes the cached
+        ``colptr``/``row`` references and grows the scratch LUTs when the
+        graph gained vertices -- this structural part always runs, so the
+        sampler never crashes on a grown graph -- then applies the memo
+        :attr:`invalidation` policy to the entries the mutations made
+        stale.
+        """
+        if not self._mutable:
+            return
+        version = self.graph.version
+        if version == self._graph_version:
+            return
+        synced_from = self._graph_version
+        self._graph_version = version
+        if self.array_core:
+            self._colptr = self.graph.colptr
+            self._row = self.graph.row
+            n = self.graph.num_vertices
+            if n > self._local_lut.size:
+                grown = np.full(n, -1, dtype=np.int64)
+                grown[:self._local_lut.size] = self._local_lut
+                self._local_lut = grown
+                self._pos_lut = np.empty(n, dtype=np.int64)
+        if self.invalidation == "flush":
+            self._flush_memos()
+        elif self.invalidation == "targeted":
+            dirty = getattr(self.graph, "dirty_since", None)
+            if dirty is None:
+                # a mutable graph without change tracking: flush is the
+                # only sound fallback
+                self._flush_memos()
+            else:
+                self.invalidate_vertices(dirty(synced_from))
+
+    def _flush_memos(self) -> None:
+        self.invalidated_samples += len(self._memo)
+        self.invalidated_signatures += len(self._sig_memo)
+        self._memo.clear()
+        self._sig_memo.clear()
+        self._vertex_keys.clear()
+        self._key_versions.clear()
+
+    def invalidate_vertices(self, vertices: Iterable[int]) -> int:
+        """Drop every memoised sample/signature containing ``vertices``.
+
+        Returns the number of sample-memo entries dropped.  Uses the
+        reverse vertex->keys index maintained on insertion, so the cost is
+        proportional to the affected entries, not the memo size.
+        """
+        keys: Set[Tuple] = set()
+        for v in np.asarray(vertices, dtype=np.int64).tolist():
+            keys |= self._vertex_keys.pop(int(v), set())
+        dropped = 0
+        for key in keys:
+            if self._memo.invalidate(key):
+                dropped += 1
+            if self._sig_memo.invalidate(key):
+                self.invalidated_signatures += 1
+            self._key_versions.pop(key, None)
+        self.invalidated_samples += dropped
+        return dropped
+
+    def _register_sample(self, key: Tuple, sample: "SubgraphSample") -> None:
+        """Index ``key`` under every vertex of ``sample`` (mutable graphs)."""
+        for v in sample.vertex_array.tolist():
+            self._vertex_keys.setdefault(int(v), set()).add(key)
+        self._key_versions[key] = self._graph_version
+
+    def forget(self, keys: Iterable[Tuple]) -> None:
+        """Silently drop memo entries: no invalidation counting, no cache
+        counter perturbation.
+
+        Probe hygiene for mutating runs: the calibration probe shares the
+        run's sampler, and any memo entries it left behind would make the
+        run's invalidation accounting depend on whether the process-wide
+        probe memo hit (run-to-run nondeterminism).  Static runs never need
+        this -- their memo state does not feed any reported number.
+        """
+        for key in keys:
+            sample = self._memo.peek(key)
+            if sample is not None and self._mutable:
+                for v in sample.vertex_array.tolist():
+                    entry = self._vertex_keys.get(int(v))
+                    if entry is not None:
+                        entry.discard(key)
+                        if not entry:
+                            del self._vertex_keys[int(v)]
+            self._memo.invalidate(key)
+            self._sig_memo.invalidate(key)
+            self._key_versions.pop(key, None)
+
+    def memo_version(self, target_vertex: int, num_hops: Optional[int],
+                     fanout: Optional[int]) -> Optional[int]:
+        """Graph version the live memo entry for this shape was computed at
+        (``None`` when nothing is memoised -- immutable graphs track no
+        versions, so this is a mutable-graph-only probe)."""
+        hops = self.num_hops if num_hops is None else int(num_hops)
+        fan = self.fanout if fanout is None else int(fanout)
+        return self._key_versions.get((target_vertex, hops, fan))
 
     def _first_seen(self, values: np.ndarray) -> np.ndarray:
         """Boolean mask of the first occurrence of each value in ``values``.
@@ -201,6 +328,7 @@ class SubgraphSampler:
         re-seeded per target, so the memo (and the result cache built on
         top of it) can never observe request-order-dependent samples.
         """
+        self._sync()
         if not 0 <= target_vertex < self.graph.num_vertices:
             raise ValueError(f"target vertex {target_vertex} out of range")
         hops = self.num_hops if num_hops is None else int(num_hops)
@@ -218,7 +346,48 @@ class SubgraphSampler:
         else:
             sample = self._extract(target_vertex, hops, fan)
         self._memo.put(key, sample)
+        if self._mutable:
+            self._register_sample(key, sample)
         return sample
+
+    def extract_fresh(self, target_vertex: int,
+                      num_hops: Optional[int] = None,
+                      fanout: Optional[int] = None) -> SubgraphSample:
+        """Memo-bypassing extraction: always recomputes from the current
+        graph arrays and never reads, writes or counts against the memo.
+
+        This is the consistency tracker's reference computation -- compare
+        it against :meth:`extract` to detect a stale memo entry surviving
+        an update (extraction is deterministic per ``(seed, target, hops,
+        fanout)``, so any difference is staleness, not randomness).
+        """
+        self._sync()
+        if not 0 <= target_vertex < self.graph.num_vertices:
+            raise ValueError(f"target vertex {target_vertex} out of range")
+        hops = self.num_hops if num_hops is None else int(num_hops)
+        fan = self.fanout if fanout is None else int(fanout)
+        if self.array_core:
+            return self._extract_arrays(target_vertex, hops, fan)
+        return self._extract(target_vertex, hops, fan)
+
+    def signature_fresh(self, target_vertex: int,
+                        num_hops: Optional[int] = None,
+                        fanout: Optional[int] = None) -> np.ndarray:
+        """Memo-bypassing :meth:`signature` (the tracker's reference)."""
+        sample = self.extract_fresh(target_vertex, num_hops=num_hops,
+                                    fanout=fanout)
+        return self._signature_of(sample)
+
+    def _signature_of(self, sample: "SubgraphSample") -> np.ndarray:
+        """Minhash the vertex set of one sample (shared by both paths)."""
+        vertices = sample.vertex_array.astype(np.uint64)
+        # h_j(v) = ((v + 1) * mult_j) ^ xor_j over Z_2^64; the signature is
+        # the per-hash minimum over the neighbourhood's vertex set.
+        hashed = ((vertices[:, None] + np.uint64(1))
+                  * self._sig_mult[None, :]) ^ self._sig_xor[None, :]
+        sig = hashed.min(axis=0)
+        sig.setflags(write=False)
+        return sig
 
     # ------------------------------------------------------------------ #
     # Neighbourhood signatures (overlap-aware batching)
@@ -238,6 +407,7 @@ class SubgraphSampler:
         bit-identical signatures, which is what routes duplicate hot
         requests into the same batch.
         """
+        self._sync()
         hops = self.num_hops if num_hops is None else int(num_hops)
         fan = self.fanout if fanout is None else int(fanout)
         key = (target_vertex, hops, fan)
@@ -245,13 +415,7 @@ class SubgraphSampler:
         if cached is not None:
             return cached
         sample = self.extract(target_vertex, num_hops=hops, fanout=fan)
-        vertices = sample.vertex_array.astype(np.uint64)
-        # h_j(v) = ((v + 1) * mult_j) ^ xor_j over Z_2^64; the signature is
-        # the per-hash minimum over the neighbourhood's vertex set.
-        hashed = ((vertices[:, None] + np.uint64(1))
-                  * self._sig_mult[None, :]) ^ self._sig_xor[None, :]
-        sig = hashed.min(axis=0)
-        sig.setflags(write=False)
+        sig = self._signature_of(sample)
         self._sig_memo.put(key, sig)
         return sig
 
@@ -273,6 +437,7 @@ class SubgraphSampler:
         with it.  Uses the extraction memo, so pricing a batch of hot
         targets costs dictionary lookups, not re-extraction.
         """
+        self._sync()
         if self.array_core:
             arrays: List[np.ndarray] = []
             naive = 0
@@ -309,6 +474,7 @@ class SubgraphSampler:
         """
         if not samples:
             raise ValueError("fuse requires at least one sample")
+        self._sync()
         if self.array_core:
             return self._fuse_arrays(samples, name)
         local_of = {}

@@ -48,6 +48,7 @@ from ..graphs.graph import Graph
 from ..graphs.partition import (
     ShardPlan,
     build_shard_plan,
+    hash_owner,
     hash_partition,
     locality_partition,
 )
@@ -239,28 +240,92 @@ class ShardExecutor:
             halo_caches = [LRUCache(capacity) for _ in range(plan.num_shards)]
         self.halo_caches = halo_caches
         self._key_fn = key_fn if key_fn is not None else (lambda v: v)
+        #: armed by :class:`~repro.serving.streaming.StreamState` on
+        #: mutating runs; ``None`` keeps the static fast path untouched.
+        self.stream = None
+        #: ownership array, possibly longer than ``plan.owner`` once
+        #: streaming vertex inserts extend it (the plan stays frozen).
+        self._owner = plan.owner
+
+    # ------------------------------------------------------------------ #
+    # Streaming-update hooks (called by StreamState; no-ops otherwise)
+    # ------------------------------------------------------------------ #
+    def extend_owner(self, vertex: int) -> int:
+        """Assign ``vertex`` (and any gap below it) an owner by the hash
+        rule -- exactly the shard a from-scratch :func:`hash_partition`
+        repartition would pick, so targeted maintenance is consistent."""
+        if vertex >= self._owner.size:
+            new_ids = np.arange(self._owner.size, vertex + 1,
+                                dtype=np.uint64)
+            extension = hash_owner(new_ids, self.plan.num_shards,
+                                   self.config.seed)
+            self._owner = np.concatenate([self._owner, extension])
+        return int(self._owner[vertex])
+
+    def _owner_for(self, union: np.ndarray) -> np.ndarray:
+        """Ownership lookup guarding against vertices the plan predates.
+
+        Under the ``none`` invalidation policy new vertices are *not*
+        assigned owners eagerly; the lazy extension here keeps the run
+        from crashing and each occurrence counts as a shard-plan miss.
+        """
+        if union.size and int(union.max()) >= self._owner.size:
+            missing = int(union.max()) + 1 - self._owner.size
+            self.extend_owner(int(union.max()))
+            if self.stream is not None:
+                self.stream.note_shard_plan_miss(missing)
+        return self._owner
+
+    def flush_halo_caches(self, stats) -> int:
+        """Clear every chip's halo cache (the ``flush`` policy)."""
+        dropped = 0
+        for cache in self.halo_caches:
+            dropped += len(cache)
+            cache.clear()
+        stats.invalidations["halo"] += dropped
+        return dropped
+
+    def invalidate_halo(self, vertex: int, stats) -> int:
+        """Drop ``vertex``'s entry from every halo cache (``targeted``)."""
+        key = self._key_fn(int(vertex))
+        dropped = 0
+        for cache in self.halo_caches:
+            if cache.invalidate(key):
+                dropped += 1
+        stats.invalidations["halo"] += dropped
+        return dropped
 
     # ------------------------------------------------------------------ #
     def _halo_exchange_s(self, shard: int, ghosts: np.ndarray,
-                         hbm_gbps: float, account: bool) -> Tuple[float, int, int]:
+                         hbm_gbps: float, account: bool,
+                         now: float = 0.0) -> Tuple[float, int, int]:
         """Exchange time for ``ghosts`` arriving at ``shard``.
 
         Misses cost a DRAM read at the owner (``bytes / hbm_gbps`` ns) plus
         the interconnect transfer; hits are served from the halo cache for
-        free.  Returns ``(seconds, hits, misses)``.
+        free.  Returns ``(seconds, hits, misses)``.  On mutating runs the
+        cached value is the ghost's feature version at insertion time
+        (``True`` otherwise -- both are cache hits under ``is not None``),
+        which is what lets :meth:`StreamState.on_halo_hit` detect a stale
+        ghost served under the ``none`` policy.
         """
         cache = self.halo_caches[shard]
         key = self._key_fn
+        stream = self.stream
         hits = 0
         if account:
             misses_list = []
             for v in ghosts:
-                if cache.get(key(int(v))) is not None:
+                stamp = cache.get(key(int(v)))
+                if stamp is not None:
                     hits += 1
+                    if stream is not None:
+                        stream.on_halo_hit(int(v), stamp, now)
                 else:
                     misses_list.append(int(v))
             for v in misses_list:
-                cache.put(key(v), True)
+                cache.put(key(v), True if stream is None
+                          else stream.graph.feature_version(v))
             misses = len(misses_list)
         else:
             # read-only peek: probes must not warm the caches
@@ -272,7 +337,7 @@ class ShardExecutor:
             hits, misses
 
     def service_time_s(self, batch, reuse_discount: float,
-                       account: bool = True) -> float:
+                       account: bool = True, now: float = 0.0) -> float:
         """Simulated group service time of ``batch`` (the gather barrier).
 
         Splits the batch by target ownership, runs every shard's fused
@@ -284,7 +349,9 @@ class ShardExecutor:
         the observability layer's sub-batch spans.
         """
         plan = self.plan
-        owner = plan.owner
+        targets = np.asarray([r.target_vertex for r in batch.requests],
+                             dtype=np.int64)
+        owner = self._owner_for(targets)
         groups: Dict[int, List] = {}
         for request in batch.requests:
             groups.setdefault(int(owner[request.target_vertex]),
@@ -311,9 +378,11 @@ class ShardExecutor:
                     samples, name=f"{prefix}batch{batch.batch_id}s{shard}")
             union = samples[0].vertex_array if len(samples) == 1 else \
                 np.unique(np.concatenate([s.vertex_array for s in samples]))
+            owner = self._owner_for(union)
             ghosts = union[owner[union] != shard]
             exchange_s, hits, misses = self._halo_exchange_s(
-                shard, ghosts, chip.hw.hbm.peak_bandwidth_gbps, account)
+                shard, ghosts, chip.hw.hbm.peak_bandwidth_gbps, account,
+                now=now)
             report = chip.simulator.run_model(self.model, fused,
                                               dataset_name=self.dataset_name)
             phase_cycles["total"] += report.total_cycles
@@ -323,12 +392,19 @@ class ShardExecutor:
             # per-chip feature-cache reuse, same semantics as the unsharded
             # path: warm features skip their DRAM stream on this chip
             key = self._key_fn
+            stream = self.stream
             if account:
-                feature_hits = sum(
-                    1 for v in union
-                    if chip.feature_cache.get(key(int(v))) is not None)
+                feature_hits = 0
                 for v in union:
-                    chip.feature_cache.put(key(int(v)), True)
+                    stamp = chip.feature_cache.get(key(int(v)))
+                    if stamp is not None:
+                        feature_hits += 1
+                        if stream is not None:
+                            stream.on_feature_hit(int(v), stamp, now)
+                for v in union:
+                    chip.feature_cache.put(
+                        key(int(v)), True if stream is None
+                        else stream.graph.feature_version(int(v)))
             else:
                 feature_hits = sum(1 for v in union if key(int(v))
                                    in chip.feature_cache)

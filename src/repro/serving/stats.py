@@ -44,7 +44,8 @@ from .cache import CacheStats
 __all__ = ["percentile", "chip_utilization_rows", "shape_utilization_rows",
            "RequestRecord", "ChipStats", "ServingReport", "MultiTenantReport",
            "ScaleEvent", "ControlSample", "AdmissionStats", "ControlStats",
-           "BatchingStats", "HeteroStats", "ShardingStats"]
+           "BatchingStats", "HeteroStats", "ShardingStats",
+           "ConsistencyStats"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -393,6 +394,140 @@ class ShardingStats:
 
 
 # --------------------------------------------------------------------------- #
+# Streaming-update accounting (mutating graphs, repro.serving.streaming)
+# --------------------------------------------------------------------------- #
+def _empty_invalidations() -> Dict[str, int]:
+    return {"result": 0, "feature": 0, "halo": 0, "sample": 0,
+            "signature": 0, "shard_plan": 0}
+
+
+@dataclass
+class ConsistencyStats:
+    """Streaming-update and differential-consistency accounting of one run.
+
+    Attached to a report only when the run served a mutating graph
+    (``updates=`` armed -- see :mod:`repro.serving.streaming` and
+    ``docs/streaming.md``); static runs carry no block, so their JSON
+    exports stay byte-identical to pre-streaming builds.
+
+    ``invalidations`` counts derived-state entries dropped per cache by the
+    invalidation policy; the ``stale_*`` counters record served results
+    whose cached derived state *disagreed with a fresh recomputation at
+    service time* (only possible under ``--invalidation none``, whose whole
+    point is to prove each invalidation path load-bearing).  Staleness is
+    measured in both graph versions and simulated seconds;
+    ``stale_beyond_budget`` counts violations older than the configured
+    version budget -- the "no stale result beyond budget" contract is
+    ``stale_beyond_budget == 0``.
+
+    ``baseline_p99_s`` is filled by harnesses that also ran a static-graph
+    baseline; ``p99_inflation`` then prices what invalidation churn cost
+    the tail.
+    """
+
+    policy: str = "targeted"
+    budget_versions: int = 0
+    updates_offered: int = 0
+    edge_updates: int = 0
+    feature_updates: int = 0
+    vertex_updates: int = 0
+    noop_updates: int = 0
+    final_version: int = 0
+    compactions: int = 0
+    invalidations: Dict[str, int] = field(default_factory=_empty_invalidations)
+    checks: int = 0
+    stale_results: int = 0
+    stale_features: int = 0
+    stale_halo: int = 0
+    stale_samples: int = 0
+    stale_signatures: int = 0
+    shard_plan_misses: int = 0
+    stale_version_lag_sum: int = 0
+    stale_version_lag_max: int = 0
+    stale_seconds_sum: float = 0.0
+    stale_seconds_max: float = 0.0
+    stale_beyond_budget: int = 0
+    p99_s: float = 0.0
+    baseline_p99_s: Optional[float] = None
+
+    @property
+    def updates_applied(self) -> int:
+        return self.edge_updates + self.feature_updates + self.vertex_updates
+
+    @property
+    def stale_serves(self) -> int:
+        """Total served results backed by any stale derived state."""
+        return (self.stale_results + self.stale_features + self.stale_halo
+                + self.stale_samples + self.stale_signatures)
+
+    @property
+    def total_invalidations(self) -> int:
+        return sum(self.invalidations.values())
+
+    @property
+    def mean_stale_version_lag(self) -> float:
+        return self.stale_version_lag_sum / self.stale_serves \
+            if self.stale_serves else 0.0
+
+    @property
+    def p99_inflation(self) -> Optional[float]:
+        """Mutating-run p99 over the static baseline's (None w/o baseline)."""
+        if self.baseline_p99_s is None or self.baseline_p99_s <= 0:
+            return None
+        return self.p99_s / self.baseline_p99_s
+
+    def summary(self) -> Dict[str, object]:
+        """One table row for the CLI's streaming section."""
+        row: Dict[str, object] = {
+            "invalidation": self.policy,
+            "updates": self.updates_applied,
+            "final_version": self.final_version,
+            "compactions": self.compactions,
+            "invalidated": self.total_invalidations,
+            "checks": self.checks,
+            "stale_serves": self.stale_serves,
+            "stale_beyond_budget": self.stale_beyond_budget,
+        }
+        inflation = self.p99_inflation
+        if inflation is not None:
+            row["p99_inflation_x"] = round(inflation, 3)
+        return row
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "budget_versions": self.budget_versions,
+            "updates_offered": self.updates_offered,
+            "updates_applied": self.updates_applied,
+            "edge_updates": self.edge_updates,
+            "feature_updates": self.feature_updates,
+            "vertex_updates": self.vertex_updates,
+            "noop_updates": self.noop_updates,
+            "final_version": self.final_version,
+            "compactions": self.compactions,
+            "invalidations": dict(self.invalidations),
+            "total_invalidations": self.total_invalidations,
+            "checks": self.checks,
+            "stale_results": self.stale_results,
+            "stale_features": self.stale_features,
+            "stale_halo": self.stale_halo,
+            "stale_samples": self.stale_samples,
+            "stale_signatures": self.stale_signatures,
+            "shard_plan_misses": self.shard_plan_misses,
+            "stale_serves": self.stale_serves,
+            "stale_version_lag_sum": self.stale_version_lag_sum,
+            "stale_version_lag_max": self.stale_version_lag_max,
+            "mean_stale_version_lag": self.mean_stale_version_lag,
+            "stale_seconds_sum": self.stale_seconds_sum,
+            "stale_seconds_max": self.stale_seconds_max,
+            "stale_beyond_budget": self.stale_beyond_budget,
+            "p99_s": self.p99_s,
+            "baseline_p99_s": self.baseline_p99_s,
+            "p99_inflation": self.p99_inflation,
+        }
+
+
+# --------------------------------------------------------------------------- #
 # Heterogeneous-fleet accounting (chip shapes, shape-aware dispatch)
 # --------------------------------------------------------------------------- #
 @dataclass
@@ -730,6 +865,10 @@ class ServingReport:
     batching: Optional[BatchingStats] = None
     hetero: Optional[HeteroStats] = None
     sharding: Optional[ShardingStats] = None
+    #: Streaming-update accounting; ``None`` on static runs, and -- unlike
+    #: the blocks above -- *absent* from ``to_dict()`` when ``None``, so
+    #: pre-streaming golden exports stay byte-identical.
+    consistency: Optional[ConsistencyStats] = None
     _latencies: np.ndarray = field(default=None, init=False, repr=False,
                                    compare=False)
 
@@ -917,6 +1056,8 @@ class ServingReport:
             "hetero": self.hetero.as_dict() if self.hetero else None,
             "sharding": self.sharding.as_dict() if self.sharding else None,
         }
+        if self.consistency is not None:
+            payload["consistency"] = self.consistency.as_dict()
         if include_records:
             payload["records"] = [
                 {
@@ -972,6 +1113,9 @@ class MultiTenantReport:
     control: Optional[ControlStats] = None
     hetero: Optional[HeteroStats] = None
     sharding: Optional[ShardingStats] = None
+    #: Streaming-update accounting aggregated over every tenant's stream
+    #: (absent from ``to_dict()`` when ``None`` -- see ServingReport).
+    consistency: Optional[ConsistencyStats] = None
 
     # ------------------------------------------------------------------ #
     # Aggregates over all tenants
@@ -1121,7 +1265,7 @@ class MultiTenantReport:
     # ------------------------------------------------------------------ #
     def to_dict(self, include_records: bool = True) -> Dict[str, object]:
         """JSON-compatible dict of the full report (``serve --json``)."""
-        return {
+        payload: Dict[str, object] = {
             "kind": "multi_tenant_report",
             "num_chips": self.num_chips,
             "scheduler": self.scheduler,
@@ -1147,3 +1291,6 @@ class MultiTenantReport:
             "solo": {name: rep.to_dict(include_records=False)
                      for name, rep in self.solo.items()},
         }
+        if self.consistency is not None:
+            payload["consistency"] = self.consistency.as_dict()
+        return payload

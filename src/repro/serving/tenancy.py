@@ -61,6 +61,7 @@ from dataclasses import dataclass, fields, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..graphs.datasets import DATASETS, load_dataset
+from ..graphs.delta import DeltaGraph
 from ..models.model_zoo import MODEL_NAMES, build_model
 from .batcher import Batch
 from .batching import ALL_BATCH_POLICIES, build_batch_policy, make_signature_fn
@@ -73,6 +74,7 @@ from .fleet import (
     _CONTROL,
     _FLUSH,
     _METRICS,
+    _UPDATE,
     _SLO_SERVICE_MULTIPLE,
     _TIMEOUT_SERVICE_MULTIPLE,
     Chip,
@@ -94,12 +96,19 @@ from .sampler import SubgraphSampler
 from .sharding import ShardExecutor, shard_plan_for
 from .stats import (
     BatchingStats,
+    ConsistencyStats,
     HeteroStats,
     MultiTenantReport,
     RequestRecord,
     ServingReport,
     ShardingStats,
     percentile,
+)
+from .streaming import (
+    StreamState,
+    UpdateStream,
+    generate_update_stream,
+    parse_update_mix,
 )
 from .workload import (
     Request,
@@ -261,12 +270,18 @@ class TenantRuntime:
     be overcharged (nor cheat) relative to a FIFO tenant.
     """
 
-    def __init__(self, config: TenantConfig, fleet: FleetConfig, index: int):
+    def __init__(self, config: TenantConfig, fleet: FleetConfig, index: int,
+                 updates: Optional[UpdateStream] = None):
         self.config = config
         self.name = config.name
         self.seed = config.seed if config.seed is not None \
             else fleet.seed + 101 * (index + 1)
         self.graph = load_dataset(config.dataset, seed=self.seed)
+        if updates is not None:
+            # mutating run: every tenant serves its own delta overlay, so
+            # streaming inserts never touch the shared memoised base graph
+            self.graph = DeltaGraph(self.graph,
+                                    compact_every=updates.compact_every)
         self.model = build_model(config.model,
                                  input_length=self.graph.feature_length)
         self.sampler = SubgraphSampler(self.graph, num_hops=config.num_hops,
@@ -403,7 +418,7 @@ class MultiTenantSimulator:
     def __init__(self, tenants: Sequence[TenantConfig],
                  fleet: Optional[FleetConfig] = None,
                  control: Optional[ControlConfig] = None,
-                 observe=None, capture=None):
+                 observe=None, capture=None, updates=None):
         #: Observability hub (:class:`repro.serving.observe.Instrumentation`)
         #: or ``None``; hooks are guarded so an uninstrumented run executes
         #: no observability code.
@@ -420,8 +435,12 @@ class MultiTenantSimulator:
         self.fleet = fleet or FleetConfig()
         self.control_config = control if control is not None and control.active \
             else None
+        #: Streaming update stream (:class:`repro.serving.streaming.
+        #: UpdateStream`) or ``None``; arming it wraps every tenant's graph
+        #: in a delta overlay and interleaves its events with the traffic.
+        self.updates = updates
         self.runtimes: Dict[str, TenantRuntime] = {
-            t.name: TenantRuntime(t, self.fleet, i)
+            t.name: TenantRuntime(t, self.fleet, i, updates=updates)
             for i, t in enumerate(tenants)}
         self.tenant_names = names
         initial_chips = self.fleet.num_chips
@@ -478,6 +497,21 @@ class MultiTenantSimulator:
                     feature_bytes=feature_bytes[name],
                     stats=self.sharding_stats, halo_caches=halo_caches,
                     key_fn=lambda v, name=name: (name, v))
+        #: Per-tenant update applier / consistency tracker (mutating runs);
+        #: every tenant serves its own graph, so each needs its own
+        #: StreamState, but they all fold into one shared ConsistencyStats.
+        self.streams: Dict[str, StreamState] = {}
+        self.consistency: Optional[ConsistencyStats] = None
+        if updates is not None:
+            self.consistency = ConsistencyStats(
+                policy=updates.policy,
+                budget_versions=updates.staleness_budget_versions)
+            for name, rt in self.runtimes.items():
+                self.streams[name] = StreamState(
+                    rt.graph, rt.sampler, updates, self.consistency,
+                    result_cache=rt.result_cache, chips=self.chips,
+                    feature_key=lambda v, name=name: (name, v),
+                    shard_executor=rt.shard_executor, observe=observe)
         quantum_s = 0.5 * min(rt.probe_service_s
                               for rt in self.runtimes.values())
         self.scheduler = WFQScheduler(
@@ -555,7 +589,7 @@ class MultiTenantSimulator:
     # Service-time model (per tenant, shared chips)
     # ------------------------------------------------------------------ #
     def _service_time_s(self, chip: Chip, rt: TenantRuntime,
-                        batch: Batch) -> float:
+                        batch: Batch, now: float = 0.0) -> float:
         """Fused-batch execution time on ``chip`` for ``rt``'s model/graph.
 
         The shared single-tenant model, except the chip's feature cache is
@@ -569,12 +603,13 @@ class MultiTenantSimulator:
         if rt.shard_executor is not None \
                 and rt.shard_executor.plan.num_shards > 1:
             return rt.shard_executor.service_time_s(
-                batch, reuse_discount=self.fleet.reuse_discount)
+                batch, reuse_discount=self.fleet.reuse_discount, now=now)
         return fused_batch_service_time_s(
             chip, rt.sampler, rt.model, batch,
             dataset_name=rt.config.dataset,
             reuse_discount=self.fleet.reuse_discount,
-            cache_key=lambda v: (rt.name, v))
+            cache_key=lambda v: (rt.name, v),
+            stream=self.streams.get(rt.name), now=now)
 
     # ------------------------------------------------------------------ #
     # Event loop
@@ -609,6 +644,17 @@ class MultiTenantSimulator:
             heapq.heappush(events, (request.arrival_time_s, seq, _ARRIVAL,
                                     request))
             seq += 1
+        if self.updates is not None:
+            # updates enter the same heap; requests pushed first, so a
+            # request at the identical timestamp wins the tie (a query
+            # races an update: the query is served, then the graph moves)
+            for event in self.updates.events:
+                if event.tenant not in self.runtimes:
+                    raise ValueError(f"update tagged with unknown tenant "
+                                     f"{event.tenant!r}")
+                heapq.heappush(events, (event.arrival_time_s, seq, _UPDATE,
+                                        event))
+                seq += 1
 
         admit_meta: Dict[Tuple[str, int], float] = {}   # batch -> admit time
         start_meta: Dict[Tuple[str, int], float] = {}   # batch -> start time
@@ -800,7 +846,11 @@ class MultiTenantSimulator:
                 chip.current = batch
                 chip_batch[chip.chip_id] = (rt, batch)
                 start_meta[(name, batch.batch_id)] = now
-                service_s = self._service_time_s(chip, rt, batch)
+                if self.updates is not None:
+                    # differential consistency probe at the seal point --
+                    # observation only, before the costed service time
+                    self.streams[name].check_batch(batch, now)
+                service_s = self._service_time_s(chip, rt, batch, now=now)
                 if hetero_stats is not None:
                     account_batch_service(
                         rt.shape_scorer, hetero_stats, batch, rt.profile_fn,
@@ -855,6 +905,9 @@ class MultiTenantSimulator:
                 # degraded answers are lower fidelity: never cache them
                 if request.degrade_level == 0:
                     rt.result_cache.put(request.target_vertex, now)
+                    if self.updates is not None:
+                        self.streams[rt.name].register_result(
+                            request.target_vertex, now)
                 in_flight -= 1
                 completions_interval += 1
                 if now - request.arrival_time_s > rt.slo_s:
@@ -928,6 +981,9 @@ class MultiTenantSimulator:
                 if self.capture is not None:
                     self.capture.record(request)
                 if rt.result_cache.get(request.target_vertex) is not None:
+                    if self.updates is not None:
+                        self.streams[rt.name].on_result_hit(
+                            request.target_vertex, now)
                     done = now + fleet.cache_hit_latency_s
                     records.append(RequestRecord(
                         request_id=request.request_id,
@@ -998,6 +1054,12 @@ class MultiTenantSimulator:
                 schedule_flush(rt, now)
             elif kind == _COMPLETION:
                 complete(payload, now)
+            elif kind == _UPDATE:
+                # recorded before application, mirroring request capture at
+                # arrival, so a captured trace replays the offered stream
+                if self.capture is not None:
+                    self.capture.record_update(payload)
+                self.streams[payload.tenant].apply(now, payload)
             elif kind == _CONTROL:
                 control_tick(now)
             else:  # _CHIP_READY
@@ -1036,6 +1098,12 @@ class MultiTenantSimulator:
             self.sharding_stats.p95_s = percentile(latencies, 95)
             self.sharding_stats.p99_s = percentile(latencies, 99)
             report.sharding = self.sharding_stats
+        if self.updates is not None:
+            for state in self.streams.values():
+                state.finalize()
+            self.consistency.p99_s = percentile(
+                [r.latency_s for r in records], 99)
+            report.consistency = self.consistency
         for name in self.tenant_names:
             rt = self.runtimes[name]
             slice_report = ServingReport(
@@ -1066,6 +1134,11 @@ def run_multi_tenant(
     observe=None,
     capture=None,
     replay=None,
+    update_rate: float = 0.0,
+    update_mix: Optional[str] = None,
+    invalidation: str = "targeted",
+    staleness_budget: int = 0,
+    updates=None,
 ) -> MultiTenantReport:
     """End-to-end multi-tenant run: specs -> shared fleet -> report.
 
@@ -1092,8 +1165,25 @@ def run_multi_tenant(
     captured run bit-for-bit.
     """
     fleet = fleet or FleetConfig()
+    if update_rate < 0:
+        raise ValueError("update_rate must be >= 0")
+    # streaming updates: same deferred-fill pattern as run_serving -- the
+    # stream object must exist before the simulator (it wraps every
+    # tenant's graph), but its events need the resolved per-tenant rates
+    fill_update_events = False
+    if updates is None:
+        replayed_updates = replay is not None and replay.num_updates > 0
+        if update_rate > 0 or replayed_updates:
+            if replayed_updates:
+                invalidation = replay.meta.get("invalidation", invalidation)
+                staleness_budget = int(replay.meta.get(
+                    "staleness_budget", staleness_budget))
+            updates = UpdateStream(events=(), policy=invalidation,
+                                   staleness_budget_versions=staleness_budget)
+            fill_update_events = True
     shared = MultiTenantSimulator(tenants, fleet, control=control,
-                                  observe=observe, capture=capture)
+                                  observe=observe, capture=capture,
+                                  updates=updates)
     if replay is not None:
         requests, rates = _replay_stream(replay, shared)
         streams = split_tenant_stream(requests)
@@ -1101,6 +1191,25 @@ def run_multi_tenant(
         rates = shared.calibrate_rates(utilization_target)
         streams = shared.tenant_streams(rates)
         requests = merge_tenant_streams(streams)
+    if fill_update_events:
+        if replay is not None and replay.num_updates > 0:
+            updates.events = replay.to_update_events()
+        else:
+            mix = parse_update_mix(update_mix) if update_mix else None
+            merged: List = []
+            for name in shared.tenant_names:
+                rt = shared.runtimes[name]
+                merged.extend(generate_update_stream(
+                    rt.graph.num_vertices,
+                    num_updates=int(round(
+                        update_rate * rt.config.num_requests)),
+                    rate_ups=update_rate * rates[name], mix=mix,
+                    seed=rt.seed, tenant=name))
+            merged.sort(key=lambda e: (e.arrival_time_s, e.tenant))
+            # renumber in merged arrival order so the captured trace's
+            # update ids are the offered sequence, like request ids
+            updates.events = [replace(e, update_id=i)
+                              for i, e in enumerate(merged)]
     if capture is not None:
         capture.meta.update({
             "kind": "serve-tenants", "fleet_seed": fleet.seed,
@@ -1114,6 +1223,21 @@ def run_multi_tenant(
                 "slo_s": shared.runtimes[t.name].slo_s,
             } for t in tenants],
         })
+        if updates is not None:
+            capture.meta.update({
+                "update_rate": update_rate,
+                "invalidation": updates.policy,
+                "staleness_budget": updates.staleness_budget_versions,
+            })
+            if update_mix:
+                capture.meta["update_mix"] = update_mix
+        if replay is not None:
+            # re-capturing a replay keeps the original workload's update
+            # provenance, so the new trace file reproduces the one replayed
+            for key in ("update_rate", "update_mix", "invalidation",
+                        "staleness_budget"):
+                if key in replay.meta:
+                    capture.meta[key] = replay.meta[key]
     report = shared.run(requests, rates)
     if include_isolation_baseline:
         for tenant in tenants:
@@ -1121,7 +1245,13 @@ def run_multi_tenant(
             # solo baseline sees the identical graph, sampler, probe and SLO
             pinned = replace(tenant,
                              seed=shared.runtimes[tenant.name].seed)
-            solo_sim = MultiTenantSimulator([pinned], fleet)
+            # a mutating run's baseline replays the tenant's own slice of
+            # the update stream, so solo and shared serve the same graph
+            # history (p99 inflation compares like with like)
+            solo_sim = MultiTenantSimulator(
+                [pinned], fleet,
+                updates=updates.for_tenant(tenant.name)
+                if updates is not None else None)
             # under replay `streams` holds the shared stream's per-tenant
             # slices; re-merging renumbers them 0..n-1 in the same order the
             # generator emitted, so solo traffic matches the captured run's

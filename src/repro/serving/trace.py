@@ -60,6 +60,7 @@ from .workload import Request
 
 __all__ = [
     "TRACE_VERSION",
+    "TRACE_VERSION_UPDATES",
     "RequestTrace",
     "TraceFormatError",
     "TraceWriter",
@@ -72,8 +73,15 @@ __all__ = [
 #: Magic bytes opening every (decompressed) request-trace container.
 TRACE_MAGIC = b"REPROTRC"
 
-#: Format version written by this build; the loader rejects any other.
+#: Format version written by this build for update-free captures; version
+#: :data:`TRACE_VERSION_UPDATES` is written only when the capture recorded
+#: graph-update events, so every pre-streaming trace stays byte-identical.
+#: The loader accepts both.
 TRACE_VERSION = 1
+
+#: Format version carrying an update-event section after the request
+#: columns (streaming runs -- see :mod:`repro.serving.streaming`).
+TRACE_VERSION_UPDATES = 2
 
 #: Column schema, in on-disk order.  ``tenant`` indexes the header's tenant
 #: name table; ``degrade_hops``/``degrade_fanout`` use -1 for ``None`` (no
@@ -86,6 +94,22 @@ _COLUMNS: Tuple[Tuple[str, str], ...] = (
     ("degrade_level", "<i2"),
     ("degrade_hops", "<i2"),
     ("degrade_fanout", "<i4"),
+)
+
+#: Update-event column schema (version-2 traces only).  ``kind`` indexes
+#: :data:`repro.serving.streaming.UPDATE_KINDS`; ``src``/``dst`` use -1 for
+#: "unused by this kind"; feature rows are *not* stored -- they are a
+#: deterministic function of ``feature_seed`` (see
+#: :func:`repro.serving.streaming.feature_row`), which is what keeps the
+#: codec fixed-width and replay bit-exact.
+_UPDATE_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("update_id", "<i8"),
+    ("kind", "<i2"),
+    ("arrival_time_s", "<f8"),
+    ("src", "<i8"),
+    ("dst", "<i8"),
+    ("feature_seed", "<i8"),
+    ("tenant", "<u4"),
 )
 
 #: Overlap-potential histogram bin edges (estimated Jaccard similarity).
@@ -114,14 +138,23 @@ class RequestTrace:
     columns: Dict[str, np.ndarray]
     tenants: Tuple[str, ...] = ("",)
     meta: Dict[str, object] = field(default_factory=dict)
+    #: Update-event columns (:data:`_UPDATE_COLUMNS` schema); empty dict
+    #: for update-free traces, which serialise as version 1 exactly as
+    #: before streaming existed.
+    updates: Dict[str, np.ndarray] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     @classmethod
     def from_requests(cls, requests: Sequence[Request],
-                      meta: Optional[Mapping[str, object]] = None
-                      ) -> "RequestTrace":
-        """Columnise a request list (the writer's and the tests' entry)."""
-        tenants: List[str] = sorted({r.tenant for r in requests} or {""})
+                      meta: Optional[Mapping[str, object]] = None,
+                      updates: Sequence = ()) -> "RequestTrace":
+        """Columnise a request list (the writer's and the tests' entry).
+
+        ``updates`` is an optional sequence of
+        :class:`~repro.serving.streaming.UpdateEvent` in arrival order.
+        """
+        tenants: List[str] = sorted({r.tenant for r in requests}
+                                    | {e.tenant for e in updates} or {""})
         if "" not in tenants and len(tenants) > 1:
             pass  # purely multi-tenant capture: no reserved empty slot
         index = {name: i for i, name in enumerate(tenants)}
@@ -138,8 +171,42 @@ class RequestTrace:
                 -1 if r.degrade_hops is None else r.degrade_hops
             columns["degrade_fanout"][i] = \
                 -1 if r.degrade_fanout is None else r.degrade_fanout
+        update_columns: Dict[str, np.ndarray] = {}
+        if updates:
+            from .streaming import UPDATE_KINDS
+            m = len(updates)
+            update_columns = {name: np.empty(m, dtype=dtype)
+                              for name, dtype in _UPDATE_COLUMNS}
+            for i, e in enumerate(updates):
+                update_columns["update_id"][i] = e.update_id
+                update_columns["kind"][i] = UPDATE_KINDS.index(e.kind)
+                update_columns["arrival_time_s"][i] = e.arrival_time_s
+                update_columns["src"][i] = e.src
+                update_columns["dst"][i] = e.dst
+                update_columns["feature_seed"][i] = e.feature_seed
+                update_columns["tenant"][i] = index[e.tenant]
         return cls(columns=columns, tenants=tuple(tenants),
-                   meta=dict(meta or {}))
+                   meta=dict(meta or {}), updates=update_columns)
+
+    def to_update_events(self) -> List:
+        """Reconstruct the identical update-event list the capture recorded
+        (empty for update-free traces)."""
+        if not self.updates:
+            return []
+        from .streaming import UPDATE_KINDS, UpdateEvent
+        cols = self.updates
+        return [
+            UpdateEvent(
+                update_id=int(cols["update_id"][i]),
+                kind=UPDATE_KINDS[int(cols["kind"][i])],
+                arrival_time_s=float(cols["arrival_time_s"][i]),
+                src=int(cols["src"][i]),
+                dst=int(cols["dst"][i]),
+                feature_seed=int(cols["feature_seed"][i]),
+                tenant=self.tenants[cols["tenant"][i]],
+            )
+            for i in range(self.num_updates)
+        ]
 
     def to_requests(self) -> List[Request]:
         """Reconstruct the identical request list the capture recorded."""
@@ -163,6 +230,12 @@ class RequestTrace:
     @property
     def num_requests(self) -> int:
         return int(self.columns["arrival_time_s"].size)
+
+    @property
+    def num_updates(self) -> int:
+        if not self.updates:
+            return 0
+        return int(self.updates["arrival_time_s"].size)
 
     @property
     def duration_s(self) -> float:
@@ -206,17 +279,24 @@ class TraceWriter:
     def __init__(self, meta: Optional[Mapping[str, object]] = None):
         self.meta: Dict[str, object] = dict(meta or {})
         self.requests: List[Request] = []
+        self.updates: List = []
 
     def record(self, request: Request) -> None:
         """The arrival hook: called once per offered request, pre-admission."""
         self.requests.append(request)
+
+    def record_update(self, event) -> None:
+        """The update hook: called once per offered update event, before it
+        is applied to the graph (streaming runs only)."""
+        self.updates.append(event)
 
     @property
     def num_recorded(self) -> int:
         return len(self.requests)
 
     def to_trace(self) -> RequestTrace:
-        return RequestTrace.from_requests(self.requests, meta=self.meta)
+        return RequestTrace.from_requests(self.requests, meta=self.meta,
+                                          updates=self.updates)
 
     def write(self, path: str) -> RequestTrace:
         """Columnise and save the capture; returns the trace written."""
@@ -246,6 +326,15 @@ def save_request_trace(path: str, trace: RequestTrace) -> None:
             raise ValueError(f"column {name!r} has {column.size} entries, "
                              f"expected {n}")
         payload += column.tobytes()
+    m = trace.num_updates
+    version = TRACE_VERSION_UPDATES if m else TRACE_VERSION
+    if m:
+        for name, dtype in _UPDATE_COLUMNS:
+            column = np.ascontiguousarray(trace.updates[name], dtype=dtype)
+            if column.size != m:
+                raise ValueError(f"update column {name!r} has "
+                                 f"{column.size} entries, expected {m}")
+            payload += column.tobytes()
     header = {
         "num_requests": n,
         "tenants": list(trace.tenants),
@@ -253,9 +342,15 @@ def save_request_trace(path: str, trace: RequestTrace) -> None:
         "crc32": zlib.crc32(payload) & 0xFFFFFFFF,
         "meta": trace.meta,
     }
+    if m:
+        # keys only present on version-2 traces, so version-1 files stay
+        # byte-identical to what pre-streaming builds wrote
+        header["num_updates"] = m
+        header["update_columns"] = [[name, dtype]
+                                    for name, dtype in _UPDATE_COLUMNS]
     header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
     frame = (TRACE_MAGIC
-             + np.uint16(TRACE_VERSION).tobytes()
+             + np.uint16(version).tobytes()
              + np.uint32(len(header_bytes)).tobytes()
              + header_bytes + payload)
     # mtime=0 and an empty FNAME keep the gzip frame deterministic: saving
@@ -301,10 +396,10 @@ def load_request_trace(path: str) -> RequestTrace:
     offset = len(TRACE_MAGIC)
     version = int(np.frombuffer(frame, dtype="<u2", count=1,
                                 offset=offset)[0])
-    if version != TRACE_VERSION:
+    if version not in (TRACE_VERSION, TRACE_VERSION_UPDATES):
         raise TraceFormatError(
-            f"{path}: format version {version}, this build reads version "
-            f"{TRACE_VERSION}")
+            f"{path}: format version {version}, this build reads versions "
+            f"{TRACE_VERSION} and {TRACE_VERSION_UPDATES}")
     offset += 2
     header_len = int(np.frombuffer(frame, dtype="<u4", count=1,
                                    offset=offset)[0])
@@ -334,12 +429,26 @@ def load_request_trace(path: str) -> RequestTrace:
     meta = header.get("meta", {})
     if not isinstance(meta, dict):
         raise TraceFormatError(f"{path}: invalid meta {type(meta).__name__}")
+    m = 0
+    if version == TRACE_VERSION_UPDATES:
+        declared_updates = [tuple(c) for c in header.get("update_columns",
+                                                         [])]
+        if declared_updates != list(_UPDATE_COLUMNS):
+            raise TraceFormatError(
+                f"{path}: update-column schema {declared_updates} does not "
+                f"match this build's {list(_UPDATE_COLUMNS)}")
+        m = header.get("num_updates")
+        if not isinstance(m, int) or m < 1:
+            raise TraceFormatError(f"{path}: invalid num_updates {m!r} "
+                                   f"(version-2 traces carry >= 1 update)")
     payload = frame[offset:]
-    expected = sum(n * np.dtype(dtype).itemsize for _, dtype in _COLUMNS)
+    expected = sum(n * np.dtype(dtype).itemsize for _, dtype in _COLUMNS) \
+        + sum(m * np.dtype(dtype).itemsize for _, dtype in _UPDATE_COLUMNS)
     if len(payload) != expected:
         raise TraceFormatError(
             f"{path}: payload is {len(payload)} bytes, schema expects "
-            f"{expected} for {n} requests (truncated or padded)")
+            f"{expected} for {n} requests and {m} updates "
+            f"(truncated or padded)")
     crc = zlib.crc32(payload) & 0xFFFFFFFF
     if crc != header.get("crc32"):
         raise TraceFormatError(
@@ -351,8 +460,42 @@ def load_request_trace(path: str) -> RequestTrace:
         width = n * np.dtype(dtype).itemsize
         columns[name] = np.frombuffer(payload[pos:pos + width], dtype=dtype)
         pos += width
+    update_columns: Dict[str, np.ndarray] = {}
+    if m:
+        for name, dtype in _UPDATE_COLUMNS:
+            width = m * np.dtype(dtype).itemsize
+            update_columns[name] = np.frombuffer(payload[pos:pos + width],
+                                                 dtype=dtype)
+            pos += width
     _validate_columns(path, columns, tuple(tenants))
-    return RequestTrace(columns=columns, tenants=tuple(tenants), meta=meta)
+    if m:
+        _validate_update_columns(path, update_columns, tuple(tenants))
+    return RequestTrace(columns=columns, tenants=tuple(tenants), meta=meta,
+                        updates=update_columns)
+
+
+def _validate_update_columns(path: str, columns: Dict[str, np.ndarray],
+                             tenants: Tuple[str, ...]) -> None:
+    """Semantic checks on the decoded update-event section."""
+    from .streaming import UPDATE_KINDS
+    times = columns["arrival_time_s"]
+    if not np.isfinite(times).all() or float(times.min()) < 0:
+        raise TraceFormatError(
+            f"{path}: update arrival times must be finite and non-negative")
+    if np.any(np.diff(times) < 0):
+        raise TraceFormatError(f"{path}: update arrival times are not sorted")
+    kinds = columns["kind"]
+    if int(kinds.min()) < 0 or int(kinds.max()) >= len(UPDATE_KINDS):
+        raise TraceFormatError(
+            f"{path}: update kind index outside {list(UPDATE_KINDS)}")
+    if int(columns["tenant"].max()) >= len(tenants):
+        raise TraceFormatError(
+            f"{path}: update tenant index outside the "
+            f"{len(tenants)}-entry tenant table")
+    for name in ("src", "dst"):
+        if int(columns[name].min()) < -1:
+            raise TraceFormatError(
+                f"{path}: update {name} below the -1 'unused' sentinel")
 
 
 def _validate_columns(path: str, columns: Dict[str, np.ndarray],

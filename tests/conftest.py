@@ -1,10 +1,12 @@
 """Repo-wide pytest fixtures.
 
-The serving stack keeps three process-wide memo caches: the hardware probe
+The serving stack keeps four process-wide memo caches: the hardware probe
 cache (:func:`repro.serving.fleet.clear_probe_cache`), the per-graph
-workload cache (:func:`repro.models.model_zoo.clear_workloads_cache`) and
-the shard-plan cache
-(:func:`repro.serving.sharding.clear_shard_plan_cache`).
+workload cache (:func:`repro.models.model_zoo.clear_workloads_cache`), the
+shard-plan cache
+(:func:`repro.serving.sharding.clear_shard_plan_cache`) and the streaming
+update-stream memo
+(:func:`repro.serving.streaming.clear_update_stream_cache`).
 All are keyed carefully enough that leakage *should* be impossible, but a
 stale entry surviving from one test module into the next turns any keying
 bug into an action-at-a-distance failure in an unrelated file.  The
@@ -19,6 +21,7 @@ import pytest
 from repro.models.model_zoo import clear_workloads_cache
 from repro.serving.fleet import clear_probe_cache
 from repro.serving.sharding import clear_shard_plan_cache
+from repro.serving.streaming import clear_update_stream_cache
 
 
 @pytest.fixture(autouse=True, scope="module")
@@ -27,7 +30,9 @@ def _fresh_process_caches():
     clear_probe_cache()
     clear_workloads_cache()
     clear_shard_plan_cache()
+    clear_update_stream_cache()
     yield
     clear_probe_cache()
     clear_workloads_cache()
     clear_shard_plan_cache()
+    clear_update_stream_cache()

@@ -1,0 +1,146 @@
+"""Golden fixtures for mutating (streaming-update) serving runs.
+
+``test_streaming_consistency.py`` proves the streaming machinery correct
+differentially *within one build*; this pins what it produces *across*
+builds: a committed v2 request trace (format
+:data:`~repro.serving.trace.TRACE_VERSION_UPDATES`, carrying the update
+stream alongside the requests) must stay loadable, replaying it must keep
+producing bit-for-bit the committed mixed update+query report JSON, and
+re-running the capturing configuration must keep writing byte-for-byte
+the committed trace file.  Any change to the delta overlay, the
+invalidation matrix, the consistency tracker, the event loop interleaving
+or the trace codec that shifts numbers fails here explicitly instead of
+sliding through as a silent behaviour change.
+
+When a change *intentionally* alters the numbers, regenerate with::
+
+    PYTHONPATH=src python tests/serving/test_streaming_golden.py
+
+and commit both fixture diffs alongside the change that explains them.
+"""
+
+import gzip
+import json
+import os
+
+from repro.graphs import load_dataset
+from repro.models.model_zoo import clear_workloads_cache
+from repro.serving.fleet import FleetConfig, clear_probe_cache, run_serving
+from repro.serving.streaming import clear_update_stream_cache
+from repro.serving.trace import (TRACE_VERSION_UPDATES, TraceWriter,
+                                 load_request_trace)
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), "fixtures")
+TRACE_FIXTURE = os.path.join(FIXTURE_DIR, "streaming_trace_ib_seed9.bin")
+REPORT_FIXTURE = os.path.join(FIXTURE_DIR, "streaming_report_ib_seed9.json")
+
+DATASET = "IB"
+NUM_REQUESTS = 96
+RATE_RPS = 60.0
+SEED = 9
+CONFIG = dict(num_chips=2, cache_size=64)
+UPDATE_RATE = 0.25
+UPDATE_MIX = "edge=0.6,feature=0.3,vertex=0.1"
+INVALIDATION = "targeted"
+
+
+def _clear_caches():
+    clear_probe_cache()
+    clear_workloads_cache()
+    clear_update_stream_cache()
+    load_dataset.cache_clear()
+
+
+def _capture_run(capture=None):
+    return run_serving(dataset=DATASET, num_requests=NUM_REQUESTS,
+                       rate_rps=RATE_RPS, config=FleetConfig(**CONFIG),
+                       seed=SEED, update_rate=UPDATE_RATE,
+                       update_mix=UPDATE_MIX, invalidation=INVALIDATION,
+                       capture=capture)
+
+
+def _replay_committed_trace():
+    """Replay the committed mutating trace -> report JSON."""
+    _clear_caches()
+    report = run_serving(dataset=DATASET, config=FleetConfig(**CONFIG),
+                         seed=SEED,
+                         replay=load_request_trace(TRACE_FIXTURE))
+    return json.dumps(report.to_dict(), sort_keys=True, indent=2,
+                      default=float)
+
+
+def test_committed_streaming_trace_replays_to_golden_report():
+    with open(REPORT_FIXTURE) as handle:
+        expected = handle.read()
+    assert _replay_committed_trace() == expected.rstrip("\n"), (
+        "replaying the committed streaming trace diverged from the "
+        "committed report; if the change is intentional, regenerate via "
+        "`PYTHONPATH=src python tests/serving/test_streaming_golden.py`"
+    )
+
+
+def test_committed_report_contains_consistency_block():
+    """The committed payload itself must carry the streaming accounting --
+    a silent loss of the consistency block would otherwise still replay
+    'bit-for-bit'."""
+    with open(REPORT_FIXTURE) as handle:
+        payload = json.load(handle)
+    consistency = payload["consistency"]
+    assert consistency["policy"] == INVALIDATION
+    assert consistency["updates_applied"] > 0
+    assert consistency["stale_serves"] == 0
+    assert consistency["stale_beyond_budget"] == 0
+    assert consistency["total_invalidations"] > 0
+
+
+def test_committed_streaming_trace_metadata_is_stable():
+    trace = load_request_trace(TRACE_FIXTURE)
+    assert trace.num_requests == NUM_REQUESTS
+    assert trace.num_updates == int(round(UPDATE_RATE * NUM_REQUESTS))
+    assert not trace.multi_tenant
+    assert trace.meta["dataset"] == DATASET
+    assert trace.meta["seed"] == SEED
+    assert trace.meta["update_rate"] == UPDATE_RATE
+    assert trace.meta["update_mix"] == UPDATE_MIX
+    assert trace.meta["invalidation"] == INVALIDATION
+    # the on-disk frame itself must carry the v2 format stamp
+    from repro.serving.trace import TRACE_MAGIC
+    with open(TRACE_FIXTURE, "rb") as handle:
+        frame = gzip.decompress(handle.read())
+    version = int.from_bytes(frame[len(TRACE_MAGIC):len(TRACE_MAGIC) + 2],
+                             "little")
+    assert version == TRACE_VERSION_UPDATES
+
+
+def test_recapture_reproduces_committed_streaming_trace_bytes():
+    """The mutating capture path is pinned too: re-running the capturing
+    configuration writes byte-for-byte the committed v2 trace."""
+    capture = TraceWriter()
+    _clear_caches()
+    _capture_run(capture)
+    rebuilt = os.path.join(FIXTURE_DIR, "_rebuilt_streaming.bin")
+    try:
+        capture.write(rebuilt)
+        with open(TRACE_FIXTURE, "rb") as a, open(rebuilt, "rb") as b:
+            assert a.read() == b.read(), (
+                "the streaming capture no longer reproduces the committed "
+                "trace; if the change is intentional, regenerate via "
+                "`PYTHONPATH=src python "
+                "tests/serving/test_streaming_golden.py`"
+            )
+    finally:
+        if os.path.exists(rebuilt):
+            os.remove(rebuilt)
+
+
+if __name__ == "__main__":
+    os.makedirs(FIXTURE_DIR, exist_ok=True)
+    capture = TraceWriter()
+    _clear_caches()
+    _capture_run(capture)
+    capture.write(TRACE_FIXTURE)
+    print(f"wrote {TRACE_FIXTURE} ({os.path.getsize(TRACE_FIXTURE)} bytes)")
+    report_json = _replay_committed_trace()
+    with open(REPORT_FIXTURE, "w") as handle:
+        handle.write(report_json + "\n")
+    print(f"wrote {REPORT_FIXTURE} ({len(report_json)} bytes)")

@@ -1,10 +1,12 @@
 """Regression test: process-wide caches must not leak across test modules.
 
 The probe cache (:data:`repro.serving.fleet._PROBE_CACHE`), the
-workload cache (:data:`repro.models.model_zoo._WORKLOADS_CACHE`) and the
-shard-plan cache (:data:`repro.serving.sharding._SHARD_PLAN_CACHE`) are
+workload cache (:data:`repro.models.model_zoo._WORKLOADS_CACHE`), the
+shard-plan cache (:data:`repro.serving.sharding._SHARD_PLAN_CACHE`) and
+the update-stream memo
+(:data:`repro.serving.streaming._UPDATE_STREAM_CACHE`) are
 process-wide memos.  ``tests/conftest.py`` installs an autouse
-module-scoped fixture that clears all three at every module boundary;
+module-scoped fixture that clears all four at every module boundary;
 this file proves the fixture actually fires by running a miniature
 two-module pytest session under the *real* repo conftest -- module A
 pollutes the caches, module B asserts it starts cold.  If someone
@@ -24,7 +26,7 @@ _MODULE_A = """
 from repro.graphs import load_dataset
 from repro.models import model_zoo
 from repro.models.model_zoo import build_model, workloads_for
-from repro.serving import fleet, sharding
+from repro.serving import fleet, sharding, streaming
 
 
 def test_pollute_caches():
@@ -33,20 +35,23 @@ def test_pollute_caches():
     workloads_for(model, graph)
     fleet._PROBE_CACHE[("sentinel",)] = 1.0
     sharding._SHARD_PLAN_CACHE[("sentinel",)] = object()
+    streaming._UPDATE_STREAM_CACHE[("sentinel",)] = ()
     assert model_zoo._WORKLOADS_CACHE
     assert fleet._PROBE_CACHE
     assert sharding._SHARD_PLAN_CACHE
+    assert streaming._UPDATE_STREAM_CACHE
 """
 
 _MODULE_B = """
 from repro.models import model_zoo
-from repro.serving import fleet, sharding
+from repro.serving import fleet, sharding, streaming
 
 
 def test_starts_with_cold_caches():
     assert not model_zoo._WORKLOADS_CACHE
     assert not fleet._PROBE_CACHE
     assert not sharding._SHARD_PLAN_CACHE
+    assert not streaming._UPDATE_STREAM_CACHE
 """
 
 
@@ -64,23 +69,28 @@ def test_clear_helpers_empty_the_caches():
     from repro.models import model_zoo
     from repro.models.model_zoo import (build_model, clear_workloads_cache,
                                         workloads_for)
-    from repro.serving import fleet, sharding
+    from repro.serving import fleet, sharding, streaming
     from repro.serving.fleet import clear_probe_cache
     from repro.serving.sharding import clear_shard_plan_cache
+    from repro.serving.streaming import clear_update_stream_cache
 
     graph = load_dataset("IB", seed=0, scale_factor=16)
     model = build_model("GCN", input_length=graph.feature_length)
     workloads_for(model, graph)
     fleet._PROBE_CACHE[("sentinel",)] = 1.0
     sharding._SHARD_PLAN_CACHE[("sentinel",)] = object()
+    streaming._UPDATE_STREAM_CACHE[("sentinel",)] = ()
     assert model_zoo._WORKLOADS_CACHE and fleet._PROBE_CACHE
     assert sharding._SHARD_PLAN_CACHE
+    assert streaming._UPDATE_STREAM_CACHE
     clear_workloads_cache()
     clear_probe_cache()
     clear_shard_plan_cache()
+    clear_update_stream_cache()
     assert not model_zoo._WORKLOADS_CACHE
     assert not fleet._PROBE_CACHE
     assert not sharding._SHARD_PLAN_CACHE
+    assert not streaming._UPDATE_STREAM_CACHE
 
 
 @pytest.fixture(autouse=True)
@@ -89,6 +99,8 @@ def _leave_clean():
     from repro.models.model_zoo import clear_workloads_cache
     from repro.serving.fleet import clear_probe_cache
     from repro.serving.sharding import clear_shard_plan_cache
+    from repro.serving.streaming import clear_update_stream_cache
     clear_probe_cache()
     clear_workloads_cache()
     clear_shard_plan_cache()
+    clear_update_stream_cache()

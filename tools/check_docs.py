@@ -142,6 +142,7 @@ def policy_registries() -> dict:
         ALL_BATCH_POLICIES,
         AUTOSCALE_POLICIES,
         DISPATCH_POLICIES,
+        INVALIDATION_POLICIES,
         PARTITIONERS,
         SCALE_SHAPE_POLICIES,
         SHAPE_MIXES,
@@ -155,6 +156,7 @@ def policy_registries() -> dict:
         "shape mix": sorted(SHAPE_MIXES),
         "scale-shape policy": list(SCALE_SHAPE_POLICIES),
         "partitioner": sorted(PARTITIONERS),
+        "invalidation policy": list(INVALIDATION_POLICIES),
     }
 
 
